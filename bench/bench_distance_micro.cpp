@@ -1,0 +1,77 @@
+// Micro-benchmarks of the session distance (Zhang-Shasha tree edit
+// distance over n-contexts) — the inner loop of both kNN search and
+// distance-matrix construction.
+#include <benchmark/benchmark.h>
+
+#include "distance/ted.h"
+#include "session/ncontext.h"
+#include "synth/dataset.h"
+#include "synth/agent.h"
+
+namespace ida {
+namespace {
+
+// A long synthetic session to carve n-contexts from.
+const SessionTree& LongSession() {
+  static SessionTree* tree = [] {
+    SynthDataset d = MakeScenarioDataset(ScenarioKind::kMalwareBeacon, 800, 3);
+    AgentProfile profile;
+    profile.min_steps = 9;
+    profile.max_steps = 9;
+    AnalystAgent agent(&d, profile, 17);
+    ActionExecutor exec;
+    auto t = agent.RunSession("micro", "u", exec);
+    return new SessionTree(std::move(*t));
+  }();
+  return *tree;
+}
+
+void BM_TreeEditDistance(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const SessionTree& tree = LongSession();
+  int t = tree.num_steps();
+  NContext a = ExtractNContext(tree, t, n);
+  NContext b = ExtractNContext(tree, t - 1, n);
+  SessionDistance metric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric.Distance(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TreeEditDistance)->DenseRange(1, 11, 2)->Complexity();
+
+void BM_ExtractNContext(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const SessionTree& tree = LongSession();
+  int t = tree.num_steps();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractNContext(tree, t, n));
+  }
+}
+BENCHMARK(BM_ExtractNContext)->Arg(3)->Arg(7)->Arg(11);
+
+void BM_DistanceMatrix(benchmark::State& state) {
+  const SessionTree& tree = LongSession();
+  std::vector<NContext> contexts;
+  for (int t = 0; t <= tree.num_steps(); ++t) {
+    for (int n : {3, 5, 7}) contexts.push_back(ExtractNContext(tree, t, n));
+  }
+  // Replicate to the requested population size.
+  size_t want = static_cast<size_t>(state.range(0));
+  while (contexts.size() < want) {
+    contexts.push_back(contexts[contexts.size() % 30]);
+  }
+  contexts.resize(want);
+  SessionDistance metric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildDistanceMatrix(contexts, metric));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() *
+                                               want * (want - 1) / 2));
+}
+BENCHMARK(BM_DistanceMatrix)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace ida
+
+BENCHMARK_MAIN();

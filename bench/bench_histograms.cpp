@@ -1,0 +1,69 @@
+// Figure 2 reproduction: interestingness-score histograms before and after
+// the Normalized comparison's Box-Cox + z-score normalization, for the
+// Outlier Score Function (peculiarity) and Compaction Gain (conciseness).
+// The paper's observation to reproduce: raw scores are heavily skewed
+// (toward zero for OSF; long-tailed for CG), normalized scores distribute
+// far more evenly, resembling a normal distribution.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stats/descriptive.h"
+#include "stats/transform.h"
+
+using namespace ida;        // NOLINT
+using namespace ida::bench; // NOLINT
+
+namespace {
+
+void PrintHistogram(const std::string& title, const std::vector<double>& xs,
+                    size_t bins = 24, size_t width = 48) {
+  Histogram h = MakeHistogram(xs, bins);
+  size_t peak = 0;
+  for (size_t c : h.counts) peak = std::max(peak, c);
+  double mean = Mean(xs);
+  double median = Median(xs);
+  std::printf("\n%s  (n=%zu, mean=%s [M], median=%s [m], skew=%s)\n",
+              title.c_str(), xs.size(), Fmt(mean).c_str(),
+              Fmt(median).c_str(), Fmt(Skewness(xs), 2).c_str());
+  size_t mean_bin = h.BinOf(mean);
+  size_t median_bin = h.BinOf(median);
+  for (size_t b = 0; b < h.counts.size(); ++b) {
+    double lo = h.lo + (h.hi - h.lo) * static_cast<double>(b) /
+                           static_cast<double>(h.counts.size());
+    size_t bar = peak > 0 ? h.counts[b] * width / peak : 0;
+    std::printf("%10s |%s%s%s\n", Fmt(lo, 2).c_str(),
+                std::string(bar, '#').c_str(), b == mean_bin ? " M" : "",
+                b == median_bin ? " m" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  World& world = GetWorld();
+  Header("Figure 2 — score histograms before/after normalization");
+
+  for (const char* name : {"osf", "compaction_gain"}) {
+    MeasurePtr measure = CreateMeasure(name);
+    std::vector<double> raw;
+    for (const auto& [display, root] : world.repo->AllDisplayPairs()) {
+      raw.push_back(measure->Score(*display, root));
+    }
+    NormalizedScoreModel model = NormalizedScoreModel::Fit(raw);
+    std::vector<double> normalized;
+    normalized.reserve(raw.size());
+    for (double x : raw) normalized.push_back(model.Normalize(x));
+
+    PrintHistogram(std::string(name) + " — raw scores", raw);
+    std::printf("    fitted Box-Cox lambda=%s shift=%s\n",
+                Fmt(model.boxcox().lambda, 3).c_str(),
+                Fmt(model.boxcox().shift, 4).c_str());
+    PrintHistogram(std::string(name) + " — normalized scores", normalized);
+    std::printf("    |skew| reduced: %s -> %s  (paper: normalized values "
+                "'distribute much more evenly, resembling a normal "
+                "distribution')\n",
+                Fmt(std::fabs(Skewness(raw)), 2).c_str(),
+                Fmt(std::fabs(Skewness(normalized)), 2).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 5 reproduction: accuracy, macro-F1 and coverage as a function of
+// each hyper-parameter, one at a time, with the others fixed at the
+// method's defaults (Table 4). Shapes to reproduce:
+//  (1) n: quality rises with context size, coverage falls;
+//  (2) k: mild quality effect, coverage falls with k under the distance
+//      threshold;
+//  (3) theta_delta: tighter threshold -> higher accuracy, lower coverage;
+//  (4) theta_I: higher interestingness bar -> higher quality, lower
+//      effective sample share.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ida;        // NOLINT
+using namespace ida::bench; // NOLINT
+
+namespace {
+
+void PrintHeader() {
+  std::printf("%-10s %-10s %-10s %-10s %-8s\n", "value", "accuracy",
+              "macroF1", "coverage", "samples");
+}
+
+void PrintPoint(const std::string& value, const EvalMetrics& m,
+                size_t samples) {
+  std::printf("%-10s %-10s %-10s %-10s %-8zu\n", value.c_str(),
+              Fmt(m.accuracy).c_str(), Fmt(m.macro_f1).c_str(),
+              Fmt(m.coverage).c_str(), samples);
+}
+
+}  // namespace
+
+int main() {
+  World& world = GetWorld();
+  std::vector<int> config = {MeasureIndex(world.all_measures, "variance"),
+                             MeasureIndex(world.all_measures, "schutz"),
+                             MeasureIndex(world.all_measures, "osf"),
+                             MeasureIndex(world.all_measures, "compaction_gain")};
+
+  Header("Figure 5 — hyper-parameter effects (others fixed at defaults)");
+  for (ComparisonMethod method :
+       {ComparisonMethod::kReferenceBased, ComparisonMethod::kNormalized}) {
+    const std::vector<LabeledStep>& labels = LabelsFor(world, method);
+    ModelConfig defaults = DefaultConfig(method);
+    std::printf("\n===== %s (defaults: n=%d k=%d delta=%s theta_I=%s) =====\n",
+                ComparisonMethodName(method), defaults.n_context_size,
+                defaults.knn.k,
+                Fmt(defaults.knn.distance_threshold, 2).c_str(),
+                Fmt(defaults.theta_interest, 2).c_str());
+
+    auto evaluate = [&](int n, int k, double delta,
+                        double theta) -> std::pair<EvalMetrics, size_t> {
+      const StateSpace& space = GetStateSpace(world, n);
+      std::vector<TrainingSample> samples = space.samples;
+      std::vector<size_t> subset =
+          ApplyConfigLabels(space, labels, config, theta, &samples);
+      KnnOptions knn;
+      knn.k = k;
+      knn.distance_threshold = delta;
+      return {EvaluateKnnLoocv(samples, space.distances, subset, knn, 4),
+              subset.size()};
+    };
+
+    std::printf("\n(1) n-context size, n in [1, 11]\n");
+    PrintHeader();
+    for (int n = 1; n <= 11; ++n) {
+      auto [m, count] = evaluate(n, defaults.knn.k,
+                                 defaults.knn.distance_threshold,
+                                 defaults.theta_interest);
+      PrintPoint(std::to_string(n), m, count);
+    }
+
+    std::printf("\n(2) kNN size, k in [1, 40]\n");
+    PrintHeader();
+    for (int k : {1, 2, 3, 5, 7, 10, 15, 20, 30, 40}) {
+      auto [m, count] = evaluate(defaults.n_context_size, k,
+                                 defaults.knn.distance_threshold,
+                                 defaults.theta_interest);
+      PrintPoint(std::to_string(k), m, count);
+    }
+
+    std::printf("\n(3) distance threshold theta_delta in [0.02, 0.5]\n");
+    PrintHeader();
+    for (double delta : {0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5}) {
+      auto [m, count] = evaluate(defaults.n_context_size, defaults.knn.k,
+                                 delta, defaults.theta_interest);
+      PrintPoint(Fmt(delta, 2), m, count);
+    }
+
+    std::printf("\n(4) interestingness threshold theta_I\n");
+    PrintHeader();
+    std::vector<double> thetas =
+        method == ComparisonMethod::kReferenceBased
+            ? std::vector<double>{0.0, 0.3, 0.5, 0.6, 0.7, 0.8, 0.92, 0.97}
+            : std::vector<double>{-2.5, -1.0, 0.0, 0.3, 0.7, 1.0, 1.5, 2.0};
+    for (double theta : thetas) {
+      auto [m, count] = evaluate(defaults.n_context_size, defaults.knn.k,
+                                 defaults.knn.distance_threshold, theta);
+      PrintPoint(Fmt(theta, 2), m, count);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 3 reproduction: how often each interestingness type (facet) is
+// the dominant one, per comparison method, averaged over the paper's 16
+// configurations of I. Shape to reproduce: the most common type is
+// dominant for well under half the actions (paper: 41%), the rest are
+// fairly evenly spread, and ties push the shares' sum slightly above 1.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ida;        // NOLINT
+using namespace ida::bench; // NOLINT
+
+namespace {
+
+// Average, over the 16 configurations, of each facet's dominant share.
+std::vector<double> FacetShares(const std::vector<LabeledStep>& labels,
+                                const MeasureSet& all) {
+  auto configs = SixteenConfigIndices(all);
+  std::vector<double> facet_share(kNumFacets, 0.0);
+  for (const auto& config : configs) {
+    size_t labeled = 0;
+    std::vector<double> share(config.size(), 0.0);
+    for (const LabeledStep& step : labels) {
+      if (step.result.dominant.empty()) continue;  // RB thin-reference
+      ComparisonResult projected = SubsetResult(step.result, config);
+      ++labeled;
+      for (int d : projected.dominant) share[static_cast<size_t>(d)] += 1.0;
+    }
+    if (labeled == 0) continue;
+    for (size_t f = 0; f < config.size(); ++f) {
+      // Position f in a config is facet f by construction.
+      facet_share[f] += share[f] / static_cast<double>(labeled);
+    }
+  }
+  for (double& s : facet_share) s /= static_cast<double>(configs.size());
+  return facet_share;
+}
+
+void PrintShares(const char* method, const std::vector<double>& shares) {
+  std::printf("\n%s comparison:\n", method);
+  double total = 0.0;
+  double max_share = 0.0;
+  for (int f = 0; f < kNumFacets; ++f) {
+    size_t bar = static_cast<size_t>(shares[static_cast<size_t>(f)] * 60);
+    std::printf("  %-12s %s  %s\n",
+                MeasureFacetName(static_cast<MeasureFacet>(f)),
+                Fmt(shares[static_cast<size_t>(f)]).c_str(),
+                std::string(bar, '#').c_str());
+    total += shares[static_cast<size_t>(f)];
+    max_share = std::max(max_share, shares[static_cast<size_t>(f)]);
+  }
+  std::printf("  sum of shares: %s (>1 indicates dominance ties)\n",
+              Fmt(total).c_str());
+  std::printf("  most-common share: %s (paper: 0.41)\n",
+              Fmt(max_share).c_str());
+}
+
+}  // namespace
+
+int main() {
+  World& world = GetWorld();
+  Header("Figure 3 — interestingness class labeling frequency "
+         "(avg over 16 configs of I)");
+  PrintShares("Reference-Based",
+              FacetShares(ReferenceBasedLabels(world), world.all_measures));
+  PrintShares("Normalized",
+              FacetShares(NormalizedLabels(world), world.all_measures));
+  return 0;
+}

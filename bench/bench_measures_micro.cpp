@@ -1,0 +1,71 @@
+// Micro-benchmarks of interestingness-score computation (the paper's
+// "Calc. Interestingness" component; Sec 4.1 notes conciseness measures
+// are fast while OSF is the most expensive).
+#include <benchmark/benchmark.h>
+
+#include "actions/display.h"
+#include "common/rng.h"
+#include "measures/measure.h"
+
+namespace ida {
+namespace {
+
+DisplayPtr MakeDisplay(size_t groups, uint64_t seed) {
+  Rng rng(seed);
+  InterestProfile p;
+  p.column = "col";
+  TableBuilder builder({"col", "count"});
+  for (size_t i = 0; i < groups; ++i) {
+    double v = rng.UniformReal(1.0, 1000.0);
+    p.labels.push_back("g" + std::to_string(i));
+    p.values.push_back(v);
+    p.group_sizes.push_back(v);
+    Status st = builder.AppendRow({Value("g" + std::to_string(i)), Value(v)});
+    (void)st;
+  }
+  auto table = builder.Finish();
+  return std::make_shared<Display>(DisplayKind::kAggregated, *table,
+                                   std::move(p), 100000);
+}
+
+void BM_MeasureScore(benchmark::State& state, const char* name) {
+  MeasurePtr measure = CreateMeasure(name);
+  DisplayPtr d = MakeDisplay(static_cast<size_t>(state.range(0)), 7);
+  DisplayPtr root = MakeDisplay(64, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure->Score(*d, root.get()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+#define IDA_MEASURE_BENCH(name)                                       \
+  BENCHMARK_CAPTURE(BM_MeasureScore, name, #name)                     \
+      ->RangeMultiplier(4)                                            \
+      ->Range(4, 1024)                                                \
+      ->Complexity(benchmark::oAuto)
+
+IDA_MEASURE_BENCH(variance);
+IDA_MEASURE_BENCH(simpson);
+IDA_MEASURE_BENCH(schutz);
+IDA_MEASURE_BENCH(macarthur);
+IDA_MEASURE_BENCH(osf);
+IDA_MEASURE_BENCH(deviation);
+IDA_MEASURE_BENCH(compaction_gain);
+IDA_MEASURE_BENCH(log_length);
+
+void BM_ScoreAllEight(benchmark::State& state) {
+  MeasureSet all = CreateAllMeasures();
+  DisplayPtr d = MakeDisplay(static_cast<size_t>(state.range(0)), 7);
+  DisplayPtr root = MakeDisplay(64, 11);
+  for (auto _ : state) {
+    for (const MeasurePtr& m : all) {
+      benchmark::DoNotOptimize(m->Score(*d, root.get()));
+    }
+  }
+}
+BENCHMARK(BM_ScoreAllEight)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace ida
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Section 4.1 findings reproduction (the unnumbered results around
+// Figures 2-3 and Table 3):
+//  * pairwise Pearson correlations of the 8 measures' raw scores —
+//    same-type pairs correlate much more than cross-type pairs
+//    (paper: 0.543 vs 0.071, overall 0.3);
+//  * within a session the dominant measure changes every ~2.2 steps;
+//  * the two comparison methods agree on most actions (paper: 68%) and a
+//    chi-square test finds them highly dependent (p < 1e-67).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ida;        // NOLINT
+using namespace ida::bench; // NOLINT
+
+int main() {
+  World& world = GetWorld();
+  const auto& norm = NormalizedLabels(world);
+  const auto& rb = ReferenceBasedLabels(world);
+  const MeasureSet& all = world.all_measures;
+
+  Header("Sec 4.1 — pairwise Pearson correlation of measure scores");
+  auto corr = MeasureScoreCorrelations(norm, all.size());
+  std::printf("%-18s", "");
+  for (const auto& m : all) std::printf("%-11s", m->name().substr(0, 10).c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < all.size(); ++i) {
+    std::printf("%-18s", all[i]->name().c_str());
+    for (size_t j = 0; j < all.size(); ++j) {
+      std::printf("%-11s", Fmt(corr[i][j], 2).c_str());
+    }
+    std::printf("\n");
+  }
+  std::vector<int> facets;
+  for (const auto& m : all) facets.push_back(static_cast<int>(m->facet()));
+  auto summary = SummarizeCorrelations(corr, facets);
+  std::printf("\n|corr| same-type pairs : %s   (paper: 0.543)\n",
+              Fmt(summary.same_facet).c_str());
+  std::printf("|corr| cross-type pairs: %s   (paper: 0.071)\n",
+              Fmt(summary.cross_facet).c_str());
+  std::printf("|corr| overall         : %s   (paper: 0.3)\n",
+              Fmt(summary.overall).c_str());
+
+  Header("Sec 4.1 — dominant-measure switching rate within sessions");
+  // Averaged over the 16 configurations of I, like the labeling shares.
+  auto configs = SixteenConfigIndices(all);
+  for (const auto& [name, labels] :
+       {std::pair<const char*, const std::vector<LabeledStep>*>{
+            "Reference-Based", &rb},
+        {"Normalized", &norm}}) {
+    double avg = 0.0;
+    for (const auto& config : configs) {
+      std::vector<LabeledStep> projected;
+      projected.reserve(labels->size());
+      for (const LabeledStep& s : *labels) {
+        if (s.result.dominant.empty()) continue;
+        LabeledStep p = s;
+        p.result = SubsetResult(s.result, config);
+        projected.push_back(std::move(p));
+      }
+      avg += AverageStepsPerDominantChange(projected);
+    }
+    avg /= static_cast<double>(configs.size());
+    std::printf("%-18s dominant measure changes every %s steps "
+                "(paper: 2.2)\n",
+                name, Fmt(avg, 2).c_str());
+  }
+
+  Header("Sec 4.1 — correlation between the two comparison methods");
+  auto agreement = CompareLabelings(norm, rb, all.size());
+  if (!agreement.ok()) {
+    std::fprintf(stderr, "%s\n", agreement.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("co-labeled actions            : %zu (RB leaves %zu unlabeled "
+              "on thin reference sets)\n",
+              agreement->co_labeled, agreement->only_a);
+  std::printf("same primary dominant measure : %s   (paper: 0.68)\n",
+              Fmt(agreement->primary_agreement).c_str());
+  std::printf("identical dominant sets       : %s\n",
+              Fmt(agreement->exact_agreement).c_str());
+  std::printf("chi-square stat=%s dof=%.0f p-value=%.3e   "
+              "(paper: p < 1e-67)\n",
+              Fmt(agreement->chi_square.statistic, 1).c_str(),
+              agreement->chi_square.dof, agreement->chi_square.p_value);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Micro-benchmark of online prediction: one I-kNN prediction against a
+// realistic training set (the paper reports ~6.04 ms per prediction).
+#include <benchmark/benchmark.h>
+
+#include "eval/loocv.h"
+#include "offline/labeling.h"
+#include "offline/training.h"
+#include "predict/config.h"
+#include "predict/knn.h"
+#include "synth/generator.h"
+
+namespace ida {
+namespace {
+
+struct Fixture {
+  std::vector<TrainingSample> train;
+  std::vector<NContext> queries;
+};
+
+const Fixture& GetFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture;
+    GeneratorOptions options;
+    options.num_users = 12;
+    options.num_sessions = 120;
+    options.rows_per_dataset = 1200;
+    options.seed = 99;
+    auto bench = GenerateBenchmark(options);
+    ActionExecutor exec;
+    auto repo = ReplayedRepository::Build(bench->log, bench->registry, exec);
+    MeasureSet I = {CreateMeasure("variance"), CreateMeasure("schutz"),
+                    CreateMeasure("osf"), CreateMeasure("compaction_gain")};
+    NormalizedLabeler labeler(I);
+    Status st = labeler.Preprocess(*repo);
+    (void)st;
+    TrainingSetOptions ts;
+    ts.n_context_size = 3;
+    auto train = BuildTrainingSet(*repo, &labeler, ts);
+    f->train = std::move(*train);
+    // Hold out a few contexts as queries.
+    for (size_t i = 0; i < 8 && i < f->train.size(); ++i) {
+      f->queries.push_back(f->train[i * 7 % f->train.size()].context);
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_KnnPredict(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  KnnOptions options = DefaultNormalizedConfig().knn;
+  IKnnClassifier model(f.train, SessionDistance(), options);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(f.queries[q % f.queries.size()]));
+    ++q;
+  }
+  state.counters["train_size"] =
+      static_cast<double>(f.train.size());
+}
+BENCHMARK(BM_KnnPredict)->Unit(benchmark::kMillisecond);
+
+void BM_KnnVoteOnly(benchmark::State& state) {
+  // The vote step alone, with distances precomputed.
+  const Fixture& f = GetFixture();
+  std::vector<double> distances(f.train.size());
+  SessionDistance metric;
+  for (size_t i = 0; i < f.train.size(); ++i) {
+    distances[i] = metric.Distance(f.queries[0], f.train[i].context);
+  }
+  KnnOptions options = DefaultNormalizedConfig().knn;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KnnVote(distances, f.train, options));
+  }
+}
+BENCHMARK(BM_KnnVoteOnly);
+
+void BM_BoxCoxFit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < state.range(0); ++i) {
+    sample.push_back(rng.Exponential(1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NormalizedScoreModel::Fit(sample));
+  }
+}
+BENCHMARK(BM_BoxCoxFit)->Arg(500)->Arg(2500);
+
+}  // namespace
+}  // namespace ida
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// The paper's running example (Sec 1, Fig. 1): Clarice, a cyber-security
+// analyst, hunts for a back-door communication channel in network traffic.
+// Walks her session step by step, printing each display and how every
+// interestingness measure judges it — showing that each step is supported
+// by a different facet of interestingness.
+#include <cstdio>
+
+#include "actions/executor.h"
+#include "measures/measure.h"
+#include "offline/comparison.h"
+#include "session/tree.h"
+#include "synth/dataset.h"
+
+using namespace ida;  // NOLINT — example code
+
+namespace {
+
+void ShowDisplay(const char* name, const Display& d) {
+  std::printf("\n%s — %s\n", name, d.Describe().c_str());
+  std::printf("%s", d.table()->ToString(6).c_str());
+}
+
+void ShowScores(const MeasureSet& measures, const Display& d,
+                const Display* root) {
+  for (const MeasurePtr& m : measures) {
+    std::printf("    %-16s (%-11s) = %8.3f\n", m->name().c_str(),
+                MeasureFacetName(m->facet()), m->Score(d, root));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The network log hiding a malware beacon (two rare C2 addresses
+  // receiving tiny periodic HTTP packets after business hours).
+  SynthDataset dataset =
+      MakeScenarioDataset(ScenarioKind::kMalwareBeacon, 5000, 20190326);
+  std::printf("Loaded dataset '%s' (%zu packets; %zu of them belong to the "
+              "hidden event)\n",
+              dataset.id.c_str(), dataset.table->num_rows(),
+              dataset.event_rows);
+
+  ActionExecutor exec;
+  SessionTree session("clarice-session", "clarice", dataset.id,
+                      Display::MakeRoot(dataset.table));
+  MeasureSet measures = CreateAllMeasures();
+  const Display* root = session.node(0).display.get();
+
+  // q1: overview — group all traffic by protocol.
+  Action q1 = Action::GroupBy("protocol", AggFunc::kCount);
+  auto n1 = session.ApplyFrom(0, q1, exec);
+  if (!n1.ok()) return 1;
+  ShowDisplay("d1 = q1(GROUPBY protocol)", *session.node(*n1).display);
+  std::printf("  measure scores (diversity should shine — the protocol mix "
+              "is skewed):\n");
+  ShowScores(measures, *session.node(*n1).display, root);
+
+  // Clarice backtracks to the root display, then
+  // q2: isolate suspicious after-hours HTTP traffic with tiny payloads.
+  Action q2 = Action::Filter(
+      {Predicate{"protocol", CompareOp::kEq, Value("HTTP")},
+       Predicate{"hour", CompareOp::kGe, Value(int64_t{19})},
+       Predicate{"length", CompareOp::kLe, Value(int64_t{90})}});
+  auto n2 = session.ApplyFrom(0, q2, exec);
+  if (!n2.ok()) return 1;
+  ShowDisplay("d2 = q2(FILTER after-hours small HTTP), from d0 after BACK",
+              *session.node(*n2).display);
+  std::printf("  measure scores (peculiarity should shine — these packets "
+              "deviate from the dataset):\n");
+  ShowScores(measures, *session.node(*n2).display, root);
+
+  // q3: summarize the suspicious packets by destination address.
+  Action q3 = Action::GroupBy("dst_ip", AggFunc::kCount);
+  auto n3 = session.ApplyFrom(*n2, q3, exec);
+  if (!n3.ok()) return 1;
+  ShowDisplay("d3 = q3(GROUPBY dst_ip)", *session.node(*n3).display);
+  std::printf("  measure scores (conciseness should shine — a handful of "
+              "rows standing for %zu packets):\n",
+              dataset.table->num_rows());
+  ShowScores(measures, *session.node(*n3).display, root);
+
+  // Did she find it? Check the event signature in the final display.
+  double fraction = EventFraction(*session.node(*n3).display, dataset);
+  std::printf("\n%.0f%% of the tuples behind d3 belong to the planted "
+              "beacon — the back door is %s.\n",
+              fraction * 100.0, fraction > 0.5 ? "exposed" : "still hidden");
+
+  // The paper's point, made concrete: rank the three steps per facet.
+  std::printf("\nwhich facet 'supports' each step (raw score argmax across "
+              "steps):\n");
+  for (const MeasurePtr& m : measures) {
+    double best = -1e300;
+    int best_step = 0;
+    for (int step = 1; step <= 3; ++step) {
+      double s = m->Score(*session.node(step).display, root);
+      if (s > best) {
+        best = s;
+        best_step = step;
+      }
+    }
+    std::printf("    %-16s favors q%d\n", m->name().c_str(), best_step);
+  }
+  std::printf("\nNo single measure crowns every step — exactly the "
+              "phenomenon the predictive model exploits.\n");
+  return 0;
+}

@@ -1,0 +1,308 @@
+#include "actions/action.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ida {
+
+const char* ActionTypeName(ActionType t) {
+  switch (t) {
+    case ActionType::kFilter:
+      return "FILTER";
+    case ActionType::kGroupBy:
+      return "GROUPBY";
+    case ActionType::kBack:
+      return "BACK";
+  }
+  return "?";
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kContains:
+      return "CONTAINS";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kCountDistinct:
+      return "count_distinct";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string QuoteValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(v.as_int());
+    case ValueType::kDouble: {
+      // Ensure a double round-trips as a double (keep a '.' marker).
+      std::string s = FormatDouble(v.as_double(), 9);
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString: {
+      std::string out = "\"";
+      for (char c : v.as_string()) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "null";
+}
+
+Result<Value> UnquoteValue(const std::string& tok) {
+  if (tok == "null") return Value::Null();
+  if (!tok.empty() && tok.front() == '"') {
+    if (tok.size() < 2 || tok.back() != '"') {
+      return Status::InvalidArgument("unterminated string literal: " + tok);
+    }
+    std::string out;
+    for (size_t i = 1; i + 1 < tok.size(); ++i) {
+      if (tok[i] == '\\' && i + 2 < tok.size()) ++i;
+      out += tok[i];
+    }
+    return Value(std::move(out));
+  }
+  const char* s = tok.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long long iv = std::strtoll(s, &end, 10);
+  if (errno == 0 && end && *end == '\0') {
+    return Value(static_cast<int64_t>(iv));
+  }
+  errno = 0;
+  double dv = std::strtod(s, &end);
+  if (errno == 0 && end && *end == '\0' && end != s) {
+    return Value(dv);
+  }
+  return Status::InvalidArgument("unparseable value literal: " + tok);
+}
+
+Result<CompareOp> ParseOp(const std::string& tok) {
+  if (tok == "==") return CompareOp::kEq;
+  if (tok == "!=") return CompareOp::kNe;
+  if (tok == "<") return CompareOp::kLt;
+  if (tok == "<=") return CompareOp::kLe;
+  if (tok == ">") return CompareOp::kGt;
+  if (tok == ">=") return CompareOp::kGe;
+  if (tok == "CONTAINS") return CompareOp::kContains;
+  return Status::InvalidArgument("unknown comparison operator: " + tok);
+}
+
+Result<AggFunc> ParseAggFunc(const std::string& tok) {
+  if (tok == "count") return AggFunc::kCount;
+  if (tok == "sum") return AggFunc::kSum;
+  if (tok == "avg") return AggFunc::kAvg;
+  if (tok == "min") return AggFunc::kMin;
+  if (tok == "max") return AggFunc::kMax;
+  if (tok == "count_distinct") return AggFunc::kCountDistinct;
+  return Status::InvalidArgument("unknown aggregate function: " + tok);
+}
+
+// Tokenizes on spaces, keeping quoted strings (with backslash escapes) as
+// single tokens.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      cur += c;
+      if (c == '\\' && i + 1 < line.size()) {
+        cur += line[++i];
+      } else if (c == '"') {
+        in_quotes = false;
+      }
+    } else if (c == '"') {
+      cur += c;
+      in_quotes = true;
+    } else if (c == ' ') {
+      if (!cur.empty()) {
+        toks.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) toks.push_back(std::move(cur));
+  return toks;
+}
+
+}  // namespace
+
+std::string Predicate::ToString() const {
+  return column + " " + CompareOpName(op) + " " + QuoteValue(operand);
+}
+
+Action Action::Filter(std::vector<Predicate> predicates) {
+  Action a;
+  a.type_ = ActionType::kFilter;
+  a.predicates_ = std::move(predicates);
+  return a;
+}
+
+Action Action::GroupBy(std::string group_column, AggFunc func,
+                       std::string agg_column) {
+  Action a;
+  a.type_ = ActionType::kGroupBy;
+  a.group_column_ = std::move(group_column);
+  a.agg_func_ = func;
+  a.agg_column_ = std::move(agg_column);
+  return a;
+}
+
+Action Action::Back() {
+  Action a;
+  a.type_ = ActionType::kBack;
+  return a;
+}
+
+std::string Action::ToString() const { return Serialize(); }
+
+std::string Action::Serialize() const {
+  std::ostringstream os;
+  switch (type_) {
+    case ActionType::kFilter: {
+      os << "FILTER";
+      for (size_t i = 0; i < predicates_.size(); ++i) {
+        os << (i ? " AND " : " ") << predicates_[i].ToString();
+      }
+      break;
+    }
+    case ActionType::kGroupBy: {
+      os << "GROUPBY " << group_column_ << " AGG " << AggFuncName(agg_func_);
+      if (agg_func_ != AggFunc::kCount && !agg_column_.empty()) {
+        os << " " << agg_column_;
+      }
+      break;
+    }
+    case ActionType::kBack:
+      os << "BACK";
+      break;
+  }
+  return os.str();
+}
+
+Result<Action> Action::Parse(const std::string& line) {
+  std::vector<std::string> toks = Tokenize(Trim(line));
+  if (toks.empty()) return Status::InvalidArgument("empty action line");
+  const std::string& head = toks[0];
+  if (head == "BACK") {
+    if (toks.size() != 1) {
+      return Status::InvalidArgument("BACK takes no arguments");
+    }
+    return Action::Back();
+  }
+  if (head == "FILTER") {
+    std::vector<Predicate> preds;
+    size_t i = 1;
+    while (i < toks.size()) {
+      if (i + 2 >= toks.size()) {
+        return Status::InvalidArgument("truncated predicate in: " + line);
+      }
+      Predicate p;
+      p.column = toks[i];
+      IDA_ASSIGN_OR_RETURN(p.op, ParseOp(toks[i + 1]));
+      IDA_ASSIGN_OR_RETURN(p.operand, UnquoteValue(toks[i + 2]));
+      preds.push_back(std::move(p));
+      i += 3;
+      if (i < toks.size()) {
+        if (toks[i] != "AND") {
+          return Status::InvalidArgument("expected AND, got: " + toks[i]);
+        }
+        ++i;
+      }
+    }
+    if (preds.empty()) {
+      return Status::InvalidArgument("FILTER needs at least one predicate");
+    }
+    return Action::Filter(std::move(preds));
+  }
+  if (head == "GROUPBY") {
+    if (toks.size() < 4 || toks[2] != "AGG") {
+      return Status::InvalidArgument("malformed GROUPBY: " + line);
+    }
+    IDA_ASSIGN_OR_RETURN(AggFunc func, ParseAggFunc(toks[3]));
+    std::string agg_col = toks.size() > 4 ? toks[4] : "";
+    if (func != AggFunc::kCount && agg_col.empty()) {
+      return Status::InvalidArgument(AggFuncName(func) +
+                                     std::string(" requires a column"));
+    }
+    return Action::GroupBy(toks[1], func, agg_col);
+  }
+  return Status::InvalidArgument("unknown action head: " + head);
+}
+
+bool Action::operator==(const Action& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case ActionType::kFilter:
+      return predicates_ == other.predicates_;
+    case ActionType::kGroupBy:
+      return group_column_ == other.group_column_ &&
+             agg_func_ == other.agg_func_ && agg_column_ == other.agg_column_;
+    case ActionType::kBack:
+      return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Action::ReferencedColumns() const {
+  std::vector<std::string> cols;
+  switch (type_) {
+    case ActionType::kFilter:
+      for (const auto& p : predicates_) cols.push_back(p.column);
+      break;
+    case ActionType::kGroupBy:
+      cols.push_back(group_column_);
+      if (!agg_column_.empty()) cols.push_back(agg_column_);
+      break;
+    case ActionType::kBack:
+      break;
+  }
+  return cols;
+}
+
+}  // namespace ida

@@ -1,0 +1,88 @@
+// The analysis-action algebra of the IDA model (paper Sec 2.1): FILTER
+// (conjunction of simple predicates), GROUP-BY + aggregate, and BACK
+// (return to the parent display). Actions are value objects; execution
+// lives in ActionExecutor, tree bookkeeping in SessionTree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace ida {
+
+enum class ActionType { kFilter = 0, kGroupBy = 1, kBack = 2 };
+
+const char* ActionTypeName(ActionType t);
+
+/// Comparison operators usable in filter predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+const char* CompareOpName(CompareOp op);
+
+/// One atomic filter condition: <column> <op> <operand>.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value operand;
+
+  std::string ToString() const;
+  bool operator==(const Predicate& other) const {
+    return column == other.column && op == other.op &&
+           operand == other.operand;
+  }
+};
+
+/// Aggregate functions for GROUP-BY actions.
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax, kCountDistinct };
+
+const char* AggFuncName(AggFunc f);
+
+/// A single analysis action. Use the factory functions; the meaning of the
+/// member fields depends on `type`.
+class Action {
+ public:
+  Action() = default;
+
+  /// FILTER with a conjunction of predicates (must be non-empty).
+  static Action Filter(std::vector<Predicate> predicates);
+  /// GROUP-BY `group_column`, aggregating `agg_column` with `func`.
+  /// For kCount, `agg_column` is ignored (may be empty).
+  static Action GroupBy(std::string group_column, AggFunc func,
+                        std::string agg_column = "");
+  /// BACK: undo — return to the parent display.
+  static Action Back();
+
+  ActionType type() const { return type_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::string& group_column() const { return group_column_; }
+  AggFunc agg_func() const { return agg_func_; }
+  const std::string& agg_column() const { return agg_column_; }
+
+  /// Compact one-line rendering, e.g.
+  /// "FILTER protocol == \"HTTP\" AND hour >= 19" or
+  /// "GROUPBY dst_ip AGG count".
+  std::string ToString() const;
+
+  /// Serializes to a parseable one-line form (used by the session-log
+  /// text format).
+  std::string Serialize() const;
+  /// Inverse of Serialize.
+  static Result<Action> Parse(const std::string& line);
+
+  bool operator==(const Action& other) const;
+
+  /// The set of column names this action touches (for the action ground
+  /// metric): predicate columns, group column, aggregate column.
+  std::vector<std::string> ReferencedColumns() const;
+
+ private:
+  ActionType type_ = ActionType::kBack;
+  std::vector<Predicate> predicates_;
+  std::string group_column_;
+  AggFunc agg_func_ = AggFunc::kCount;
+  std::string agg_column_;
+};
+
+}  // namespace ida

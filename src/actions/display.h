@@ -1,0 +1,90 @@
+// Display: the result "screen" of an analysis action (paper Sec 2.1), plus
+// the *interest profile* — the aggregate vector {v_j} that interestingness
+// measures consume (paper Sec 2.2 / Table 1 notation).
+//
+// For group-and-aggregate displays the profile is the aggregated values
+// themselves. For raw displays (the root dataset, filter results) the paper
+// does not spell out how {v_j} is derived; we use the documented
+// substitution (DESIGN.md Sec 2): the frequency histogram of the
+// highest-entropy categorical column (fallback: equal-width bins of a
+// numeric column).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actions/action.h"
+#include "data/table.h"
+
+namespace ida {
+
+enum class DisplayKind { kRoot = 0, kRaw = 1, kAggregated = 2 };
+
+const char* DisplayKindName(DisplayKind k);
+
+/// The aggregate vector a display exposes to interestingness measures.
+struct InterestProfile {
+  /// Name of the column the vector is computed over (group column for
+  /// aggregated displays; chosen histogram column for raw displays).
+  std::string column;
+  /// Group labels (rendered key values / bin labels), |labels| == m.
+  std::vector<std::string> labels;
+  /// Aggregated values v_j (counts for kCount / histogram profiles).
+  std::vector<double> values;
+  /// Number of underlying tuples in each group (== values when the
+  /// aggregate is a count).
+  std::vector<double> group_sizes;
+
+  /// m — the number of groups.
+  size_t group_count() const { return values.size(); }
+  /// Total tuples covered by the display (sum of group sizes).
+  double covered_tuples() const;
+  /// Normalized p_j = v_j / sum_k v_k. Non-finite or negative v_j are
+  /// clamped to 0; an all-zero vector yields the uniform distribution.
+  std::vector<double> Probabilities() const;
+};
+
+/// An immutable result screen. Created by ActionExecutor (or as the root).
+class Display {
+ public:
+  /// Builds the root display of a dataset.
+  static std::shared_ptr<const Display> MakeRoot(
+      std::shared_ptr<const DataTable> table);
+
+  Display(DisplayKind kind, std::shared_ptr<const DataTable> table,
+          InterestProfile profile, size_t dataset_size)
+      : kind_(kind),
+        table_(std::move(table)),
+        profile_(std::move(profile)),
+        dataset_size_(dataset_size) {}
+
+  DisplayKind kind() const { return kind_; }
+  const std::shared_ptr<const DataTable>& table() const { return table_; }
+  /// Rows visible on screen.
+  size_t num_rows() const { return table_ ? table_->num_rows() : 0; }
+  const InterestProfile& profile() const { return profile_; }
+  /// O — the size (row count) of the original, root dataset.
+  size_t dataset_size() const { return dataset_size_; }
+
+  /// Short description for logs/examples ("aggregated over protocol, 6
+  /// groups, 50176 rows covered").
+  std::string Describe() const;
+
+ private:
+  DisplayKind kind_;
+  std::shared_ptr<const DataTable> table_;
+  InterestProfile profile_;
+  size_t dataset_size_;
+};
+
+using DisplayPtr = std::shared_ptr<const Display>;
+
+/// Computes the interest profile of a raw table view: histogram of the
+/// highest-entropy string column with 2..max_buckets distinct values;
+/// fallback to `bins` equal-width bins over the first numeric column;
+/// final fallback: a single group covering all rows.
+InterestProfile ComputeRawProfile(const DataTable& table,
+                                  size_t max_buckets = 256, size_t bins = 16);
+
+}  // namespace ida

@@ -1,0 +1,232 @@
+#include "actions/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace ida {
+
+namespace {
+
+// True when `v` compares to `operand` under `op`. Numeric cells compare
+// numerically with numeric operands; strings compare lexicographically
+// with string operands; kContains is substring match on the rendered cell.
+bool CompareValues(const Value& v, CompareOp op, const Value& operand) {
+  if (v.is_null() || operand.is_null()) return false;
+  if (op == CompareOp::kContains) {
+    return v.ToString().find(operand.ToString()) != std::string::npos;
+  }
+  bool v_num = v.type() == ValueType::kInt || v.type() == ValueType::kDouble;
+  bool o_num = operand.type() == ValueType::kInt ||
+               operand.type() == ValueType::kDouble;
+  int cmp;
+  if (v_num && o_num) {
+    double a = v.ToNumeric(), b = operand.ToNumeric();
+    if (std::isnan(a) || std::isnan(b)) return false;
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else if (!v_num && !o_num) {
+    const std::string& a = v.as_string();
+    const std::string& b = operand.as_string();
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else {
+    // Type mismatch (e.g. numeric cell vs string operand): only (in)equality
+    // is meaningful, and such cells are never equal.
+    return op == CompareOp::kNe;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    case CompareOp::kContains:
+      return false;  // handled above
+  }
+  return false;
+}
+
+struct GroupAccumulator {
+  double count = 0.0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  size_t numeric_count = 0;
+  std::set<std::string> distinct;
+};
+
+double FinishAggregate(const GroupAccumulator& acc, AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return acc.count;
+    case AggFunc::kSum:
+      return acc.sum;
+    case AggFunc::kAvg:
+      return acc.numeric_count > 0
+                 ? acc.sum / static_cast<double>(acc.numeric_count)
+                 : 0.0;
+    case AggFunc::kMin:
+      return acc.numeric_count > 0 ? acc.min : 0.0;
+    case AggFunc::kMax:
+      return acc.numeric_count > 0 ? acc.max : 0.0;
+    case AggFunc::kCountDistinct:
+      return static_cast<double>(acc.distinct.size());
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+bool ActionExecutor::EvalPredicate(const Predicate& pred,
+                                   const DataTable& table, int col_index,
+                                   size_t row) {
+  if (col_index < 0) return false;
+  Value v = table.GetValue(row, static_cast<size_t>(col_index));
+  return CompareValues(v, pred.op, pred.operand);
+}
+
+Result<DisplayPtr> ActionExecutor::Execute(const Action& action,
+                                           const Display& parent) const {
+  switch (action.type()) {
+    case ActionType::kFilter:
+      return ExecuteFilter(action, parent);
+    case ActionType::kGroupBy:
+      return ExecuteGroupBy(action, parent);
+    case ActionType::kBack:
+      return Status::InvalidArgument(
+          "BACK is a session-level navigation, not an executable action");
+  }
+  return Status::Internal("unreachable action type");
+}
+
+Result<DisplayPtr> ActionExecutor::ExecuteFilter(const Action& action,
+                                                 const Display& parent) const {
+  const DataTable& table = *parent.table();
+  std::vector<int> col_indices;
+  col_indices.reserve(action.predicates().size());
+  for (const auto& p : action.predicates()) {
+    int idx = table.schema().FieldIndex(p.column);
+    if (idx < 0) {
+      return Status::NotFound("filter column '" + p.column +
+                              "' not in display schema [" +
+                              table.schema().ToString() + "]");
+    }
+    col_indices.push_back(idx);
+  }
+  std::vector<uint32_t> selection;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool keep = true;
+    for (size_t i = 0; i < action.predicates().size(); ++i) {
+      if (!EvalPredicate(action.predicates()[i], table, col_indices[i], r)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selection.push_back(static_cast<uint32_t>(r));
+  }
+  std::shared_ptr<const DataTable> result = table.Take(selection);
+
+  InterestProfile profile;
+  DisplayKind kind;
+  if (parent.kind() == DisplayKind::kAggregated) {
+    // Aggregated-table rows correspond 1:1 (in order) with profile entries,
+    // so a filter selects a subset of the parent's groups.
+    kind = DisplayKind::kAggregated;
+    const InterestProfile& pp = parent.profile();
+    profile.column = pp.column;
+    for (uint32_t r : selection) {
+      if (r < pp.values.size()) {
+        profile.labels.push_back(pp.labels[r]);
+        profile.values.push_back(pp.values[r]);
+        profile.group_sizes.push_back(pp.group_sizes[r]);
+      }
+    }
+  } else {
+    kind = DisplayKind::kRaw;
+    profile = ComputeRawProfile(*result);
+  }
+  return std::make_shared<Display>(kind, std::move(result), std::move(profile),
+                                   parent.dataset_size());
+}
+
+Result<DisplayPtr> ActionExecutor::ExecuteGroupBy(const Action& action,
+                                                  const Display& parent) const {
+  const DataTable& table = *parent.table();
+  int gcol = table.schema().FieldIndex(action.group_column());
+  if (gcol < 0) {
+    return Status::NotFound("group column '" + action.group_column() +
+                            "' not in display schema [" +
+                            table.schema().ToString() + "]");
+  }
+  int acol = -1;
+  if (action.agg_func() != AggFunc::kCount) {
+    acol = table.schema().FieldIndex(action.agg_column());
+    if (acol < 0) {
+      return Status::NotFound("aggregate column '" + action.agg_column() +
+                              "' not in display schema");
+    }
+    if (action.agg_func() != AggFunc::kCountDistinct) {
+      ValueType t = table.schema().field(static_cast<size_t>(acol)).type;
+      if (t != ValueType::kInt && t != ValueType::kDouble) {
+        return Status::InvalidArgument(
+            std::string(AggFuncName(action.agg_func())) +
+            " requires a numeric column, '" + action.agg_column() + "' is " +
+            ValueTypeName(t));
+      }
+    }
+  }
+
+  // Value-ordered map keeps group order deterministic.
+  std::map<Value, GroupAccumulator> groups;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Value key = table.GetValue(r, static_cast<size_t>(gcol));
+    GroupAccumulator& acc = groups[key];
+    acc.count += 1.0;
+    if (acol >= 0) {
+      Value av = table.GetValue(r, static_cast<size_t>(acol));
+      if (!av.is_null()) {
+        if (action.agg_func() == AggFunc::kCountDistinct) {
+          acc.distinct.insert(av.ToString());
+        } else {
+          double x = av.ToNumeric();
+          if (std::isfinite(x)) {
+            acc.sum += x;
+            acc.min = std::min(acc.min, x);
+            acc.max = std::max(acc.max, x);
+            ++acc.numeric_count;
+          }
+        }
+      }
+    }
+  }
+
+  std::string agg_name =
+      action.agg_func() == AggFunc::kCount
+          ? "count"
+          : std::string(AggFuncName(action.agg_func())) + "(" +
+                action.agg_column() + ")";
+  TableBuilder builder({action.group_column(), agg_name});
+  InterestProfile profile;
+  profile.column = action.group_column();
+  for (const auto& [key, acc] : groups) {
+    double agg = FinishAggregate(acc, action.agg_func());
+    IDA_RETURN_NOT_OK(builder.AppendRow({key, Value(agg)}));
+    profile.labels.push_back(key.ToString());
+    profile.values.push_back(agg);
+    profile.group_sizes.push_back(acc.count);
+  }
+  IDA_ASSIGN_OR_RETURN(auto result, builder.Finish());
+  return std::make_shared<Display>(DisplayKind::kAggregated, std::move(result),
+                                   std::move(profile), parent.dataset_size());
+}
+
+}  // namespace ida

@@ -1,0 +1,40 @@
+// Executes analysis actions against displays, materializing result
+// displays. This is the library's stand-in for the REACT-UI execution
+// engine (see DESIGN.md Sec 2).
+#pragma once
+
+#include <memory>
+
+#include "actions/action.h"
+#include "actions/display.h"
+#include "common/status.h"
+
+namespace ida {
+
+/// Stateless action execution engine.
+class ActionExecutor {
+ public:
+  /// Executes `action` on `parent`. BACK is a session-level operation and
+  /// yields InvalidArgument here. Errors: unknown columns, type-mismatched
+  /// predicates, aggregates over non-numeric columns.
+  ///
+  /// `dataset_size` (O in the paper's notation) is propagated into the
+  /// resulting display for conciseness measures.
+  Result<DisplayPtr> Execute(const Action& action, const Display& parent) const;
+
+  /// Evaluates a single predicate against row `row` of `table`.
+  /// Null cells never satisfy a predicate. Comparisons between a numeric
+  /// cell and a numeric operand compare numerically; otherwise the cell and
+  /// operand must have comparable types (string vs string) or the
+  /// predicate is unsatisfied.
+  static bool EvalPredicate(const Predicate& pred, const DataTable& table,
+                            int col_index, size_t row);
+
+ private:
+  Result<DisplayPtr> ExecuteFilter(const Action& action,
+                                   const Display& parent) const;
+  Result<DisplayPtr> ExecuteGroupBy(const Action& action,
+                                    const Display& parent) const;
+};
+
+}  // namespace ida

@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ida {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  if (weights.empty()) return 0;
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) {
+    return static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(weights.size()) - 1));
+  }
+  double r = UniformReal(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += std::max(0.0, weights[i]);
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  std::vector<double> weights(n);
+  for (size_t r = 0; r < n; ++r) {
+    weights[r] = 1.0 / std::pow(static_cast<double>(r + 1), s);
+  }
+  return Categorical(weights);
+}
+
+}  // namespace ida

@@ -1,0 +1,150 @@
+// Status / Result<T> error model, following the Arrow / RocksDB idiom:
+// fallible library operations return a Status (or a Result<T> carrying a
+// value), never throw across library boundaries.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <type_traits>
+#include <string>
+#include <utility>
+
+namespace ida {
+
+/// Coarse error taxonomy for library failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is empty in the OK case).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status.
+///
+/// Accessors assert in debug builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (or anything convertible to one): success.
+  template <typename U = T,
+            typename = std::enable_if_t<
+                std::is_convertible_v<U&&, T> &&
+                !std::is_same_v<std::decay_t<U>, Result> &&
+                !std::is_same_v<std::decay_t<U>, Status>>>
+  Result(U&& value) : value_(std::forward<U>(value)) {}  // NOLINT
+  /// Implicit from a non-OK status: failure. Constructing from an OK status
+  /// is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ida
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define IDA_RETURN_NOT_OK(expr)               \
+  do {                                        \
+    ::ida::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// binds the value to `lhs`.
+#define IDA_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto IDA_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!IDA_CONCAT_(_res_, __LINE__).ok())     \
+    return IDA_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(IDA_CONCAT_(_res_, __LINE__)).value()
+
+#define IDA_CONCAT_INNER_(a, b) a##b
+#define IDA_CONCAT_(a, b) IDA_CONCAT_INNER_(a, b)

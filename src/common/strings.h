@@ -1,0 +1,33 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ida {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Formats a double with `precision` significant fraction digits, trimming
+/// trailing zeros ("1.25", "3", "0.07").
+std::string FormatDouble(double v, int precision = 6);
+
+/// Escapes a CSV field (quotes it when it contains comma/quote/newline).
+std::string CsvEscape(std::string_view field);
+
+}  // namespace ida

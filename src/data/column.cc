@@ -1,0 +1,239 @@
+#include "data/column.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace ida {
+
+namespace {
+size_t CountNulls(const std::vector<bool>& validity) {
+  size_t n = 0;
+  for (bool b : validity) n += b ? 0 : 1;
+  return n;
+}
+}  // namespace
+
+Column::Column(std::string name, IntData data, std::vector<bool> validity)
+    : name_(std::move(name)),
+      type_(ValueType::kInt),
+      size_(data.size()),
+      data_(std::move(data)),
+      validity_(std::move(validity)) {
+  null_count_ = CountNulls(validity_);
+}
+
+Column::Column(std::string name, DoubleData data, std::vector<bool> validity)
+    : name_(std::move(name)),
+      type_(ValueType::kDouble),
+      size_(data.size()),
+      data_(std::move(data)),
+      validity_(std::move(validity)) {
+  null_count_ = CountNulls(validity_);
+}
+
+Column::Column(std::string name, StringData data, std::vector<bool> validity)
+    : name_(std::move(name)),
+      type_(ValueType::kString),
+      size_(data.size()),
+      data_(std::move(data)),
+      validity_(std::move(validity)) {
+  null_count_ = CountNulls(validity_);
+}
+
+Value Column::GetValue(size_t i) const {
+  if (!IsValid(i)) return Value::Null();
+  switch (type_) {
+    case ValueType::kInt:
+      return Value(ints()[i]);
+    case ValueType::kDouble:
+      return Value(doubles()[i]);
+    case ValueType::kString:
+      return Value(strings()[i]);
+    default:
+      return Value::Null();
+  }
+}
+
+double Column::GetNumeric(size_t i) const {
+  if (!IsValid(i)) return std::numeric_limits<double>::quiet_NaN();
+  switch (type_) {
+    case ValueType::kInt:
+      return static_cast<double>(ints()[i]);
+    case ValueType::kDouble:
+      return doubles()[i];
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+std::shared_ptr<Column> Column::Take(
+    const std::vector<uint32_t>& selection) const {
+  std::vector<bool> validity;
+  if (!validity_.empty()) {
+    validity.reserve(selection.size());
+    for (uint32_t i : selection) validity.push_back(validity_[i]);
+  }
+  switch (type_) {
+    case ValueType::kInt: {
+      IntData out;
+      out.reserve(selection.size());
+      for (uint32_t i : selection) out.push_back(ints()[i]);
+      return std::make_shared<Column>(name_, std::move(out),
+                                      std::move(validity));
+    }
+    case ValueType::kDouble: {
+      DoubleData out;
+      out.reserve(selection.size());
+      for (uint32_t i : selection) out.push_back(doubles()[i]);
+      return std::make_shared<Column>(name_, std::move(out),
+                                      std::move(validity));
+    }
+    default: {
+      StringData out;
+      out.reserve(selection.size());
+      for (uint32_t i : selection) out.push_back(strings()[i]);
+      return std::make_shared<Column>(name_, std::move(out),
+                                      std::move(validity));
+    }
+  }
+}
+
+size_t Column::CountDistinct() const {
+  switch (type_) {
+    case ValueType::kInt: {
+      std::unordered_set<int64_t> s;
+      for (size_t i = 0; i < size_; ++i)
+        if (IsValid(i)) s.insert(ints()[i]);
+      return s.size();
+    }
+    case ValueType::kDouble: {
+      std::unordered_set<double> s;
+      for (size_t i = 0; i < size_; ++i)
+        if (IsValid(i)) s.insert(doubles()[i]);
+      return s.size();
+    }
+    default: {
+      std::unordered_set<std::string> s;
+      for (size_t i = 0; i < size_; ++i)
+        if (IsValid(i)) s.insert(strings()[i]);
+      return s.size();
+    }
+  }
+}
+
+Status ColumnBuilder::Append(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      AppendNull();
+      return Status::OK();
+    case ValueType::kInt:
+      if (type_ == ValueType::kString) {
+        return Status::InvalidArgument("int appended to string column '" +
+                                       name_ + "'");
+      }
+      AppendInt(v.as_int());
+      return Status::OK();
+    case ValueType::kDouble:
+      if (type_ == ValueType::kString) {
+        return Status::InvalidArgument("double appended to string column '" +
+                                       name_ + "'");
+      }
+      AppendDouble(v.as_double());
+      return Status::OK();
+    case ValueType::kString:
+      if (type_ == ValueType::kInt || type_ == ValueType::kDouble) {
+        return Status::InvalidArgument("string appended to numeric column '" +
+                                       name_ + "'");
+      }
+      AppendString(v.as_string());
+      return Status::OK();
+  }
+  return Status::Internal("unreachable value type");
+}
+
+void ColumnBuilder::AppendNull() {
+  validity_.push_back(false);
+  switch (type_) {
+    case ValueType::kInt:
+      ints_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      strings_.emplace_back();
+      break;
+    case ValueType::kNull:
+      // Type still undecided; backfill happens in Finish()/first append.
+      break;
+  }
+}
+
+void ColumnBuilder::AppendInt(int64_t v) {
+  if (type_ == ValueType::kNull) {
+    type_ = ValueType::kInt;
+    ints_.assign(validity_.size(), 0);  // backfill leading nulls
+  }
+  if (type_ == ValueType::kDouble) {
+    doubles_.push_back(static_cast<double>(v));
+  } else {
+    ints_.push_back(v);
+  }
+  validity_.push_back(true);
+}
+
+void ColumnBuilder::AppendDouble(double v) {
+  if (type_ == ValueType::kNull) {
+    type_ = ValueType::kDouble;
+    doubles_.assign(validity_.size(), 0.0);
+  } else if (type_ == ValueType::kInt) {
+    PromoteToDouble();
+  }
+  doubles_.push_back(v);
+  validity_.push_back(true);
+}
+
+void ColumnBuilder::AppendString(std::string v) {
+  if (type_ == ValueType::kNull) {
+    type_ = ValueType::kString;
+    strings_.assign(validity_.size(), std::string());
+  }
+  strings_.push_back(std::move(v));
+  validity_.push_back(true);
+}
+
+void ColumnBuilder::PromoteToDouble() {
+  doubles_.clear();
+  doubles_.reserve(ints_.size());
+  for (int64_t x : ints_) doubles_.push_back(static_cast<double>(x));
+  ints_.clear();
+  type_ = ValueType::kDouble;
+}
+
+Result<std::shared_ptr<Column>> ColumnBuilder::Finish() {
+  bool all_valid =
+      std::all_of(validity_.begin(), validity_.end(), [](bool b) { return b; });
+  std::vector<bool> validity = all_valid ? std::vector<bool>{} : validity_;
+  switch (type_) {
+    case ValueType::kInt:
+      return std::make_shared<Column>(name_, std::move(ints_),
+                                      std::move(validity));
+    case ValueType::kDouble:
+      return std::make_shared<Column>(name_, std::move(doubles_),
+                                      std::move(validity));
+    case ValueType::kString:
+      return std::make_shared<Column>(name_, std::move(strings_),
+                                      std::move(validity));
+    case ValueType::kNull: {
+      // All-null column: represent as string column of nulls.
+      Column::StringData data(validity_.size());
+      return std::make_shared<Column>(name_, std::move(data),
+                                      std::move(validity));
+    }
+  }
+  return Status::Internal("unreachable column type");
+}
+
+}  // namespace ida

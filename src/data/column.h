@@ -1,0 +1,92 @@
+// Typed column storage: each column carries one ValueType and a contiguous
+// typed vector plus a validity (null) mask. Columns are immutable once
+// handed to a DataTable; construction goes through ColumnBuilder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace ida {
+
+/// Immutable typed column.
+class Column {
+ public:
+  using IntData = std::vector<int64_t>;
+  using DoubleData = std::vector<double>;
+  using StringData = std::vector<std::string>;
+
+  Column(std::string name, IntData data, std::vector<bool> validity);
+  Column(std::string name, DoubleData data, std::vector<bool> validity);
+  Column(std::string name, StringData data, std::vector<bool> validity);
+
+  const std::string& name() const { return name_; }
+  ValueType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  /// True if row `i` holds a non-null value.
+  bool IsValid(size_t i) const { return validity_.empty() || validity_[i]; }
+  size_t null_count() const { return null_count_; }
+
+  /// Boxed cell value (null Value when invalid).
+  Value GetValue(size_t i) const;
+
+  /// Numeric view of row i (NaN for null or string cells).
+  double GetNumeric(size_t i) const;
+
+  /// Typed accessors; caller must match type(). Undefined otherwise.
+  const IntData& ints() const { return std::get<IntData>(data_); }
+  const DoubleData& doubles() const { return std::get<DoubleData>(data_); }
+  const StringData& strings() const { return std::get<StringData>(data_); }
+
+  /// Materializes a new column holding the rows in `selection` (indices
+  /// into this column, in order).
+  std::shared_ptr<Column> Take(const std::vector<uint32_t>& selection) const;
+
+  /// Number of distinct non-null values.
+  size_t CountDistinct() const;
+
+ private:
+  std::string name_;
+  ValueType type_;
+  size_t size_;
+  std::variant<IntData, DoubleData, StringData> data_;
+  std::vector<bool> validity_;  // empty == all valid
+  size_t null_count_ = 0;
+};
+
+/// Incremental, dynamically typed column builder. The column type is fixed
+/// by the first non-null appended value; later values must match (ints are
+/// promoted to double if a double arrives while all prior ints fit).
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(std::string name) : name_(std::move(name)) {}
+
+  Status Append(const Value& v);
+  void AppendNull();
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+
+  size_t size() const { return validity_.size(); }
+
+  /// Finalizes the column. An all-null column becomes a string column.
+  Result<std::shared_ptr<Column>> Finish();
+
+ private:
+  void PromoteToDouble();
+
+  std::string name_;
+  ValueType type_ = ValueType::kNull;
+  Column::IntData ints_;
+  Column::DoubleData doubles_;
+  Column::StringData strings_;
+  std::vector<bool> validity_;
+};
+
+}  // namespace ida

@@ -1,0 +1,148 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ida {
+
+namespace {
+
+// Splits one CSV record honoring double-quote escaping. Returns false when
+// the record ends inside quotes (malformed input).
+bool ParseRecord(const std::string& line, char delim,
+                 std::vector<std::string>* fields) {
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields->push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields->push_back(std::move(cur));
+  return !in_quotes;
+}
+
+// Parses a field into the most specific Value: int, double, or string.
+Value ParseField(const std::string& field) {
+  if (field.empty()) return Value::Null();
+  const char* s = field.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long long iv = std::strtoll(s, &end, 10);
+  if (errno == 0 && end && *end == '\0') {
+    return Value(static_cast<int64_t>(iv));
+  }
+  errno = 0;
+  double dv = std::strtod(s, &end);
+  if (errno == 0 && end && *end == '\0' && end != s) {
+    return Value(dv);
+  }
+  return Value(field);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const DataTable>> ReadCsvString(
+    const std::string& text, const CsvOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> fields;
+  std::unique_ptr<TableBuilder> builder;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!ParseRecord(line, options.delimiter, &fields)) {
+      return Status::InvalidArgument("unterminated quote at line " +
+                                     std::to_string(line_no));
+    }
+    if (!builder) {
+      std::vector<std::string> names;
+      if (options.has_header) {
+        names = fields;
+        builder = std::make_unique<TableBuilder>(names);
+        continue;
+      }
+      for (size_t i = 0; i < fields.size(); ++i) {
+        names.push_back("c" + std::to_string(i));
+      }
+      builder = std::make_unique<TableBuilder>(names);
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) row.push_back(ParseField(f));
+    IDA_RETURN_NOT_OK(builder->AppendRow(row));
+  }
+  if (!builder) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  return builder->Finish();
+}
+
+Result<std::shared_ptr<const DataTable>> ReadCsvFile(
+    const std::string& path, const CsvOptions& options) {
+  std::ifstream f(path);
+  if (!f) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+std::string WriteCsvString(const DataTable& table, char delimiter) {
+  std::ostringstream os;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c) os << delimiter;
+    os << CsvEscape(schema.field(c).name);
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) os << delimiter;
+      Value v = table.GetValue(r, c);
+      if (!v.is_null()) os << CsvEscape(v.ToString());
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const DataTable& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream f(path);
+  if (!f) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  f << WriteCsvString(table, delimiter);
+  if (!f) {
+    return Status::IoError("write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace ida

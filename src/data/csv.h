@@ -1,0 +1,38 @@
+// Minimal CSV reader/writer with type inference, for loading network-log
+// datasets from disk and persisting synthesized ones.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace ida {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true, the first record supplies column names; otherwise columns
+  /// are named c0, c1, ...
+  bool has_header = true;
+};
+
+/// Parses CSV text into a table. Fields that parse as integers become int
+/// columns, as reals become double columns, otherwise string. Empty fields
+/// become nulls.
+Result<std::shared_ptr<const DataTable>> ReadCsvString(
+    const std::string& text, const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<std::shared_ptr<const DataTable>> ReadCsvFile(
+    const std::string& path, const CsvOptions& options = {});
+
+/// Serializes a table to CSV text (always writes a header).
+std::string WriteCsvString(const DataTable& table, char delimiter = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const DataTable& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace ida

@@ -1,0 +1,110 @@
+#include "data/table.h"
+
+#include <sstream>
+
+namespace ida {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].name << ":" << ValueTypeName(fields_[i].type);
+  }
+  return os.str();
+}
+
+DataTable::DataTable(std::vector<std::shared_ptr<Column>> columns)
+    : columns_(std::move(columns)) {
+  std::vector<Field> fields;
+  fields.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    fields.push_back({c->name(), c->type()});
+  }
+  schema_ = Schema(std::move(fields));
+  num_rows_ = columns_.empty() ? 0 : columns_[0]->size();
+}
+
+Result<std::shared_ptr<const DataTable>> DataTable::Make(
+    std::vector<std::shared_ptr<Column>> columns) {
+  for (size_t i = 1; i < columns.size(); ++i) {
+    if (columns[i]->size() != columns[0]->size()) {
+      return Status::InvalidArgument(
+          "column length mismatch: '" + columns[i]->name() + "' has " +
+          std::to_string(columns[i]->size()) + " rows, expected " +
+          std::to_string(columns[0]->size()));
+    }
+  }
+  return std::shared_ptr<const DataTable>(new DataTable(std::move(columns)));
+}
+
+std::shared_ptr<Column> DataTable::ColumnByName(const std::string& name) const {
+  int idx = schema_.FieldIndex(name);
+  if (idx < 0) return nullptr;
+  return columns_[static_cast<size_t>(idx)];
+}
+
+std::shared_ptr<const DataTable> DataTable::Take(
+    const std::vector<uint32_t>& selection) const {
+  std::vector<std::shared_ptr<Column>> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) cols.push_back(c->Take(selection));
+  return std::shared_ptr<const DataTable>(new DataTable(std::move(cols)));
+}
+
+std::string DataTable::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << " | ";
+    os << columns_[c]->name();
+  }
+  os << "\n";
+  size_t shown = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << " | ";
+      os << columns_[c]->GetValue(r).ToString();
+    }
+    os << "\n";
+  }
+  if (shown < num_rows_) {
+    os << "... (" << num_rows_ - shown << " more rows)\n";
+  }
+  return os.str();
+}
+
+TableBuilder::TableBuilder(const std::vector<std::string>& column_names) {
+  builders_.reserve(column_names.size());
+  for (const auto& n : column_names) builders_.emplace_back(n);
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != builders_.size()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) + " != table width " +
+        std::to_string(builders_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    IDA_RETURN_NOT_OK(builders_[i].Append(row[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const DataTable>> TableBuilder::Finish() {
+  std::vector<std::shared_ptr<Column>> cols;
+  cols.reserve(builders_.size());
+  for (auto& b : builders_) {
+    IDA_ASSIGN_OR_RETURN(auto col, b.Finish());
+    cols.push_back(std::move(col));
+  }
+  return DataTable::Make(std::move(cols));
+}
+
+}  // namespace ida

@@ -1,0 +1,96 @@
+// DataTable: an immutable, shared, column-oriented table. Displays hold
+// shared_ptr<const DataTable>; filters materialize new tables via Take.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/column.h"
+#include "data/value.h"
+
+namespace ida {
+
+/// A named, typed column slot in a schema.
+struct Field {
+  std::string name;
+  ValueType type;
+};
+
+/// Ordered list of fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name) >= 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// Immutable columnar table.
+class DataTable {
+ public:
+  /// All columns must have equal length. Builders normally construct this
+  /// through TableBuilder or DataTable::Make.
+  static Result<std::shared_ptr<const DataTable>> Make(
+      std::vector<std::shared_ptr<Column>> columns);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Schema& schema() const { return schema_; }
+
+  const std::shared_ptr<Column>& column(size_t i) const { return columns_[i]; }
+  /// Column by name; nullptr if absent.
+  std::shared_ptr<Column> ColumnByName(const std::string& name) const;
+
+  /// Cell accessor.
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col]->GetValue(row);
+  }
+
+  /// Materializes the given rows (in order) into a new table.
+  std::shared_ptr<const DataTable> Take(
+      const std::vector<uint32_t>& selection) const;
+
+  /// Pretty-prints up to `max_rows` rows (for examples and debugging).
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  explicit DataTable(std::vector<std::shared_ptr<Column>> columns);
+
+  Schema schema_;
+  std::vector<std::shared_ptr<Column>> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Row-at-a-time table builder over a fixed set of column names.
+class TableBuilder {
+ public:
+  explicit TableBuilder(const std::vector<std::string>& column_names);
+
+  /// Appends one row; `row.size()` must equal the number of columns.
+  Status AppendRow(const std::vector<Value>& row);
+
+  size_t num_rows() const { return num_rows_; }
+
+  Result<std::shared_ptr<const DataTable>> Finish();
+
+ private:
+  std::vector<ColumnBuilder> builders_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace ida

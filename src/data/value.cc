@@ -1,0 +1,89 @@
+#include "data/value.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace ida {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+double Value::ToNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(as_int());
+    case ValueType::kDouble:
+      return as_double();
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "∅";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble:
+      return FormatDouble(as_double());
+    case ValueType::kString:
+      return as_string();
+  }
+  return "";
+}
+
+bool Value::operator<(const Value& other) const {
+  ValueType a = type(), b = other.type();
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b);
+  if (a == ValueType::kNull) return false;  // null == null
+  if (rank(a) == 1) {
+    double x = ToNumeric(), y = other.ToNumeric();
+    if (x != y) return x < y;
+    // Tie between numerically equal int/double: int sorts first.
+    return a == ValueType::kInt && b == ValueType::kDouble;
+  }
+  return as_string() < other.as_string();
+}
+
+size_t ValueHash::operator()(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      return std::hash<int64_t>()(v.as_int());
+    case ValueType::kDouble:
+      return std::hash<double>()(v.as_double());
+    case ValueType::kString:
+      return std::hash<std::string>()(v.as_string());
+  }
+  return 0;
+}
+
+}  // namespace ida

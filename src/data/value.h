@@ -1,0 +1,62 @@
+// A dynamically typed cell value: null, 64-bit integer, double, or string.
+// The analysis engine is schema-typed (columns carry one ValueType), but
+// values cross module boundaries (predicates, group keys, display cells) in
+// this uniform representation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace ida {
+
+/// Type tag of a Value / Column.
+enum class ValueType { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+/// Returns "null" / "int" / "double" / "string".
+const char* ValueTypeName(ValueType t);
+
+/// A single dynamically typed cell.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t v) : v_(v) {}                 // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                  // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(v_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: ints widen to double; null and string yield NaN.
+  double ToNumeric() const;
+
+  /// Human-readable rendering; null renders as "∅".
+  std::string ToString() const;
+
+  /// Structural equality (type + payload). Int 3 != Double 3.0.
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for sorting/grouping: null < int/double (by numeric value,
+  /// int before double on ties) < string (lexicographic).
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// Hash functor so Values can key unordered containers (group-by).
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+}  // namespace ida

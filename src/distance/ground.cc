@@ -1,0 +1,116 @@
+#include "distance/ground.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace ida {
+
+namespace {
+
+double PredicateSimilarity(const Predicate& a, const Predicate& b) {
+  double s = 0.0;
+  if (a.column == b.column) s += 0.5;
+  if (a.op == b.op) s += 0.25;
+  if (a.operand == b.operand) s += 0.25;
+  return s;
+}
+
+double FilterDistance(const Action& a, const Action& b) {
+  const auto& pa = a.predicates();
+  const auto& pb = b.predicates();
+  if (pa.empty() && pb.empty()) return 0.0;
+  // Greedy best-match of predicates (sets are tiny).
+  std::vector<bool> used(pb.size(), false);
+  double total_sim = 0.0;
+  for (const Predicate& p : pa) {
+    double best = 0.0;
+    int best_j = -1;
+    for (size_t j = 0; j < pb.size(); ++j) {
+      if (used[j]) continue;
+      double s = PredicateSimilarity(p, pb[j]);
+      if (s > best) {
+        best = s;
+        best_j = static_cast<int>(j);
+      }
+    }
+    if (best_j >= 0) used[static_cast<size_t>(best_j)] = true;
+    total_sim += best;
+  }
+  double denom = static_cast<double>(std::max(pa.size(), pb.size()));
+  return 1.0 - total_sim / denom;
+}
+
+double GroupByDistance(const Action& a, const Action& b) {
+  double s = 0.0;
+  if (a.group_column() == b.group_column()) s += 0.5;
+  if (a.agg_func() == b.agg_func()) s += 0.3;
+  if (a.agg_column() == b.agg_column()) s += 0.2;
+  return 1.0 - s;
+}
+
+}  // namespace
+
+double ActionSyntaxDistance(const Action& a, const Action& b) {
+  if (a.type() != b.type()) return 1.0;
+  switch (a.type()) {
+    case ActionType::kFilter:
+      return FilterDistance(a, b);
+    case ActionType::kGroupBy:
+      return GroupByDistance(a, b);
+    case ActionType::kBack:
+      return 0.0;
+  }
+  return 1.0;
+}
+
+double ActionDistance(const std::optional<Action>& a,
+                      const std::optional<Action>& b) {
+  if (!a.has_value() && !b.has_value()) return 0.0;
+  if (a.has_value() != b.has_value()) return 1.0;
+  return ActionSyntaxDistance(*a, *b);
+}
+
+double DisplayContentDistance(const Display& a, const Display& b) {
+  double d = 0.0;
+  if (a.kind() != b.kind()) d += 0.2;
+  const InterestProfile& pa = a.profile();
+  const InterestProfile& pb = b.profile();
+  if (pa.column != pb.column) d += 0.2;
+
+  // Label-aligned profile distributions; JSD in bits is bounded by 1.
+  std::map<std::string, std::pair<double, double>> aligned;
+  std::vector<double> prob_a = pa.Probabilities();
+  std::vector<double> prob_b = pb.Probabilities();
+  for (size_t j = 0; j < pa.labels.size(); ++j) {
+    aligned[pa.labels[j]].first = prob_a[j];
+  }
+  for (size_t j = 0; j < pb.labels.size(); ++j) {
+    aligned[pb.labels[j]].second = prob_b[j];
+  }
+  if (!aligned.empty()) {
+    std::vector<double> va, vb, mix;
+    va.reserve(aligned.size());
+    vb.reserve(aligned.size());
+    mix.reserve(aligned.size());
+    for (const auto& [label, pq] : aligned) {
+      va.push_back(pq.first);
+      vb.push_back(pq.second);
+      mix.push_back((pq.first + pq.second) / 2.0);
+    }
+    double jsd = ShannonEntropy(mix) -
+                 (ShannonEntropy(va) + ShannonEntropy(vb)) / 2.0;
+    d += 0.4 * std::clamp(jsd, 0.0, 1.0);
+  }
+
+  double la = std::log2(static_cast<double>(a.num_rows()) + 1.0);
+  double lb = std::log2(static_cast<double>(b.num_rows()) + 1.0);
+  constexpr double kSizeCap = 12.0;  // ~4k rows
+  d += 0.2 * std::min(std::fabs(la - lb), kSizeCap) / kSizeCap;
+  return std::clamp(d, 0.0, 1.0);
+}
+
+}  // namespace ida

@@ -1,0 +1,34 @@
+// Ground metrics for the session distance (paper Sec 4.2, after [25]):
+// "the cost of an alter operation is proportional to the similarity between
+// the data displays and analysis actions. The latter is determined by two
+// ground metrics: the first considers differences in the actions' syntax
+// and the second measures the differences in the content of the compared
+// displays."
+#pragma once
+
+#include <optional>
+
+#include "actions/action.h"
+#include "actions/display.h"
+
+namespace ida {
+
+/// Syntactic distance between two actions in [0, 1]. Different action
+/// types are maximally distant. Same-type actions compare their syntax:
+/// filters by best-matching predicates (column 0.5, operator 0.25,
+/// operand 0.25 each), group-bys by group column (0.5), aggregate function
+/// (0.3) and aggregate column (0.2).
+double ActionSyntaxDistance(const Action& a, const Action& b);
+
+/// Distance between optional incoming actions: 0 when both absent, 1 when
+/// exactly one is absent, ActionSyntaxDistance otherwise.
+double ActionDistance(const std::optional<Action>& a,
+                      const std::optional<Action>& b);
+
+/// Content distance between two displays in [0, 1], combining display kind
+/// (weight 0.2), profile column (0.2), Jensen-Shannon divergence between
+/// the label-aligned profile distributions (0.4), and log-scale size
+/// difference (0.2).
+double DisplayContentDistance(const Display& a, const Display& b);
+
+}  // namespace ida

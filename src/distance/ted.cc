@@ -1,0 +1,170 @@
+#include "distance/ted.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "distance/ground.h"
+
+namespace ida {
+
+namespace {
+
+// Postorder flattening of an NContext for Zhang–Shasha: for each postorder
+// position i, node_at[i] is the context node index and leftmost[i] the
+// postorder position of the leftmost leaf descendant of i.
+struct FlatTree {
+  std::vector<int> node_at;
+  std::vector<int> leftmost;
+  std::vector<int> keyroots;
+
+  size_t size() const { return node_at.size(); }
+};
+
+int FlattenVisit(const NContext& ctx, int node, FlatTree* out) {
+  const NContextNode& n = ctx.node(node);
+  int leftmost_pos = -1;
+  for (int child : n.children) {
+    int child_leftmost = FlattenVisit(ctx, child, out);
+    if (leftmost_pos < 0) leftmost_pos = child_leftmost;
+  }
+  int my_pos = static_cast<int>(out->node_at.size());
+  if (leftmost_pos < 0) leftmost_pos = my_pos;  // leaf
+  out->node_at.push_back(node);
+  out->leftmost.push_back(leftmost_pos);
+  return leftmost_pos;
+}
+
+FlatTree Flatten(const NContext& ctx) {
+  FlatTree t;
+  if (ctx.empty()) return t;
+  FlattenVisit(ctx, ctx.root(), &t);
+  // Keyroots: positions with no left sibling in the postorder sense, i.e.
+  // each position that is the highest node with its leftmost-leaf value.
+  std::vector<bool> seen(t.size(), false);
+  for (int i = static_cast<int>(t.size()) - 1; i >= 0; --i) {
+    int l = t.leftmost[static_cast<size_t>(i)];
+    if (!seen[static_cast<size_t>(l)]) {
+      seen[static_cast<size_t>(l)] = true;
+      t.keyroots.push_back(i);
+    }
+  }
+  std::sort(t.keyroots.begin(), t.keyroots.end());
+  return t;
+}
+
+}  // namespace
+
+double SessionDistance::TreeEditDistance(const NContext& a,
+                                         const NContext& b) const {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty()) return options_.indel_cost * static_cast<double>(b.nodes().size());
+  if (b.empty()) return options_.indel_cost * static_cast<double>(a.nodes().size());
+
+  const FlatTree ta = Flatten(a);
+  const FlatTree tb = Flatten(b);
+  const size_t n = ta.size();
+  const size_t m = tb.size();
+  const double kIndel = options_.indel_cost;
+  const double dw = options_.display_weight;
+
+  auto alter_cost = [&](int pa, int pb) {
+    const NContextNode& na = a.node(ta.node_at[static_cast<size_t>(pa)]);
+    const NContextNode& nb = b.node(tb.node_at[static_cast<size_t>(pb)]);
+    double dd = CachedDisplayDistance(na.display.get(), nb.display.get());
+    double da = ActionDistance(na.incoming, nb.incoming);
+    return dw * dd + (1.0 - dw) * da;
+  };
+
+  std::vector<std::vector<double>> treedist(
+      n, std::vector<double>(m, 0.0));
+  // Forest-distance scratch, sized generously once.
+  std::vector<std::vector<double>> fd(n + 1, std::vector<double>(m + 1, 0.0));
+
+  for (int ki : ta.keyroots) {
+    for (int kj : tb.keyroots) {
+      int li = ta.leftmost[static_cast<size_t>(ki)];
+      int lj = tb.leftmost[static_cast<size_t>(kj)];
+      int ni = ki - li + 2;  // forest rows: positions li..ki plus empty
+      int nj = kj - lj + 2;
+      fd[0][0] = 0.0;
+      for (int i = 1; i < ni; ++i) {
+        fd[static_cast<size_t>(i)][0] =
+            fd[static_cast<size_t>(i - 1)][0] + kIndel;
+      }
+      for (int j = 1; j < nj; ++j) {
+        fd[0][static_cast<size_t>(j)] =
+            fd[0][static_cast<size_t>(j - 1)] + kIndel;
+      }
+      for (int i = 1; i < ni; ++i) {
+        int pi = li + i - 1;  // postorder position in a
+        for (int j = 1; j < nj; ++j) {
+          int pj = lj + j - 1;
+          bool both_subtrees =
+              ta.leftmost[static_cast<size_t>(pi)] == li &&
+              tb.leftmost[static_cast<size_t>(pj)] == lj;
+          double del = fd[static_cast<size_t>(i - 1)][static_cast<size_t>(j)] +
+                       kIndel;
+          double ins = fd[static_cast<size_t>(i)][static_cast<size_t>(j - 1)] +
+                       kIndel;
+          if (both_subtrees) {
+            double alt =
+                fd[static_cast<size_t>(i - 1)][static_cast<size_t>(j - 1)] +
+                alter_cost(pi, pj);
+            double best = std::min({del, ins, alt});
+            fd[static_cast<size_t>(i)][static_cast<size_t>(j)] = best;
+            treedist[static_cast<size_t>(pi)][static_cast<size_t>(pj)] = best;
+          } else {
+            int fi = ta.leftmost[static_cast<size_t>(pi)] - li;
+            int fj = tb.leftmost[static_cast<size_t>(pj)] - lj;
+            double sub =
+                fd[static_cast<size_t>(fi)][static_cast<size_t>(fj)] +
+                treedist[static_cast<size_t>(pi)][static_cast<size_t>(pj)];
+            fd[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+                std::min({del, ins, sub});
+          }
+        }
+      }
+    }
+  }
+  return treedist[n - 1][m - 1];
+}
+
+double SessionDistance::CachedDisplayDistance(const Display* a,
+                                              const Display* b) const {
+  if (a == b) return 0.0;
+  const Display* lo = a < b ? a : b;
+  const Display* hi = a < b ? b : a;
+  // Pointer-pair key; displays are kept alive by the contexts being
+  // compared, so pointer identity is stable for the metric's lifetime
+  // within a training/evaluation pass.
+  uint64_t key = (reinterpret_cast<uint64_t>(lo) * 0x9E3779B97F4A7C15ULL) ^
+                 reinterpret_cast<uint64_t>(hi);
+  auto it = display_cache_.find(key);
+  if (it != display_cache_.end()) return it->second;
+  double d = DisplayContentDistance(*a, *b);
+  display_cache_.emplace(key, d);
+  return d;
+}
+
+double SessionDistance::Distance(const NContext& a, const NContext& b) const {
+  size_t total = a.nodes().size() + b.nodes().size();
+  if (total == 0) return 0.0;
+  double ted = TreeEditDistance(a, b);
+  return ted / (options_.indel_cost * static_cast<double>(total));
+}
+
+std::vector<std::vector<double>> BuildDistanceMatrix(
+    const std::vector<NContext>& contexts, const SessionDistance& metric) {
+  size_t n = contexts.size();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double dist = metric.Distance(contexts[i], contexts[j]);
+      d[i][j] = dist;
+      d[j][i] = dist;
+    }
+  }
+  return d;
+}
+
+}  // namespace ida

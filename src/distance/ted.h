@@ -1,0 +1,60 @@
+// Ordered-tree edit distance between n-contexts (Zhang–Shasha algorithm),
+// the session distance metric of paper Sec 4.2 / [25]: unit cost for node
+// insert/delete, alter cost from the action and display ground metrics.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "session/ncontext.h"
+
+namespace ida {
+
+/// Cost model for the session tree edit distance.
+struct SessionDistanceOptions {
+  /// Cost of deleting or inserting one context node (with its edge).
+  double indel_cost = 1.0;
+  /// Relative weight of the display ground metric inside an alter cost
+  /// (the action metric gets 1 - display_weight). Alter cost is
+  /// display_weight * display_dist + (1 - display_weight) * action_dist,
+  /// and is therefore <= indel_cost by construction.
+  double display_weight = 0.5;
+};
+
+/// Session distance metric over n-contexts.
+///
+/// Instances memoize display-pair ground distances (displays are immutable
+/// and widely shared between overlapping n-contexts, and the display
+/// ground metric dominates the edit-distance cost). The cache makes
+/// instances non-thread-safe; use one instance per thread.
+class SessionDistance {
+ public:
+  explicit SessionDistance(SessionDistanceOptions options = {})
+      : options_(options) {}
+
+  /// Raw Zhang–Shasha tree edit distance (>= 0, unbounded).
+  double TreeEditDistance(const NContext& a, const NContext& b) const;
+
+  /// Normalized distance in [0, 1]: TED / (|a| + |b|) node counts (the
+  /// maximum possible TED under unit indel costs). Two empty contexts have
+  /// distance 0.
+  double Distance(const NContext& a, const NContext& b) const;
+
+  const SessionDistanceOptions& options() const { return options_; }
+
+  /// Number of memoized display pairs (introspection for tests).
+  size_t cache_size() const { return display_cache_.size(); }
+
+ private:
+  double CachedDisplayDistance(const Display* a, const Display* b) const;
+
+  SessionDistanceOptions options_;
+  mutable std::unordered_map<uint64_t, double> display_cache_;
+};
+
+/// Pairwise distance matrix over a set of contexts (symmetric, zero
+/// diagonal).
+std::vector<std::vector<double>> BuildDistanceMatrix(
+    const std::vector<NContext>& contexts, const SessionDistance& metric);
+
+}  // namespace ida

@@ -1,0 +1,126 @@
+#include "eval/loocv.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "predict/baselines.h"
+
+namespace ida {
+
+std::vector<size_t> AllIndices(size_t n) {
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  return idx;
+}
+
+std::vector<size_t> FilterByTheta(const std::vector<TrainingSample>& samples,
+                                  double theta) {
+  std::vector<size_t> idx;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].max_relative >= theta) idx.push_back(i);
+  }
+  return idx;
+}
+
+EvalMetrics EvaluateKnnLoocv(const std::vector<TrainingSample>& samples,
+                             const std::vector<std::vector<double>>& dist,
+                             const std::vector<size_t>& subset,
+                             const KnnOptions& options, int num_classes) {
+  MetricsAccumulator acc(num_classes);
+  // View of the training set restricted to `subset`.
+  std::vector<TrainingSample> train;
+  train.reserve(subset.size());
+  for (size_t i : subset) train.push_back(samples[i]);
+
+  std::vector<double> row(subset.size());
+  for (size_t qi = 0; qi < subset.size(); ++qi) {
+    for (size_t tj = 0; tj < subset.size(); ++tj) {
+      row[tj] = dist[subset[qi]][subset[tj]];
+    }
+    Prediction p = KnnVote(row, train, options, static_cast<int>(qi));
+    acc.Add(p, train[qi]);
+  }
+  return acc.Finish();
+}
+
+EvalMetrics EvaluateBestSmLoocv(const std::vector<TrainingSample>& samples,
+                                const std::vector<size_t>& subset,
+                                int num_classes) {
+  MetricsAccumulator acc(num_classes);
+  std::vector<TrainingSample> train;
+  train.reserve(subset.size());
+  for (size_t i : subset) train.push_back(samples[i]);
+  for (size_t qi = 0; qi < subset.size(); ++qi) {
+    BestSingleMeasure model(train, static_cast<int>(qi));
+    acc.Add(model.Predict(), train[qi]);
+  }
+  return acc.Finish();
+}
+
+EvalMetrics EvaluateRandom(const std::vector<TrainingSample>& samples,
+                           const std::vector<size_t>& subset, int num_classes,
+                           uint64_t seed) {
+  MetricsAccumulator acc(num_classes);
+  RandomClassifier model(num_classes, seed);
+  for (size_t i : subset) {
+    acc.Add(model.Predict(), samples[i]);
+  }
+  return acc.Finish();
+}
+
+EvalMetrics EvaluateSvmKfold(const std::vector<TrainingSample>& samples,
+                             const std::vector<std::vector<double>>& dist,
+                             const std::vector<size_t>& subset,
+                             const SvmOptions& options, int folds,
+                             int num_classes, double sigma) {
+  MetricsAccumulator acc(num_classes);
+  if (subset.size() < 2 || folds < 2) return acc.Finish();
+  size_t n = subset.size();
+  folds = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(folds), n));
+
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<size_t> train_idx, test_idx;  // positions within subset
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i % static_cast<size_t>(folds)) == fold) {
+        test_idx.push_back(i);
+      } else {
+        train_idx.push_back(i);
+      }
+    }
+    if (train_idx.empty() || test_idx.empty()) continue;
+
+    // Training distance matrix and kernel.
+    std::vector<std::vector<double>> train_dist(
+        train_idx.size(), std::vector<double>(train_idx.size()));
+    for (size_t a = 0; a < train_idx.size(); ++a) {
+      for (size_t b = 0; b < train_idx.size(); ++b) {
+        train_dist[a][b] = dist[subset[train_idx[a]]][subset[train_idx[b]]];
+      }
+    }
+    double fold_sigma = sigma > 0.0 ? sigma : MedianSigma(train_dist);
+    std::vector<std::vector<double>> kernel =
+        DistanceToKernel(train_dist, fold_sigma);
+    std::vector<int> labels;
+    labels.reserve(train_idx.size());
+    for (size_t a : train_idx) labels.push_back(samples[subset[a]].label);
+
+    MultiClassKernelSvm svm(options);
+    if (!svm.Train(kernel, labels).ok()) continue;
+
+    for (size_t t : test_idx) {
+      std::vector<double> drow(train_idx.size());
+      for (size_t a = 0; a < train_idx.size(); ++a) {
+        drow[a] = dist[subset[t]][subset[train_idx[a]]];
+      }
+      std::vector<double> krow = DistanceRowToKernelRow(drow, fold_sigma);
+      Prediction p;
+      p.label = svm.Predict(krow);
+      p.confidence = 1.0;
+      acc.Add(p, samples[subset[t]]);
+    }
+  }
+  return acc.Finish();
+}
+
+}  // namespace ida

@@ -1,0 +1,54 @@
+// Cross-validated evaluation harnesses (paper Sec 4.2): leave-one-out for
+// I-kNN / Best-SM / RANDOM, and k-fold for I-SVM (whose per-fold training
+// cost makes LOOCV impractical; the paper's I-SVM likewise reports
+// full-coverage aggregate numbers).
+//
+// All functions operate over a precomputed pairwise distance matrix and an
+// index subset, so hyper-parameter sweeps can reuse one matrix per
+// n-context size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "predict/knn.h"
+#include "predict/svm.h"
+
+namespace ida {
+
+/// All indices [0, n).
+std::vector<size_t> AllIndices(size_t n);
+
+/// Indices of samples with max_relative >= theta (the theta_I filter,
+/// applied on top of an unfiltered training set).
+std::vector<size_t> FilterByTheta(const std::vector<TrainingSample>& samples,
+                                  double theta);
+
+/// Leave-one-out evaluation of the kNN model over `subset`. `dist` is the
+/// full pairwise matrix over `samples`.
+EvalMetrics EvaluateKnnLoocv(const std::vector<TrainingSample>& samples,
+                             const std::vector<std::vector<double>>& dist,
+                             const std::vector<size_t>& subset,
+                             const KnnOptions& options, int num_classes);
+
+/// Leave-one-out evaluation of the Best-SM baseline.
+EvalMetrics EvaluateBestSmLoocv(const std::vector<TrainingSample>& samples,
+                                const std::vector<size_t>& subset,
+                                int num_classes);
+
+/// Evaluation of the RANDOM baseline (one uniform draw per sample).
+EvalMetrics EvaluateRandom(const std::vector<TrainingSample>& samples,
+                           const std::vector<size_t>& subset, int num_classes,
+                           uint64_t seed);
+
+/// k-fold evaluation of the distance-kernel SVM. Folds are assigned
+/// round-robin over the subset. `sigma` <= 0 selects the median heuristic
+/// on the training part of each fold's distances.
+EvalMetrics EvaluateSvmKfold(const std::vector<TrainingSample>& samples,
+                             const std::vector<std::vector<double>>& dist,
+                             const std::vector<size_t>& subset,
+                             const SvmOptions& options, int folds,
+                             int num_classes, double sigma = 0.0);
+
+}  // namespace ida

@@ -1,0 +1,92 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ida {
+
+std::string EvalMetrics::ToString() const {
+  std::ostringstream os;
+  os << "acc=" << FormatDouble(accuracy, 3)
+     << " macroP=" << FormatDouble(macro_precision, 3)
+     << " macroR=" << FormatDouble(macro_recall, 3)
+     << " macroF1=" << FormatDouble(macro_f1, 3)
+     << " coverage=" << FormatDouble(coverage, 3) << " (" << predicted << "/"
+     << total << ")";
+  return os.str();
+}
+
+void MetricsAccumulator::Add(const Prediction& prediction,
+                             const TrainingSample& truth) {
+  ++total_;
+  int truth_primary = truth.label;
+  if (truth_primary >= 0 &&
+      static_cast<size_t>(truth_primary) < truth_seen_.size()) {
+    // Recorded regardless of abstention: recall's denominator is the truth
+    // distribution over *covered* samples; see below.
+  }
+  if (!prediction.HasPrediction()) return;
+  ++predicted_;
+  int pred = prediction.label;
+  if (pred < 0 || static_cast<size_t>(pred) >= tp_.size()) return;
+  if (truth_primary >= 0 &&
+      static_cast<size_t>(truth_primary) < truth_seen_.size()) {
+    ++truth_seen_[static_cast<size_t>(truth_primary)];
+  }
+  bool correct = std::find(truth.labels.begin(), truth.labels.end(), pred) !=
+                 truth.labels.end();
+  if (correct) {
+    ++correct_;
+    ++tp_[static_cast<size_t>(pred)];
+  } else {
+    ++fp_[static_cast<size_t>(pred)];
+    if (truth_primary >= 0 &&
+        static_cast<size_t>(truth_primary) < fn_.size()) {
+      ++fn_[static_cast<size_t>(truth_primary)];
+    }
+  }
+}
+
+EvalMetrics MetricsAccumulator::Finish() const {
+  EvalMetrics m;
+  m.total = total_;
+  m.predicted = predicted_;
+  m.coverage = total_ > 0 ? static_cast<double>(predicted_) /
+                                static_cast<double>(total_)
+                          : 0.0;
+  m.accuracy = predicted_ > 0 ? static_cast<double>(correct_) /
+                                    static_cast<double>(predicted_)
+                              : 0.0;
+  double prec_sum = 0.0;
+  size_t prec_classes = 0;
+  double rec_sum = 0.0;
+  size_t rec_classes = 0;
+  for (size_t c = 0; c < tp_.size(); ++c) {
+    size_t predicted_c = tp_[c] + fp_[c];
+    if (predicted_c > 0) {
+      prec_sum += static_cast<double>(tp_[c]) /
+                  static_cast<double>(predicted_c);
+      ++prec_classes;
+    }
+    if (truth_seen_[c] > 0) {
+      size_t truth_c = tp_[c] + fn_[c];
+      rec_sum += truth_c > 0 ? static_cast<double>(tp_[c]) /
+                                   static_cast<double>(truth_c)
+                             : 0.0;
+      ++rec_classes;
+    }
+  }
+  m.macro_precision =
+      prec_classes > 0 ? prec_sum / static_cast<double>(prec_classes) : 0.0;
+  m.macro_recall =
+      rec_classes > 0 ? rec_sum / static_cast<double>(rec_classes) : 0.0;
+  m.macro_f1 = (m.macro_precision + m.macro_recall) > 0.0
+                   ? 2.0 * m.macro_precision * m.macro_recall /
+                         (m.macro_precision + m.macro_recall)
+                   : 0.0;
+  return m;
+}
+
+}  // namespace ida

@@ -1,0 +1,61 @@
+// Evaluation metrics for the multi-class prediction task (paper Sec 4.2):
+// accuracy, macro-averaged precision/recall/F1, and coverage rate.
+//
+// Semantics (inferred from the paper's reported numbers):
+//  * Coverage = predictions made / samples evaluated. Abstentions are
+//    excluded from the quality metrics (otherwise accuracy could never
+//    exceed coverage, contradicting Table 5).
+//  * A prediction is correct when it matches ANY of the sample's dominant
+//    labels (ties are all acceptable).
+//  * Macro-precision averages per-class precision over classes that were
+//    predicted at least once; macro-recall averages per-class recall over
+//    classes that occur in the truth at least once. (This reproduces
+//    Best-SM's macro-recall of exactly 1/|I| and macro-precision equal to
+//    its accuracy.)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "offline/training.h"
+#include "predict/knn.h"
+
+namespace ida {
+
+struct EvalMetrics {
+  double accuracy = 0.0;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+  double coverage = 0.0;
+  size_t predicted = 0;
+  size_t total = 0;
+
+  std::string ToString() const;
+};
+
+/// Streaming accumulator of (prediction, truth) pairs.
+class MetricsAccumulator {
+ public:
+  explicit MetricsAccumulator(int num_classes)
+      : tp_(static_cast<size_t>(num_classes), 0),
+        fp_(static_cast<size_t>(num_classes), 0),
+        fn_(static_cast<size_t>(num_classes), 0),
+        truth_seen_(static_cast<size_t>(num_classes), 0) {}
+
+  /// Records one evaluated sample. Abstentions (label < 0) count toward
+  /// total but not toward quality statistics.
+  void Add(const Prediction& prediction, const TrainingSample& truth);
+
+  EvalMetrics Finish() const;
+
+ private:
+  std::vector<size_t> tp_, fp_, fn_;
+  std::vector<size_t> truth_seen_;  ///< samples whose primary truth is c
+  size_t total_ = 0;
+  size_t predicted_ = 0;
+  size_t correct_ = 0;
+};
+
+}  // namespace ida

@@ -1,0 +1,33 @@
+#include "eval/skyline.h"
+
+#include <algorithm>
+
+namespace ida {
+
+std::vector<size_t> ParetoSkyline(
+    const std::vector<std::pair<double, double>>& points) {
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Sort by descending x, then descending y; sweep dropping any point
+  // strictly below the best y seen so far (that witness has x' >= x and
+  // y' > y, i.e. dominates it). Equal-y points do not dominate each other
+  // under the paper's definition, so both survive.
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (points[a].first != points[b].first) {
+      return points[a].first > points[b].first;
+    }
+    return points[a].second > points[b].second;
+  });
+  std::vector<size_t> skyline;
+  double best_y = -1e300;
+  for (size_t idx : order) {
+    if (points[idx].second >= best_y) {
+      skyline.push_back(idx);
+      best_y = points[idx].second;
+    }
+  }
+  std::reverse(skyline.begin(), skyline.end());  // ascending x
+  return skyline;
+}
+
+}  // namespace ida

@@ -1,0 +1,20 @@
+// Pareto skyline over (coverage, quality) configuration points (paper
+// Sec 4.2, Figure 4): a configuration with coverage x and accuracy y is
+// dominant if no other configuration has coverage >= x and strictly
+// higher accuracy.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ida {
+
+/// Returns the indices of skyline points among (x, y) pairs where both
+/// coordinates are maximized. A point is kept iff no other point has
+/// x' >= x and y' > y (the paper's dominance definition). The result is
+/// sorted by ascending x.
+std::vector<size_t> ParetoSkyline(
+    const std::vector<std::pair<double, double>>& points);
+
+}  // namespace ida

@@ -1,0 +1,45 @@
+// Conciseness measures (Table 1): consider the size of the display —
+// displays conveying thousands of rows are hard to interpret, hence less
+// interesting. These consume the display's on-screen row count and the
+// number of underlying tuples it covers (not the interest profile).
+#pragma once
+
+#include "measures/measure.h"
+
+namespace ida {
+
+/// Compaction Gain (after Chandola & Kumar [6]): |O| / m — the size of the
+/// original dataset divided by the number of on-screen elements (Table 1;
+/// "compares the size of the particular display to the number of tuples in
+/// the original dataset"). A two-group summary of a 150k-packet dataset
+/// scores ~75k; narrow filters also score high (few rows standing for a
+/// large dataset), full raw listings score ~1.
+class CompactionGainMeasure : public InterestingnessMeasure {
+ public:
+  const std::string& name() const override { return kName; }
+  MeasureFacet facet() const override { return MeasureFacet::kConciseness; }
+  double Score(const Display& d, const Display* root) const override;
+
+ private:
+  static const std::string kName;
+};
+
+/// Log-Length (following Rissanen's MDL [26]): 1 - min(log2(m + 1), c) / c
+/// with display size m = row count and cap c (default 12, i.e. displays of
+/// ~4k rows and beyond score 0). One row scores 1 - 1/c.
+class LogLengthMeasure : public InterestingnessMeasure {
+ public:
+  explicit LogLengthMeasure(double cap = 12.0) : cap_(cap) {}
+
+  const std::string& name() const override { return kName; }
+  MeasureFacet facet() const override { return MeasureFacet::kConciseness; }
+  double Score(const Display& d, const Display* root) const override;
+
+  double cap() const { return cap_; }
+
+ private:
+  static const std::string kName;
+  double cap_;
+};
+
+}  // namespace ida

@@ -1,0 +1,40 @@
+// Dispersion measures (Table 1): favor displays whose elements are
+// relatively similar (even) in value. Both are oriented per the paper's
+// footnote 4 — we invert the classical inequality indices so that an even
+// distribution scores 1 and extreme inequality approaches 0 (consistent
+// with Example 2.1, where two near-even groups score 0.83 in dispersion).
+#pragma once
+
+#include "measures/measure.h"
+
+namespace ida {
+
+/// Schutz dispersion: 1 - Schutz inequality coefficient, i.e.
+/// 1 - sum_j |p_j - qbar| / (2 m qbar). The Table 1 formula omits the
+/// absolute value (which would make the score identically 0); we use the
+/// standard |.| form from Hilderman & Hamilton.
+class SchutzMeasure : public InterestingnessMeasure {
+ public:
+  const std::string& name() const override { return kName; }
+  MeasureFacet facet() const override { return MeasureFacet::kDispersion; }
+  double Score(const Display& d, const Display* root) const override;
+
+ private:
+  static const std::string kName;
+};
+
+/// MacArthur dispersion: 1 - M(p), where M(p) is MacArthur's homogeneity
+/// index H((p + u)/2) - (H(p) + H(u))/2 with u uniform — i.e. the
+/// Jensen-Shannon divergence (bits) between p and the uniform distribution.
+/// M(p) = 0 for even p (dispersion 1) and grows toward 1 with inequality.
+class MacArthurMeasure : public InterestingnessMeasure {
+ public:
+  const std::string& name() const override { return kName; }
+  MeasureFacet facet() const override { return MeasureFacet::kDispersion; }
+  double Score(const Display& d, const Display* root) const override;
+
+ private:
+  static const std::string kName;
+};
+
+}  // namespace ida

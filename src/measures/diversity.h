@@ -1,0 +1,34 @@
+// Diversity measures (Table 1, after Hilderman & Hamilton): rank higher
+// displays whose elements differ notably in value.
+#pragma once
+
+#include "measures/measure.h"
+
+namespace ida {
+
+/// Variance diversity: sum_j (p_j - qbar)^2 / (m - 1), with
+/// p_j = v_j / sum_k v_k and qbar = 1/m. Zero for m < 2. Higher for
+/// distributions concentrated on few groups.
+class VarianceMeasure : public InterestingnessMeasure {
+ public:
+  const std::string& name() const override { return kName; }
+  MeasureFacet facet() const override { return MeasureFacet::kDiversity; }
+  double Score(const Display& d, const Display* root) const override;
+
+ private:
+  static const std::string kName;
+};
+
+/// Simpson diversity: sum_j p_j^2 (the repeat/concentration index).
+/// 1/m for the uniform distribution, approaching 1 as one group dominates.
+class SimpsonMeasure : public InterestingnessMeasure {
+ public:
+  const std::string& name() const override { return kName; }
+  MeasureFacet facet() const override { return MeasureFacet::kDiversity; }
+  double Score(const Display& d, const Display* root) const override;
+
+ private:
+  static const std::string kName;
+};
+
+}  // namespace ida

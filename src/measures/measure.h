@@ -1,0 +1,73 @@
+// The interestingness-measure interface and facet taxonomy (paper Sec 2.2,
+// Table 1). A measure i takes an action's result display d (plus, for some
+// measures, a reference display — we use the root display d_0, as the paper
+// suggests) and returns a real score; higher means more interesting.
+//
+// Conventions adopted where the paper defers to cited work or the formula
+// is ambiguous (each documented at the concrete measure):
+//  * Diversity/dispersion/peculiarity measures consume the display's
+//    interest profile {v_j} / {p_j} (see actions/display.h).
+//  * Conciseness measures consume the display's on-screen size (row count)
+//    and covered-tuple count.
+//  * Dispersion measures are oriented so that *more even* displays score
+//    higher (paper footnote 4: the inverse of an inequality score evaluates
+//    dispersion).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actions/display.h"
+
+namespace ida {
+
+/// The four facets of interestingness considered by the paper.
+enum class MeasureFacet {
+  kDiversity = 0,
+  kDispersion = 1,
+  kPeculiarity = 2,
+  kConciseness = 3,
+};
+
+inline constexpr int kNumFacets = 4;
+
+const char* MeasureFacetName(MeasureFacet f);
+
+/// Abstract interestingness measure i(q, d).
+class InterestingnessMeasure {
+ public:
+  virtual ~InterestingnessMeasure() = default;
+
+  /// Stable identifier, e.g. "variance", "osf".
+  virtual const std::string& name() const = 0;
+  virtual MeasureFacet facet() const = 0;
+
+  /// Scores display `d`. `root` is the session's root display d_0 used as
+  /// the reference by deviation-style measures; passing nullptr falls back
+  /// to a uniform reference.
+  virtual double Score(const Display& d, const Display* root) const = 0;
+};
+
+using MeasurePtr = std::shared_ptr<const InterestingnessMeasure>;
+
+/// An ordered set I of measures (the classification label space).
+using MeasureSet = std::vector<MeasurePtr>;
+
+/// Creates all eight measures of Table 1:
+/// diversity: variance, simpson; dispersion: schutz, macarthur;
+/// peculiarity: osf, deviation; conciseness: compaction_gain, log_length.
+MeasureSet CreateAllMeasures();
+
+/// Creates one measure by name (see CreateAllMeasures for the names).
+MeasurePtr CreateMeasure(const std::string& name);
+
+/// The paper's 16 experimental configurations of I: every combination of
+/// one measure per facet, ordered (diversity, dispersion, peculiarity,
+/// conciseness).
+std::vector<MeasureSet> CreateMeasureConfigurations();
+
+/// Finds the index of `name` in `set`, or -1.
+int MeasureIndex(const MeasureSet& set, const std::string& name);
+
+}  // namespace ida

@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "measures/conciseness.h"
+#include "measures/dispersion.h"
+#include "measures/diversity.h"
+#include "measures/measure.h"
+#include "measures/peculiarity.h"
+#include "stats/descriptive.h"
+
+namespace ida {
+
+const char* MeasureFacetName(MeasureFacet f) {
+  switch (f) {
+    case MeasureFacet::kDiversity:
+      return "diversity";
+    case MeasureFacet::kDispersion:
+      return "dispersion";
+    case MeasureFacet::kPeculiarity:
+      return "peculiarity";
+    case MeasureFacet::kConciseness:
+      return "conciseness";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- diversity
+
+const std::string VarianceMeasure::kName = "variance";
+const std::string SimpsonMeasure::kName = "simpson";
+
+double VarianceMeasure::Score(const Display& d, const Display*) const {
+  const std::vector<double> p = d.profile().Probabilities();
+  size_t m = p.size();
+  if (m < 2) return 0.0;
+  double qbar = 1.0 / static_cast<double>(m);
+  double s = 0.0;
+  for (double pj : p) s += (pj - qbar) * (pj - qbar);
+  return s / static_cast<double>(m - 1);
+}
+
+double SimpsonMeasure::Score(const Display& d, const Display*) const {
+  const std::vector<double> p = d.profile().Probabilities();
+  if (p.empty()) return 0.0;
+  double s = 0.0;
+  for (double pj : p) s += pj * pj;
+  return s;
+}
+
+// --------------------------------------------------------------- dispersion
+
+const std::string SchutzMeasure::kName = "schutz";
+const std::string MacArthurMeasure::kName = "macarthur";
+
+double SchutzMeasure::Score(const Display& d, const Display*) const {
+  const std::vector<double> p = d.profile().Probabilities();
+  size_t m = p.size();
+  if (m == 0) return 0.0;
+  if (m == 1) return 1.0;
+  double qbar = 1.0 / static_cast<double>(m);
+  double s = 0.0;
+  for (double pj : p) s += std::fabs(pj - qbar);
+  // sum |p - qbar| / (2 m qbar) == sum |p - qbar| / 2  (since m*qbar == 1).
+  double inequality = s / 2.0;
+  return 1.0 - inequality;
+}
+
+double MacArthurMeasure::Score(const Display& d, const Display*) const {
+  const std::vector<double> p = d.profile().Probabilities();
+  size_t m = p.size();
+  if (m == 0) return 0.0;
+  if (m == 1) return 1.0;
+  double u = 1.0 / static_cast<double>(m);
+  // Jensen-Shannon divergence between p and uniform, in bits.
+  std::vector<double> mix(m);
+  for (size_t j = 0; j < m; ++j) mix[j] = (p[j] + u) / 2.0;
+  double h_mix = ShannonEntropy(mix);
+  double h_p = ShannonEntropy(p);
+  double h_u = std::log2(static_cast<double>(m));
+  double jsd = h_mix - (h_p + h_u) / 2.0;
+  return 1.0 - std::clamp(jsd, 0.0, 1.0);
+}
+
+// -------------------------------------------------------------- peculiarity
+
+const std::string OsfMeasure::kName = "osf";
+const std::string DeviationMeasure::kName = "deviation";
+
+std::vector<double> OsfMeasure::ElementScores(
+    const std::vector<double>& values) {
+  std::vector<double> scores(values.size(), 0.0);
+  if (values.size() < 2) return scores;
+  double med = Median(values);
+  double mad = Mad(values);
+  double scale = 1.4826 * mad;
+  if (scale <= 0.0) {
+    // Degenerate spread: fall back to mean absolute deviation.
+    double s = 0.0;
+    for (double v : values) s += std::fabs(v - med);
+    scale = s / static_cast<double>(values.size());
+    if (scale <= 0.0) return scores;  // constant vector: nothing peculiar
+  }
+  for (size_t j = 0; j < values.size(); ++j) {
+    double z = std::fabs(values[j] - med) / scale;
+    scores[j] = 1.0 - std::exp(-z / 3.0);
+  }
+  return scores;
+}
+
+double OsfMeasure::Score(const Display& d, const Display*) const {
+  std::vector<double> scores = ElementScores(d.profile().values);
+  if (scores.empty()) return 0.0;
+  return *std::max_element(scores.begin(), scores.end());
+}
+
+double DeviationMeasure::Score(const Display& d, const Display* root) const {
+  const InterestProfile& profile = d.profile();
+  size_t m = profile.group_count();
+  if (m == 0) return 0.0;
+  std::vector<double> display_probs = profile.Probabilities();
+
+  // Reference distribution p' of the same column in the root display. The
+  // two distributions are aligned over the UNION of their supports —
+  // otherwise a display that collapses onto one dominant label would look
+  // identical to the reference restricted to that label.
+  std::map<std::string, double> ref_counts;
+  if (root != nullptr && !profile.column.empty()) {
+    std::shared_ptr<Column> col = root->table()->ColumnByName(profile.column);
+    if (col != nullptr) {
+      for (size_t i = 0; i < col->size(); ++i) {
+        if (col->IsValid(i)) ref_counts[col->GetValue(i).ToString()] += 1.0;
+      }
+    }
+  }
+  if (ref_counts.empty()) {
+    // No usable reference: uniform over the display's own support.
+    std::vector<double> ref(m, 1.0);
+    return KlDivergence(display_probs, ref);
+  }
+
+  std::map<std::string, std::pair<double, double>> aligned;  // label -> (p, p')
+  for (size_t j = 0; j < m; ++j) {
+    aligned[profile.labels[j]].first = display_probs[j];
+  }
+  for (const auto& [label, count] : ref_counts) {
+    aligned[label].second = count;
+  }
+  std::vector<double> p, ref;
+  p.reserve(aligned.size());
+  ref.reserve(aligned.size());
+  for (const auto& [label, pq] : aligned) {
+    p.push_back(pq.first);
+    ref.push_back(pq.second);
+  }
+  return KlDivergence(p, ref);
+}
+
+// -------------------------------------------------------------- conciseness
+
+const std::string CompactionGainMeasure::kName = "compaction_gain";
+const std::string LogLengthMeasure::kName = "log_length";
+
+double CompactionGainMeasure::Score(const Display& d, const Display*) const {
+  size_t m = d.num_rows();
+  if (m == 0) return 0.0;
+  return static_cast<double>(d.dataset_size()) / static_cast<double>(m);
+}
+
+double LogLengthMeasure::Score(const Display& d, const Display*) const {
+  double m = static_cast<double>(d.num_rows());
+  double l = std::log2(m + 1.0);
+  return 1.0 - std::min(l, cap_) / cap_;
+}
+
+// ----------------------------------------------------------------- registry
+
+MeasureSet CreateAllMeasures() {
+  return {
+      std::make_shared<VarianceMeasure>(),
+      std::make_shared<SimpsonMeasure>(),
+      std::make_shared<SchutzMeasure>(),
+      std::make_shared<MacArthurMeasure>(),
+      std::make_shared<OsfMeasure>(),
+      std::make_shared<DeviationMeasure>(),
+      std::make_shared<CompactionGainMeasure>(),
+      std::make_shared<LogLengthMeasure>(),
+  };
+}
+
+MeasurePtr CreateMeasure(const std::string& name) {
+  for (const MeasurePtr& m : CreateAllMeasures()) {
+    if (m->name() == name) return m;
+  }
+  return nullptr;
+}
+
+std::vector<MeasureSet> CreateMeasureConfigurations() {
+  MeasureSet all = CreateAllMeasures();
+  std::vector<MeasureSet> per_facet(kNumFacets);
+  for (const MeasurePtr& m : all) {
+    per_facet[static_cast<int>(m->facet())].push_back(m);
+  }
+  std::vector<MeasureSet> configs;
+  for (const MeasurePtr& div : per_facet[0]) {
+    for (const MeasurePtr& disp : per_facet[1]) {
+      for (const MeasurePtr& pec : per_facet[2]) {
+        for (const MeasurePtr& conc : per_facet[3]) {
+          configs.push_back({div, disp, pec, conc});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+int MeasureIndex(const MeasureSet& set, const std::string& name) {
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (set[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ida

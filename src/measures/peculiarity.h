@@ -1,0 +1,45 @@
+// Peculiarity measures (Table 1): a display is peculiar if it presents or
+// contains anomalous patterns.
+#pragma once
+
+#include "measures/measure.h"
+
+namespace ida {
+
+/// Outlier Score Function (after Lin & Brown [19]). The paper defers to the
+/// original for the per-element score and takes the display score as the
+/// maximum of the elements' scores. We use a robust per-element outlier
+/// score on the profile values: z_j = |v_j - median| / (1.4826 * MAD),
+/// mapped to [0, 1) by s_j = 1 - exp(-z_j / 3); the display score is
+/// max_j s_j. Monotone in how extreme the most anomalous element is, which
+/// is the property the paper relies on (DESIGN.md Sec 2).
+class OsfMeasure : public InterestingnessMeasure {
+ public:
+  const std::string& name() const override { return kName; }
+  MeasureFacet facet() const override { return MeasureFacet::kPeculiarity; }
+  double Score(const Display& d, const Display* root) const override;
+
+  /// Per-element outlier scores (exposed for tests and examples).
+  static std::vector<double> ElementScores(const std::vector<double>& values);
+
+ private:
+  static const std::string kName;
+};
+
+/// Deviation (after SeeDB [31]): KL divergence between the display's
+/// profile distribution {p_j} and the reference distribution {p'_j} of the
+/// same column in the root display d_0. Labels absent from the reference
+/// receive epsilon mass; with no usable reference the uniform distribution
+/// is used. Higher = the display deviates more from the dataset-wide
+/// behavior.
+class DeviationMeasure : public InterestingnessMeasure {
+ public:
+  const std::string& name() const override { return kName; }
+  MeasureFacet facet() const override { return MeasureFacet::kPeculiarity; }
+  double Score(const Display& d, const Display* root) const override;
+
+ private:
+  static const std::string kName;
+};
+
+}  // namespace ida

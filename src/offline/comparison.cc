@@ -1,0 +1,203 @@
+#include "offline/comparison.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ida {
+
+namespace {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+const char* ComparisonMethodName(ComparisonMethod m) {
+  switch (m) {
+    case ComparisonMethod::kReferenceBased:
+      return "reference-based";
+    case ComparisonMethod::kNormalized:
+      return "normalized";
+  }
+  return "?";
+}
+
+bool ComparisonResult::IsDominant(int m) const {
+  return std::find(dominant.begin(), dominant.end(), m) != dominant.end();
+}
+
+std::vector<double> ScoreAllMeasures(const MeasureSet& measures,
+                                     const Display& d, const Display* root) {
+  std::vector<double> scores;
+  scores.reserve(measures.size());
+  for (const MeasurePtr& m : measures) {
+    scores.push_back(m->Score(d, root));
+  }
+  return scores;
+}
+
+void FillDominant(ComparisonResult* result, double tie_epsilon) {
+  result->dominant.clear();
+  if (result->relative_scores.empty()) {
+    result->max_relative = 0.0;
+    return;
+  }
+  double best = *std::max_element(result->relative_scores.begin(),
+                                  result->relative_scores.end());
+  result->max_relative = best;
+  for (size_t i = 0; i < result->relative_scores.size(); ++i) {
+    if (result->relative_scores[i] >= best - tie_epsilon) {
+      result->dominant.push_back(static_cast<int>(i));
+    }
+  }
+}
+
+ComparisonResult SubsetResult(const ComparisonResult& full,
+                              const std::vector<int>& indices) {
+  ComparisonResult out;
+  out.raw_scores.reserve(indices.size());
+  out.relative_scores.reserve(indices.size());
+  for (int idx : indices) {
+    if (idx >= 0 && static_cast<size_t>(idx) < full.relative_scores.size()) {
+      out.raw_scores.push_back(full.raw_scores[static_cast<size_t>(idx)]);
+      out.relative_scores.push_back(
+          full.relative_scores[static_cast<size_t>(idx)]);
+    } else {
+      out.raw_scores.push_back(0.0);
+      out.relative_scores.push_back(-1e300);
+    }
+  }
+  FillDominant(&out);
+  return out;
+}
+
+Result<ComparisonResult> ReferenceBasedComparison::Compare(
+    const Action& q, const Display& parent, const Display& d,
+    const Display* root, const std::vector<Action>& reference_actions) {
+  // q itself is identified by its result display d; the parameter is kept
+  // to mirror Algorithm 1's signature (and for future syntax-aware
+  // reference filtering).
+  (void)q;
+  ComparisonResult result;
+  ++timings_.actions_compared;
+
+  // Lines 1-4 of Algorithm 1: execute each alternative from the parent
+  // display and score it with every measure. Alternatives failing to
+  // execute or yielding fewer than two rows are omitted (paper Sec 4).
+  std::vector<std::vector<double>> ref_scores;  // [alternative][measure]
+  for (const Action& alt : reference_actions) {
+    Stopwatch exec_watch;
+    Result<DisplayPtr> alt_display = exec_.Execute(alt, parent);
+    timings_.action_execution += exec_watch.Seconds();
+    if (!alt_display.ok()) continue;
+    if ((*alt_display)->num_rows() < 2) continue;
+    ++timings_.reference_actions_executed;
+    Stopwatch score_watch;
+    ref_scores.push_back(ScoreAllMeasures(measures_, **alt_display, root));
+    timings_.score_calculation += score_watch.Seconds();
+  }
+
+  result.effective_reference_size = ref_scores.size();
+
+  // Line 6: raw scores of q itself.
+  Stopwatch score_watch;
+  result.raw_scores = ScoreAllMeasures(measures_, d, root);
+  timings_.score_calculation += score_watch.Seconds();
+
+  // Line 7: relative interestingness = percentile rank of q among the
+  // alternatives. Ties are mid-ranked — the average of the paper's two
+  // readings ("lower than" in the text, "<=" in Algorithm 1) — so that a
+  // measure tying with every alternative (e.g. compaction gain over raw
+  // filter results, which is identically 1) lands mid-scale instead of
+  // spuriously dominating.
+  Stopwatch rel_watch;
+  result.relative_scores.assign(measures_.size(), 0.0);
+  if (!ref_scores.empty()) {
+    for (size_t m = 0; m < measures_.size(); ++m) {
+      double below = 0.0;
+      for (const auto& alt : ref_scores) {
+        if (alt[m] < result.raw_scores[m]) {
+          below += 1.0;
+        } else if (alt[m] == result.raw_scores[m]) {
+          below += 0.5;
+        }
+      }
+      result.relative_scores[m] =
+          below / static_cast<double>(ref_scores.size());
+    }
+  }
+  FillDominant(&result);
+  timings_.relative_calculation += rel_watch.Seconds();
+  return result;
+}
+
+Status NormalizedComparison::Preprocess(
+    const std::vector<std::vector<double>>& samples) {
+  if (samples.size() != measures_.size()) {
+    return Status::InvalidArgument(
+        "expected one score sample per measure (" +
+        std::to_string(measures_.size()) + "), got " +
+        std::to_string(samples.size()));
+  }
+  for (const auto& s : samples) {
+    if (s.size() < 2) {
+      return Status::InvalidArgument(
+          "score samples need at least two points per measure");
+    }
+  }
+  models_.clear();
+  models_.reserve(samples.size());
+  for (const auto& s : samples) {
+    models_.push_back(NormalizedScoreModel::Fit(s));
+  }
+  return Status::OK();
+}
+
+Status NormalizedComparison::PreprocessFromDisplays(
+    const std::vector<std::pair<const Display*, const Display*>>& pairs) {
+  std::vector<std::vector<double>> samples(measures_.size());
+  Stopwatch score_watch;
+  for (const auto& [display, root] : pairs) {
+    std::vector<double> scores = ScoreAllMeasures(measures_, *display, root);
+    for (size_t m = 0; m < scores.size(); ++m) {
+      samples[m].push_back(scores[m]);
+    }
+  }
+  timings_.score_calculation += score_watch.Seconds();
+  return Preprocess(samples);
+}
+
+Result<ComparisonResult> NormalizedComparison::Compare(const Display& d,
+                                                       const Display* root) {
+  if (!preprocessed()) {
+    return Status::FailedPrecondition(
+        "NormalizedComparison::Compare called before Preprocess");
+  }
+  ComparisonResult result;
+  ++timings_.actions_compared;
+  Stopwatch score_watch;
+  result.raw_scores = ScoreAllMeasures(measures_, d, root);
+  timings_.score_calculation += score_watch.Seconds();
+
+  Stopwatch rel_watch;
+  result.relative_scores.reserve(measures_.size());
+  for (size_t m = 0; m < measures_.size(); ++m) {
+    result.relative_scores.push_back(
+        models_[m].Normalize(result.raw_scores[m]));
+  }
+  FillDominant(&result);
+  timings_.relative_calculation += rel_watch.Seconds();
+  return result;
+}
+
+}  // namespace ida

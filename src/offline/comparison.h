@@ -1,0 +1,144 @@
+// Offline interestingness analysis (paper Sec 3.1): derive, for a recorded
+// action, the *dominant* measure i*(q) — the one yielding the maximal
+// relative (unbiased) interestingness — via either the Reference-Based
+// comparison (Algorithm 1) or the Normalized comparison (Algorithm 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "actions/action.h"
+#include "actions/display.h"
+#include "actions/executor.h"
+#include "common/status.h"
+#include "measures/measure.h"
+#include "stats/transform.h"
+
+namespace ida {
+
+/// Which comparison method produced a result (affects the scale of
+/// relative scores and of the theta_I threshold).
+enum class ComparisonMethod { kReferenceBased = 0, kNormalized = 1 };
+
+const char* ComparisonMethodName(ComparisonMethod m);
+
+/// Output of comparing one action's interestingness across the measure
+/// set I.
+struct ComparisonResult {
+  /// Raw scores i(q, d), one per measure in I.
+  std::vector<double> raw_scores;
+  /// Relative (unbiased) scores ibar(q). Reference-Based: percentile rank
+  /// in [0, 1] of q among its reference set. Normalized: standardized
+  /// score (standard deviations from the mean), typically in [-2.5, 2.5].
+  std::vector<double> relative_scores;
+  /// Indices into I of the dominant measure(s) — argmax of
+  /// relative_scores, with ties (paper: "all measures that yield the
+  /// highest relative interestingness are returned").
+  std::vector<int> dominant;
+  /// The maximal relative score (used for the theta_I filter).
+  double max_relative = 0.0;
+  /// Reference-Based only: number of alternatives that actually executed
+  /// and survived the two-row minimum (|R(q)| effective).
+  size_t effective_reference_size = 0;
+
+  /// The primary dominant measure (lowest index among ties), or -1.
+  int primary() const { return dominant.empty() ? -1 : dominant[0]; }
+  /// True if measure index m is among the dominant set.
+  bool IsDominant(int m) const;
+};
+
+/// Computes the raw scores of a display w.r.t. every measure in I.
+std::vector<double> ScoreAllMeasures(const MeasureSet& measures,
+                                     const Display& d, const Display* root);
+
+/// Derives the dominant set and max_relative from relative scores; ties
+/// within `tie_epsilon` of the maximum are all dominant.
+void FillDominant(ComparisonResult* result, double tie_epsilon = 1e-9);
+
+/// Projects a comparison over a full measure set onto a subset of its
+/// measures (`indices` into the full set) and recomputes dominance. Because
+/// each measure's relative score depends only on its own distribution,
+/// labeling once with all 8 measures yields every configuration of I by
+/// projection (used to average results over the paper's 16 configs).
+ComparisonResult SubsetResult(const ComparisonResult& full,
+                              const std::vector<int>& indices);
+
+/// Wall-time breakdown of an offline comparison (Table 3's components),
+/// in seconds.
+struct ComparisonTimings {
+  double action_execution = 0.0;     ///< executing reference actions
+  double score_calculation = 0.0;    ///< computing interestingness scores
+  double relative_calculation = 0.0; ///< deriving relative scores
+  size_t actions_compared = 0;
+  size_t reference_actions_executed = 0;
+
+  double total() const {
+    return action_execution + score_calculation + relative_calculation;
+  }
+  void Reset() { *this = ComparisonTimings{}; }
+};
+
+/// Algorithm 1: Reference-Based comparison. The relative score of q under
+/// measure i is the fraction of alternative actions in R(q) whose score is
+/// <= i(q, d) (the paper's count, normalized by |R(q)| so theta_I can be a
+/// percentile in [0, 1]).
+class ReferenceBasedComparison {
+ public:
+  ReferenceBasedComparison(MeasureSet measures, ActionExecutor exec = {})
+      : measures_(std::move(measures)), exec_(std::move(exec)) {}
+
+  /// Compares action q (executed from display `parent`, yielding display
+  /// `d`) against the alternatives in `reference_actions`, which are
+  /// executed from `parent`. Alternatives that fail to execute or whose
+  /// result has fewer than two rows are omitted (paper Sec 4). `root` is
+  /// the session root display d_0.
+  Result<ComparisonResult> Compare(const Action& q, const Display& parent,
+                                   const Display& d, const Display* root,
+                                   const std::vector<Action>& reference_actions);
+
+  const ComparisonTimings& timings() const { return timings_; }
+  void ResetTimings() { timings_.Reset(); }
+
+ private:
+  MeasureSet measures_;
+  ActionExecutor exec_;
+  ComparisonTimings timings_;
+};
+
+/// Algorithm 2: Normalized comparison. Preprocessing fits, per measure, a
+/// Box-Cox power transform (MLE lambda) followed by z-score
+/// standardization on the measure's score distribution over a sample of
+/// recorded actions; the relative score of an action is its standardized
+/// transformed score.
+class NormalizedComparison {
+ public:
+  explicit NormalizedComparison(MeasureSet measures)
+      : measures_(std::move(measures)) {}
+
+  /// Fits the per-measure normalization models. `samples` holds, per
+  /// measure (outer index aligned with I), the raw score distribution over
+  /// the repository's actions.
+  Status Preprocess(const std::vector<std::vector<double>>& samples);
+
+  /// Convenience: scores each (display, root) pair with every measure and
+  /// fits from those distributions.
+  Status PreprocessFromDisplays(
+      const std::vector<std::pair<const Display*, const Display*>>& pairs);
+
+  bool preprocessed() const { return !models_.empty(); }
+  const std::vector<NormalizedScoreModel>& models() const { return models_; }
+
+  /// Compares action q's result display. Requires Preprocess first.
+  Result<ComparisonResult> Compare(const Display& d, const Display* root);
+
+  const ComparisonTimings& timings() const { return timings_; }
+  void ResetTimings() { timings_.Reset(); }
+
+ private:
+  MeasureSet measures_;
+  std::vector<NormalizedScoreModel> models_;
+  ComparisonTimings timings_;
+};
+
+}  // namespace ida

@@ -1,0 +1,149 @@
+#include "offline/findings.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/descriptive.h"
+
+namespace ida {
+
+std::vector<double> DominantShare(const std::vector<LabeledStep>& labeled,
+                                  size_t num_measures) {
+  std::vector<double> share(num_measures, 0.0);
+  if (labeled.empty()) return share;
+  for (const LabeledStep& step : labeled) {
+    for (int m : step.result.dominant) {
+      if (m >= 0 && static_cast<size_t>(m) < num_measures) {
+        share[static_cast<size_t>(m)] += 1.0;
+      }
+    }
+  }
+  for (double& s : share) s /= static_cast<double>(labeled.size());
+  return share;
+}
+
+double AverageStepsPerDominantChange(const std::vector<LabeledStep>& labeled) {
+  // Group by session, preserving step order within each.
+  std::map<int, std::vector<const LabeledStep*>> by_tree;
+  for (const LabeledStep& step : labeled) {
+    by_tree[step.tree_index].push_back(&step);
+  }
+  size_t total_steps = 0;
+  size_t changes = 0;
+  for (auto& [tree, steps] : by_tree) {
+    std::sort(steps.begin(), steps.end(),
+              [](const LabeledStep* a, const LabeledStep* b) {
+                return a->step < b->step;
+              });
+    total_steps += steps.size();
+    for (size_t i = 1; i < steps.size(); ++i) {
+      if (steps[i]->result.primary() != steps[i - 1]->result.primary()) {
+        ++changes;
+      }
+    }
+  }
+  if (changes == 0) return 0.0;
+  return static_cast<double>(total_steps) / static_cast<double>(changes);
+}
+
+Result<MethodAgreement> CompareLabelings(const std::vector<LabeledStep>& a,
+                                         const std::vector<LabeledStep>& b,
+                                         size_t num_measures) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "labelings cover different step counts: " + std::to_string(a.size()) +
+        " vs " + std::to_string(b.size()));
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("empty labelings");
+  }
+  MethodAgreement out;
+  std::vector<std::vector<double>> contingency(
+      num_measures, std::vector<double>(num_measures, 0.0));
+  size_t exact = 0, primary = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].tree_index != b[i].tree_index || a[i].step != b[i].step) {
+      return Status::InvalidArgument(
+          "labelings are not aligned at position " + std::to_string(i));
+    }
+    int pa = a[i].result.primary();
+    int pb = b[i].result.primary();
+    if (pa < 0 && pb < 0) continue;  // neither method labeled this step
+    if (pa < 0) {
+      ++out.only_b;
+      continue;
+    }
+    if (pb < 0) {
+      ++out.only_a;
+      continue;
+    }
+    ++out.co_labeled;
+    std::vector<int> da = a[i].result.dominant;
+    std::vector<int> db = b[i].result.dominant;
+    std::sort(da.begin(), da.end());
+    std::sort(db.begin(), db.end());
+    if (da == db) ++exact;
+    if (pa == pb) ++primary;
+    if (static_cast<size_t>(pa) < num_measures &&
+        static_cast<size_t>(pb) < num_measures) {
+      contingency[static_cast<size_t>(pa)][static_cast<size_t>(pb)] += 1.0;
+    }
+  }
+  if (out.co_labeled > 0) {
+    out.exact_agreement = static_cast<double>(exact) /
+                          static_cast<double>(out.co_labeled);
+    out.primary_agreement = static_cast<double>(primary) /
+                            static_cast<double>(out.co_labeled);
+  }
+  out.chi_square = ChiSquareIndependence(contingency);
+  return out;
+}
+
+std::vector<std::vector<double>> MeasureScoreCorrelations(
+    const std::vector<LabeledStep>& labeled, size_t num_measures) {
+  std::vector<std::vector<double>> series(num_measures);
+  for (const LabeledStep& step : labeled) {
+    for (size_t m = 0; m < num_measures && m < step.result.raw_scores.size();
+         ++m) {
+      series[m].push_back(step.result.raw_scores[m]);
+    }
+  }
+  std::vector<std::vector<double>> corr(
+      num_measures, std::vector<double>(num_measures, 1.0));
+  for (size_t i = 0; i < num_measures; ++i) {
+    for (size_t j = i + 1; j < num_measures; ++j) {
+      double c = PearsonCorrelation(series[i], series[j]);
+      corr[i][j] = c;
+      corr[j][i] = c;
+    }
+  }
+  return corr;
+}
+
+CorrelationSummary SummarizeCorrelations(
+    const std::vector<std::vector<double>>& corr,
+    const std::vector<int>& facets) {
+  CorrelationSummary out;
+  double sum_all = 0.0, sum_same = 0.0, sum_cross = 0.0;
+  size_t n_all = 0, n_same = 0, n_cross = 0;
+  for (size_t i = 0; i < corr.size(); ++i) {
+    for (size_t j = i + 1; j < corr.size(); ++j) {
+      double c = std::fabs(corr[i][j]);
+      sum_all += c;
+      ++n_all;
+      if (facets[i] == facets[j]) {
+        sum_same += c;
+        ++n_same;
+      } else {
+        sum_cross += c;
+        ++n_cross;
+      }
+    }
+  }
+  if (n_all) out.overall = sum_all / static_cast<double>(n_all);
+  if (n_same) out.same_facet = sum_same / static_cast<double>(n_same);
+  if (n_cross) out.cross_facet = sum_cross / static_cast<double>(n_cross);
+  return out;
+}
+
+}  // namespace ida

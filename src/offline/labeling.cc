@@ -1,0 +1,152 @@
+#include "offline/labeling.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ida {
+
+Result<ReplayedRepository> ReplayedRepository::Build(
+    const SessionLog& log, const DatasetRegistry& datasets,
+    const ActionExecutor& exec) {
+  ReplayedRepository repo;
+  repo.actions_by_type_.resize(3);
+  for (const SessionRecord& record : log.records()) {
+    Result<SessionTree> tree = ReplaySession(record, datasets, exec);
+    if (!tree.ok()) {
+      ++repo.failed_;
+      continue;
+    }
+    repo.trees_.push_back(std::move(*tree));
+  }
+  if (repo.trees_.empty()) {
+    return Status::InvalidArgument("no session in the log could be replayed");
+  }
+  // Deduplicated action pools per type, globally and per dataset.
+  for (const SessionTree& tree : repo.trees_) {
+    auto& dataset_pools = repo.actions_by_dataset_[tree.dataset_id()];
+    if (dataset_pools.empty()) dataset_pools.resize(3);
+    for (const SessionStep& step : tree.steps()) {
+      size_t type = static_cast<size_t>(step.action.type());
+      auto& pool = repo.actions_by_type_[type];
+      if (std::find(pool.begin(), pool.end(), step.action) == pool.end()) {
+        pool.push_back(step.action);
+      }
+      auto& dpool = dataset_pools[type];
+      if (std::find(dpool.begin(), dpool.end(), step.action) == dpool.end()) {
+        dpool.push_back(step.action);
+      }
+    }
+  }
+  return repo;
+}
+
+const std::vector<Action>& ReplayedRepository::ActionsOfType(
+    ActionType type, const std::string& dataset_id) const {
+  if (!dataset_id.empty()) {
+    auto it = actions_by_dataset_.find(dataset_id);
+    if (it != actions_by_dataset_.end()) {
+      return it->second[static_cast<size_t>(type)];
+    }
+  }
+  return actions_by_type_[static_cast<size_t>(type)];
+}
+
+std::vector<std::pair<const Display*, const Display*>>
+ReplayedRepository::AllDisplayPairs() const {
+  std::vector<std::pair<const Display*, const Display*>> pairs;
+  for (const SessionTree& tree : trees_) {
+    const Display* root = tree.node(0).display.get();
+    for (const SessionStep& step : tree.steps()) {
+      pairs.emplace_back(tree.node(step.node).display.get(), root);
+    }
+  }
+  return pairs;
+}
+
+size_t ReplayedRepository::total_steps() const {
+  size_t n = 0;
+  for (const SessionTree& tree : trees_) {
+    n += static_cast<size_t>(tree.num_steps());
+  }
+  return n;
+}
+
+ReferenceBasedLabeler::ReferenceBasedLabeler(
+    MeasureSet measures, const ReplayedRepository* repo,
+    ReferenceBasedLabelerOptions options)
+    : repo_(repo),
+      comparison_(std::move(measures)),
+      options_(options),
+      rng_(options.sampling_seed) {}
+
+Result<ComparisonResult> ReferenceBasedLabeler::LabelStep(
+    const SessionTree& tree, int step) {
+  if (step < 1 || step > tree.num_steps()) {
+    return Status::OutOfRange("step " + std::to_string(step) +
+                              " out of range [1, " +
+                              std::to_string(tree.num_steps()) + "]");
+  }
+  const SessionStep& s = tree.step(step);
+  const Display& parent = *tree.node(s.parent).display;
+  const Display& d = *tree.node(s.node).display;
+  const Display* root = tree.node(0).display.get();
+
+  // R(q): same-type actions from the repository, excluding q itself.
+  const std::vector<Action>& pool = repo_->ActionsOfType(
+      s.action.type(),
+      options_.same_dataset_only ? tree.dataset_id() : std::string());
+  std::vector<Action> reference;
+  reference.reserve(pool.size());
+  for (const Action& a : pool) {
+    if (!(a == s.action)) reference.push_back(a);
+  }
+  if (options_.max_reference_actions > 0 &&
+      reference.size() > options_.max_reference_actions) {
+    rng_.Shuffle(reference.begin(), reference.end());
+    reference.resize(options_.max_reference_actions);
+  }
+  IDA_ASSIGN_OR_RETURN(
+      ComparisonResult result,
+      comparison_.Compare(s.action, parent, d, root, reference));
+  // A ranking against too few executed alternatives is meaningless;
+  // leave the step unlabeled rather than emit a degenerate all-tie.
+  if (result.effective_reference_size < options_.min_effective_reference) {
+    result.dominant.clear();
+    result.max_relative = 0.0;
+  }
+  return result;
+}
+
+Status NormalizedLabeler::Preprocess(const ReplayedRepository& repo) {
+  return comparison_.PreprocessFromDisplays(repo.AllDisplayPairs());
+}
+
+Result<ComparisonResult> NormalizedLabeler::LabelStep(const SessionTree& tree,
+                                                      int step) {
+  if (step < 1 || step > tree.num_steps()) {
+    return Status::OutOfRange("step " + std::to_string(step) +
+                              " out of range [1, " +
+                              std::to_string(tree.num_steps()) + "]");
+  }
+  const SessionStep& s = tree.step(step);
+  const Display& d = *tree.node(s.node).display;
+  const Display* root = tree.node(0).display.get();
+  return comparison_.Compare(d, root);
+}
+
+Result<std::vector<LabeledStep>> LabelRepository(
+    const ReplayedRepository& repo, ActionLabeler* labeler) {
+  std::vector<LabeledStep> out;
+  out.reserve(repo.total_steps());
+  for (size_t ti = 0; ti < repo.trees().size(); ++ti) {
+    const SessionTree& tree = repo.trees()[ti];
+    for (int step = 1; step <= tree.num_steps(); ++step) {
+      IDA_ASSIGN_OR_RETURN(ComparisonResult result,
+                           labeler->LabelStep(tree, step));
+      out.push_back(LabeledStep{static_cast<int>(ti), step, std::move(result)});
+    }
+  }
+  return out;
+}
+
+}  // namespace ida

@@ -1,0 +1,140 @@
+// Repository-level offline labeling: replay a session log, then derive the
+// dominant measure i*(q) for every recorded action with either comparison
+// method (paper Sec 4.1, "Applying offline comparisons").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "offline/comparison.h"
+#include "session/log.h"
+#include "session/tree.h"
+
+namespace ida {
+
+/// A session log replayed into full session trees (with all displays
+/// materialized), plus the action pool used to build reference sets.
+class ReplayedRepository {
+ public:
+  /// Replays every session in `log`; sessions that fail to replay are
+  /// skipped (their count is recorded).
+  static Result<ReplayedRepository> Build(const SessionLog& log,
+                                          const DatasetRegistry& datasets,
+                                          const ActionExecutor& exec);
+
+  const std::vector<SessionTree>& trees() const { return trees_; }
+  size_t failed_replays() const { return failed_; }
+
+  /// All recorded actions of the given type across the repository
+  /// (duplicates removed), the raw material for reference sets R(q).
+  /// When `dataset_id` is non-empty, only actions recorded on sessions
+  /// over that dataset are returned — actions from other datasets
+  /// typically reference values absent here and execute to empty
+  /// displays, which would starve the reference set.
+  const std::vector<Action>& ActionsOfType(
+      ActionType type, const std::string& dataset_id = "") const;
+
+  /// Every (result display, session root display) pair in the repository,
+  /// for Normalized preprocessing.
+  std::vector<std::pair<const Display*, const Display*>> AllDisplayPairs()
+      const;
+
+  /// Total recorded steps across all replayed trees.
+  size_t total_steps() const;
+
+ private:
+  std::vector<SessionTree> trees_;
+  size_t failed_ = 0;
+  std::vector<std::vector<Action>> actions_by_type_;
+  /// dataset id -> per-type pools.
+  std::map<std::string, std::vector<std::vector<Action>>> actions_by_dataset_;
+};
+
+/// Uniform interface over the two offline comparison methods, bound to a
+/// repository.
+class ActionLabeler {
+ public:
+  virtual ~ActionLabeler() = default;
+  virtual ComparisonMethod method() const = 0;
+  /// Labels action q_step of `tree` (step is 1-based, as in the paper).
+  virtual Result<ComparisonResult> LabelStep(const SessionTree& tree,
+                                             int step) = 0;
+  virtual const ComparisonTimings& timings() const = 0;
+};
+
+struct ReferenceBasedLabelerOptions {
+  /// Maximum number of reference actions sampled per labeled action
+  /// (0 = use the full pool; the paper's average pool size was 115).
+  size_t max_reference_actions = 64;
+  /// Minimum number of successfully executed alternatives required for a
+  /// ranking to be meaningful; below this the step is left unlabeled
+  /// (empty dominant set).
+  size_t min_effective_reference = 3;
+  /// Restrict R(q) to actions recorded on the same dataset (see
+  /// ActionsOfType).
+  bool same_dataset_only = true;
+  uint64_t sampling_seed = 17;
+};
+
+/// Labels steps with Algorithm 1, drawing reference sets from the
+/// repository's same-type action pool (excluding the labeled action
+/// itself).
+class ReferenceBasedLabeler : public ActionLabeler {
+ public:
+  ReferenceBasedLabeler(MeasureSet measures, const ReplayedRepository* repo,
+                        ReferenceBasedLabelerOptions options = {});
+
+  ComparisonMethod method() const override {
+    return ComparisonMethod::kReferenceBased;
+  }
+  Result<ComparisonResult> LabelStep(const SessionTree& tree,
+                                     int step) override;
+  const ComparisonTimings& timings() const override {
+    return comparison_.timings();
+  }
+  void ResetTimings() { comparison_.ResetTimings(); }
+
+ private:
+  const ReplayedRepository* repo_;
+  ReferenceBasedComparison comparison_;
+  ReferenceBasedLabelerOptions options_;
+  Rng rng_;
+};
+
+/// Labels steps with Algorithm 2 after a repository-wide preprocessing
+/// pass.
+class NormalizedLabeler : public ActionLabeler {
+ public:
+  explicit NormalizedLabeler(MeasureSet measures)
+      : comparison_(std::move(measures)) {}
+
+  /// Fits the Box-Cox + z-score models over every action in `repo`.
+  Status Preprocess(const ReplayedRepository& repo);
+
+  ComparisonMethod method() const override {
+    return ComparisonMethod::kNormalized;
+  }
+  Result<ComparisonResult> LabelStep(const SessionTree& tree,
+                                     int step) override;
+  const ComparisonTimings& timings() const override {
+    return comparison_.timings();
+  }
+  void ResetTimings() { comparison_.ResetTimings(); }
+
+ private:
+  NormalizedComparison comparison_;
+};
+
+/// One labeled recorded action.
+struct LabeledStep {
+  int tree_index = 0;  ///< Index into ReplayedRepository::trees().
+  int step = 0;        ///< 1-based step number within the tree.
+  ComparisonResult result;
+};
+
+/// Labels every step of every session in the repository.
+Result<std::vector<LabeledStep>> LabelRepository(
+    const ReplayedRepository& repo, ActionLabeler* labeler);
+
+}  // namespace ida

@@ -1,0 +1,124 @@
+#include "offline/training.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace ida {
+
+namespace {
+
+// Relabels identical-fingerprint contexts with their most common label(s)
+// (paper Sec 4.2, "Annotating n-contexts").
+void MergeIdenticalContexts(std::vector<TrainingSample>* samples,
+                            TrainingSetStats* stats) {
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < samples->size(); ++i) {
+    groups[(*samples)[i].context.Fingerprint()].push_back(i);
+  }
+  for (const auto& [fp, members] : groups) {
+    if (members.size() < 2) continue;
+    ++stats->merged_groups;
+    std::map<int, size_t> votes;
+    for (size_t i : members) {
+      for (int label : (*samples)[i].labels) ++votes[label];
+    }
+    size_t best = 0;
+    for (const auto& [label, count] : votes) best = std::max(best, count);
+    std::vector<int> winners;
+    for (const auto& [label, count] : votes) {
+      if (count == best) winners.push_back(label);
+    }
+    for (size_t i : members) {
+      (*samples)[i].labels = winners;
+      (*samples)[i].label = winners[0];
+    }
+  }
+}
+
+// Creates one sample from a labeled consecutive action, or returns false
+// when the theta_I filter discards it.
+bool MakeSample(const SessionTree& tree, int tree_index, int state_step,
+                const ComparisonResult& result,
+                const TrainingSetOptions& options, TrainingSample* out) {
+  if (result.dominant.empty() ||
+      result.max_relative < options.theta_interest) {
+    return false;
+  }
+  out->context = ExtractNContext(tree, state_step, options.n_context_size);
+  out->label = result.primary();
+  out->labels = result.dominant;
+  out->max_relative = result.max_relative;
+  out->tree_index = tree_index;
+  out->step = state_step;
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<TrainingSample>> BuildTrainingSet(
+    const ReplayedRepository& repo, ActionLabeler* labeler,
+    const TrainingSetOptions& options, TrainingSetStats* stats) {
+  if (options.n_context_size < 1) {
+    return Status::InvalidArgument("n_context_size must be >= 1");
+  }
+  TrainingSetStats local_stats;
+  std::vector<TrainingSample> samples;
+
+  for (size_t ti = 0; ti < repo.trees().size(); ++ti) {
+    const SessionTree& tree = repo.trees()[ti];
+    if (options.successful_only && !tree.successful()) continue;
+    // States S_t for t in [0, T-1]; the label comes from q_{t+1}.
+    for (int t = 0; t + 1 <= tree.num_steps(); ++t) {
+      ++local_stats.states_considered;
+      IDA_ASSIGN_OR_RETURN(ComparisonResult result,
+                           labeler->LabelStep(tree, t + 1));
+      TrainingSample sample;
+      if (!MakeSample(tree, static_cast<int>(ti), t, result, options,
+                      &sample)) {
+        ++local_stats.filtered_by_theta;
+        continue;
+      }
+      samples.push_back(std::move(sample));
+    }
+  }
+
+  if (options.merge_identical) MergeIdenticalContexts(&samples, &local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return samples;
+}
+
+Result<std::vector<TrainingSample>> BuildTrainingSetFromLabels(
+    const ReplayedRepository& repo, const std::vector<LabeledStep>& labeled,
+    const TrainingSetOptions& options, TrainingSetStats* stats) {
+  if (options.n_context_size < 1) {
+    return Status::InvalidArgument("n_context_size must be >= 1");
+  }
+  TrainingSetStats local_stats;
+  std::vector<TrainingSample> samples;
+  for (const LabeledStep& step : labeled) {
+    if (step.tree_index < 0 ||
+        static_cast<size_t>(step.tree_index) >= repo.trees().size()) {
+      return Status::OutOfRange("labeled step references missing tree " +
+                                std::to_string(step.tree_index));
+    }
+    const SessionTree& tree = repo.trees()[static_cast<size_t>(step.tree_index)];
+    if (options.successful_only && !tree.successful()) continue;
+    if (step.step < 1 || step.step > tree.num_steps()) {
+      return Status::OutOfRange("labeled step out of range");
+    }
+    ++local_stats.states_considered;
+    TrainingSample sample;
+    if (!MakeSample(tree, step.tree_index, step.step - 1, step.result,
+                    options, &sample)) {
+      ++local_stats.filtered_by_theta;
+      continue;
+    }
+    samples.push_back(std::move(sample));
+  }
+  if (options.merge_identical) MergeIdenticalContexts(&samples, &local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return samples;
+}
+
+}  // namespace ida

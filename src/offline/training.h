@@ -1,0 +1,64 @@
+// Training-set construction (paper Sec 3.2): pairs <n-context of S_t,
+// dominant measure of q_{t+1}>, with theta_I filtering of globally
+// non-interesting samples and unanimous relabeling of identical contexts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "offline/labeling.h"
+#include "session/ncontext.h"
+
+namespace ida {
+
+/// One labeled classification sample.
+struct TrainingSample {
+  NContext context;
+  /// Primary label: index into I of the dominant measure (most common one
+  /// after merging identical contexts).
+  int label = -1;
+  /// All acceptable labels (dominance ties); a prediction matching any of
+  /// these counts as correct.
+  std::vector<int> labels;
+  /// Maximal relative interestingness of the consecutive action.
+  double max_relative = 0.0;
+  /// Provenance for debugging.
+  int tree_index = 0;
+  int step = 0;  ///< The session state S_t this sample describes (t).
+};
+
+struct TrainingSetOptions {
+  /// n — context size in elements (nodes + edges), paper range [1, 11].
+  int n_context_size = 3;
+  /// theta_I — minimal max-relative interestingness for a sample to be
+  /// kept. Scale depends on the comparison method: percentile in [0, 1]
+  /// for Reference-Based, standard deviations (about [-2.5, 2.5]) for
+  /// Normalized.
+  double theta_interest = 0.0;
+  /// Use only sessions marked successful (as the paper does for the
+  /// predictive evaluation).
+  bool successful_only = true;
+  /// Merge identical n-contexts: relabel all copies with the most common
+  /// label(s) among them (paper Sec 4.2, "Annotating n-contexts").
+  bool merge_identical = true;
+};
+
+struct TrainingSetStats {
+  size_t states_considered = 0;
+  size_t filtered_by_theta = 0;
+  size_t merged_groups = 0;  ///< fingerprint groups with > 1 sample
+};
+
+/// Builds the training set from a replayed repository and a labeler.
+Result<std::vector<TrainingSample>> BuildTrainingSet(
+    const ReplayedRepository& repo, ActionLabeler* labeler,
+    const TrainingSetOptions& options, TrainingSetStats* stats = nullptr);
+
+/// Same construction from precomputed per-step labels (as produced by
+/// LabelRepository) — lets hyper-parameter sweeps reuse one expensive
+/// labeling pass across many (n, theta_I) settings.
+Result<std::vector<TrainingSample>> BuildTrainingSetFromLabels(
+    const ReplayedRepository& repo, const std::vector<LabeledStep>& labeled,
+    const TrainingSetOptions& options, TrainingSetStats* stats = nullptr);
+
+}  // namespace ida

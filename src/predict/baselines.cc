@@ -1,0 +1,38 @@
+#include "predict/baselines.h"
+
+#include <map>
+
+namespace ida {
+
+BestSingleMeasure::BestSingleMeasure(
+    const std::vector<TrainingSample>& train) {
+  Fit(train, -1);
+}
+
+BestSingleMeasure::BestSingleMeasure(const std::vector<TrainingSample>& train,
+                                     int exclude) {
+  Fit(train, exclude);
+}
+
+void BestSingleMeasure::Fit(const std::vector<TrainingSample>& train,
+                            int exclude) {
+  std::map<int, size_t> counts;
+  size_t total = 0;
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
+    ++counts[train[i].label];
+    ++total;
+  }
+  size_t best = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best) {
+      best = count;
+      best_label_ = label;
+    }
+  }
+  prevalence_ = total > 0 ? static_cast<double>(best) /
+                                static_cast<double>(total)
+                          : 0.0;
+}
+
+}  // namespace ida

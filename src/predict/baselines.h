@@ -1,0 +1,62 @@
+// The paper's non-learning baselines (Sec 4.2, Table 5):
+// RANDOM — a measure drawn uniformly from I per prediction; and
+// Best-SM — the single most prevalent measure of the training set, the
+// "choose one measure a-priori" approach of existing analysis tools.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "offline/training.h"
+#include "predict/knn.h"
+
+namespace ida {
+
+/// Uniform-random measure selection.
+class RandomClassifier {
+ public:
+  RandomClassifier(int num_classes, uint64_t seed)
+      : num_classes_(num_classes), rng_(seed) {}
+
+  Prediction Predict() {
+    Prediction p;
+    if (num_classes_ > 0) {
+      p.label = static_cast<int>(rng_.UniformInt(0, num_classes_ - 1));
+      p.confidence = 1.0 / static_cast<double>(num_classes_);
+    }
+    return p;
+  }
+
+ private:
+  int num_classes_;
+  Rng rng_;
+};
+
+/// Best single measure: always predicts the most prevalent primary label
+/// of the training samples (ties broken toward the lowest measure index).
+class BestSingleMeasure {
+ public:
+  explicit BestSingleMeasure(const std::vector<TrainingSample>& train);
+  /// Variant excluding one training index (for leave-one-out fairness).
+  BestSingleMeasure(const std::vector<TrainingSample>& train, int exclude);
+
+  Prediction Predict() const {
+    Prediction p;
+    p.label = best_label_;
+    p.confidence = prevalence_;
+    return p;
+  }
+
+  int best_label() const { return best_label_; }
+  /// Share of training samples carrying the best label.
+  double prevalence() const { return prevalence_; }
+
+ private:
+  void Fit(const std::vector<TrainingSample>& train, int exclude);
+
+  int best_label_ = -1;
+  double prevalence_ = 0.0;
+};
+
+}  // namespace ida

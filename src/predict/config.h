@@ -1,0 +1,75 @@
+// Default hyper-parameter configurations. Like the paper (Table 4), the
+// defaults are chosen from the coverage/accuracy skyline of a grid search —
+// on OUR synthetic benchmark, so the values differ slightly from the
+// paper's (whose theta_I scale also differs: we mid-rank percentile ties,
+// see offline/comparison.cc). The paper's literal Table 4 values are kept
+// alongside for reference.
+#pragma once
+
+#include "offline/comparison.h"
+#include "predict/knn.h"
+
+namespace ida {
+
+/// A full model configuration: n-context size, kNN parameters, and the
+/// interestingness threshold used when building the training set.
+struct ModelConfig {
+  int n_context_size = 3;
+  KnnOptions knn;
+  double theta_interest = 0.0;
+};
+
+/// Skyline-chosen defaults for the Reference-Based comparison on the
+/// bundled synthetic benchmark: n = 3, k = 10, theta_delta = 0.3,
+/// theta_I = 0.7 (percentile).
+inline ModelConfig DefaultReferenceBasedConfig() {
+  ModelConfig c;
+  c.n_context_size = 3;
+  c.knn.k = 10;
+  c.knn.distance_threshold = 0.3;
+  c.theta_interest = 0.7;
+  return c;
+}
+
+/// Skyline-chosen defaults for the Normalized comparison on the bundled
+/// synthetic benchmark: n = 4, k = 7, theta_delta = 0.15, theta_I = 1.3
+/// (standard deviations).
+inline ModelConfig DefaultNormalizedConfig() {
+  ModelConfig c;
+  c.n_context_size = 4;
+  c.knn.k = 7;
+  c.knn.distance_threshold = 0.15;
+  c.theta_interest = 1.3;
+  return c;
+}
+
+/// The paper's literal Table 4 default for the Reference-Based method
+/// (n = 3, k = 7, theta_delta = 0.2, theta_I = 0.92).
+inline ModelConfig PaperReferenceBasedConfig() {
+  ModelConfig c;
+  c.n_context_size = 3;
+  c.knn.k = 7;
+  c.knn.distance_threshold = 0.2;
+  c.theta_interest = 0.92;
+  return c;
+}
+
+/// The paper's literal Table 4 default for the Normalized method
+/// (n = 2, k = 7, theta_delta = 0.1, theta_I = 0.7).
+inline ModelConfig PaperNormalizedConfig() {
+  ModelConfig c;
+  c.n_context_size = 2;
+  c.knn.k = 7;
+  c.knn.distance_threshold = 0.1;
+  c.theta_interest = 0.7;
+  return c;
+}
+
+/// Default for a given comparison method.
+inline ModelConfig DefaultConfig(ComparisonMethod method) {
+  return method == ComparisonMethod::kReferenceBased
+             ? DefaultReferenceBasedConfig()
+             : DefaultNormalizedConfig();
+}
+
+}  // namespace ida

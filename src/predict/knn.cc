@@ -1,0 +1,74 @@
+#include "predict/knn.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ida {
+
+Prediction KnnVote(const std::vector<double>& distances,
+                   const std::vector<TrainingSample>& train,
+                   const KnnOptions& options, int exclude) {
+  Prediction out;
+  if (train.empty() || distances.size() != train.size() || options.k < 1) {
+    return out;
+  }
+  // Collect candidate (distance, index) pairs and take the k nearest.
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
+    order.emplace_back(distances[i], i);
+  }
+  size_t k = std::min(static_cast<size_t>(options.k), order.size());
+  if (k == 0) return out;
+  std::partial_sort(
+      order.begin(), order.begin() + static_cast<long>(k), order.end());
+
+  // Admit only neighbors within theta_delta.
+  constexpr double kWeightEpsilon = 1e-3;
+  std::map<int, double> votes;            // label -> vote mass
+  std::map<int, double> nearest_of_label; // label -> closest distance
+  size_t admitted = 0;
+  double total_votes = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    if (order[i].first > options.distance_threshold) break;  // sorted
+    const TrainingSample& s = train[order[i].second];
+    double w = options.distance_weighted
+                   ? 1.0 / (order[i].first + kWeightEpsilon)
+                   : 1.0;
+    votes[s.label] += w;
+    total_votes += w;
+    auto it = nearest_of_label.find(s.label);
+    if (it == nearest_of_label.end() || order[i].first < it->second) {
+      nearest_of_label[s.label] = order[i].first;
+    }
+    ++admitted;
+  }
+  if (admitted == 0) return out;  // abstain
+
+  double best_votes = 0.0;
+  for (const auto& [label, count] : votes) best_votes = std::max(best_votes, count);
+  // Tie-break by closest tied neighbor.
+  int best_label = -1;
+  double best_dist = 2.0;
+  for (const auto& [label, count] : votes) {
+    if (count == best_votes && nearest_of_label[label] < best_dist) {
+      best_dist = nearest_of_label[label];
+      best_label = label;
+    }
+  }
+  out.label = best_label;
+  out.confidence = total_votes > 0.0 ? best_votes / total_votes : 0.0;
+  return out;
+}
+
+Prediction IKnnClassifier::Predict(const NContext& query) const {
+  std::vector<double> distances;
+  distances.reserve(train_.size());
+  for (const TrainingSample& s : train_) {
+    distances.push_back(metric_.Distance(query, s.context));
+  }
+  return KnnVote(distances, train_, options_);
+}
+
+}  // namespace ida

@@ -1,0 +1,182 @@
+#include "predict/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+
+namespace ida {
+
+Status BinaryKernelSvm::Train(const std::vector<std::vector<double>>& kernel,
+                              const std::vector<int>& labels) {
+  size_t n = labels.size();
+  if (kernel.size() != n) {
+    return Status::InvalidArgument("kernel size does not match label count");
+  }
+  for (const auto& row : kernel) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("kernel matrix is not square");
+    }
+  }
+  bool has_pos = false, has_neg = false;
+  for (int y : labels) {
+    if (y == 1) has_pos = true;
+    else if (y == -1) has_neg = true;
+    else return Status::InvalidArgument("labels must be -1 or +1");
+  }
+  labels_ = labels;
+  alphas_.assign(n, 0.0);
+  bias_ = 0.0;
+  if (!has_pos || !has_neg) {
+    // Degenerate: one-class problem; constant decision at the class sign.
+    bias_ = has_pos ? 1.0 : -1.0;
+    return Status::OK();
+  }
+
+  Rng rng(options_.seed);
+  auto f = [&](size_t i) {
+    double s = bias_;
+    for (size_t j = 0; j < n; ++j) {
+      if (alphas_[j] != 0.0) {
+        s += alphas_[j] * static_cast<double>(labels_[j]) * kernel[j][i];
+      }
+    }
+    return s;
+  };
+
+  int passes = 0;
+  int iter = 0;
+  const double C = options_.C;
+  const double tol = options_.tolerance;
+  while (passes < options_.max_passes && iter < options_.max_iterations) {
+    ++iter;
+    int changed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double yi = static_cast<double>(labels_[i]);
+      double Ei = f(i) - yi;
+      if ((yi * Ei < -tol && alphas_[i] < C) ||
+          (yi * Ei > tol && alphas_[i] > 0.0)) {
+        size_t j = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 2));
+        if (j >= i) ++j;
+        double yj = static_cast<double>(labels_[j]);
+        double Ej = f(j) - yj;
+        double ai_old = alphas_[i], aj_old = alphas_[j];
+        double L, H;
+        if (labels_[i] != labels_[j]) {
+          L = std::max(0.0, aj_old - ai_old);
+          H = std::min(C, C + aj_old - ai_old);
+        } else {
+          L = std::max(0.0, ai_old + aj_old - C);
+          H = std::min(C, ai_old + aj_old);
+        }
+        if (L >= H) continue;
+        double eta = 2.0 * kernel[i][j] - kernel[i][i] - kernel[j][j];
+        if (eta >= 0.0) continue;
+        double aj = aj_old - yj * (Ei - Ej) / eta;
+        aj = std::clamp(aj, L, H);
+        if (std::fabs(aj - aj_old) < 1e-7) continue;
+        double ai = ai_old + yi * yj * (aj_old - aj);
+        alphas_[i] = ai;
+        alphas_[j] = aj;
+        double b1 = bias_ - Ei - yi * (ai - ai_old) * kernel[i][i] -
+                    yj * (aj - aj_old) * kernel[i][j];
+        double b2 = bias_ - Ej - yi * (ai - ai_old) * kernel[i][j] -
+                    yj * (aj - aj_old) * kernel[j][j];
+        if (ai > 0.0 && ai < C) {
+          bias_ = b1;
+        } else if (aj > 0.0 && aj < C) {
+          bias_ = b2;
+        } else {
+          bias_ = (b1 + b2) / 2.0;
+        }
+        ++changed;
+      }
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+  return Status::OK();
+}
+
+double BinaryKernelSvm::Decision(const std::vector<double>& kernel_row) const {
+  double s = bias_;
+  for (size_t j = 0; j < alphas_.size() && j < kernel_row.size(); ++j) {
+    if (alphas_[j] != 0.0) {
+      s += alphas_[j] * static_cast<double>(labels_[j]) * kernel_row[j];
+    }
+  }
+  return s;
+}
+
+Status MultiClassKernelSvm::Train(
+    const std::vector<std::vector<double>>& kernel,
+    const std::vector<int>& labels) {
+  std::set<int> distinct(labels.begin(), labels.end());
+  classes_.assign(distinct.begin(), distinct.end());
+  machines_.clear();
+  machines_.reserve(classes_.size());
+  for (int cls : classes_) {
+    std::vector<int> binary;
+    binary.reserve(labels.size());
+    for (int y : labels) binary.push_back(y == cls ? 1 : -1);
+    BinaryKernelSvm machine(options_);
+    IDA_RETURN_NOT_OK(machine.Train(kernel, binary));
+    machines_.push_back(std::move(machine));
+  }
+  return Status::OK();
+}
+
+int MultiClassKernelSvm::Predict(const std::vector<double>& kernel_row) const {
+  if (machines_.empty()) return -1;
+  int best = classes_[0];
+  double best_decision = -1e300;
+  for (size_t c = 0; c < machines_.size(); ++c) {
+    double d = machines_[c].Decision(kernel_row);
+    if (d > best_decision) {
+      best_decision = d;
+      best = classes_[c];
+    }
+  }
+  return best;
+}
+
+double MedianSigma(const std::vector<std::vector<double>>& distances) {
+  std::vector<double> positive;
+  for (size_t i = 0; i < distances.size(); ++i) {
+    for (size_t j = i + 1; j < distances[i].size(); ++j) {
+      if (distances[i][j] > 0.0) positive.push_back(distances[i][j]);
+    }
+  }
+  if (positive.empty()) return 1.0;
+  double med = Median(std::move(positive));
+  return med > 0.0 ? med : 1.0;
+}
+
+std::vector<std::vector<double>> DistanceToKernel(
+    const std::vector<std::vector<double>>& distances, double sigma) {
+  if (sigma <= 0.0) sigma = MedianSigma(distances);
+  double denom = 2.0 * sigma * sigma;
+  std::vector<std::vector<double>> kernel(distances.size());
+  for (size_t i = 0; i < distances.size(); ++i) {
+    kernel[i].resize(distances[i].size());
+    for (size_t j = 0; j < distances[i].size(); ++j) {
+      kernel[i][j] = std::exp(-distances[i][j] * distances[i][j] / denom);
+    }
+  }
+  return kernel;
+}
+
+std::vector<double> DistanceRowToKernelRow(const std::vector<double>& row,
+                                           double sigma) {
+  if (sigma <= 0.0) sigma = 1.0;
+  double denom = 2.0 * sigma * sigma;
+  std::vector<double> out(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    out[i] = std::exp(-row[i] * row[i] / denom);
+  }
+  return out;
+}
+
+}  // namespace ida

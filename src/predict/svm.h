@@ -1,0 +1,85 @@
+// I-SVM: the paper's SVM baseline (Sec 4.2) — a support vector machine
+// with a distance-substitution kernel (after Chen et al. [7]) so that
+// compound n-context samples can be classified through the session
+// distance alone: K(a, b) = exp(-d(a, b)^2 / (2 sigma^2)). Multi-class is
+// one-vs-rest over binary SVMs trained with a simplified SMO on the
+// precomputed kernel matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ida {
+
+struct SvmOptions {
+  double C = 1.0;          ///< Soft-margin penalty.
+  double tolerance = 1e-3; ///< KKT violation tolerance.
+  int max_passes = 5;      ///< Consecutive no-change passes before stopping.
+  int max_iterations = 60;
+  uint64_t seed = 13;      ///< For SMO's random second-index choice.
+};
+
+/// Binary soft-margin SVM over a precomputed kernel.
+class BinaryKernelSvm {
+ public:
+  explicit BinaryKernelSvm(SvmOptions options = {}) : options_(options) {}
+
+  /// Trains on samples indexed 0..n-1 with labels in {-1, +1}; kernel is
+  /// the n x n Gram matrix.
+  Status Train(const std::vector<std::vector<double>>& kernel,
+               const std::vector<int>& labels);
+
+  /// Decision value for a query given its kernel row against the training
+  /// samples (kernel_row[i] = K(query, x_i)).
+  double Decision(const std::vector<double>& kernel_row) const;
+
+  const std::vector<double>& alphas() const { return alphas_; }
+  double bias() const { return bias_; }
+
+ private:
+  SvmOptions options_;
+  std::vector<double> alphas_;
+  std::vector<int> labels_;
+  double bias_ = 0.0;
+};
+
+/// One-vs-rest multi-class SVM over a precomputed kernel.
+class MultiClassKernelSvm {
+ public:
+  explicit MultiClassKernelSvm(SvmOptions options = {}) : options_(options) {}
+
+  /// Trains one binary machine per distinct label value in `labels`
+  /// (labels are small non-negative ints, e.g. measure indices).
+  Status Train(const std::vector<std::vector<double>>& kernel,
+               const std::vector<int>& labels);
+
+  /// Predicted label: the class whose machine yields the largest decision
+  /// value. Always predicts (100% coverage, as the paper notes for I-SVM).
+  int Predict(const std::vector<double>& kernel_row) const;
+
+  const std::vector<int>& classes() const { return classes_; }
+
+ private:
+  SvmOptions options_;
+  std::vector<int> classes_;
+  std::vector<BinaryKernelSvm> machines_;
+};
+
+/// Builds the RBF distance-substitution Gram matrix from a distance
+/// matrix: K = exp(-d^2 / (2 sigma^2)). `sigma` <= 0 selects the median
+/// heuristic (median of positive pairwise distances; 1 if none).
+std::vector<std::vector<double>> DistanceToKernel(
+    const std::vector<std::vector<double>>& distances, double sigma = 0.0);
+
+/// Converts one query-to-train distance row into a kernel row with the
+/// same sigma convention (pass the sigma actually used; the median
+/// heuristic value is returned by MedianSigma).
+std::vector<double> DistanceRowToKernelRow(const std::vector<double>& row,
+                                           double sigma);
+
+/// The median heuristic sigma for a distance matrix.
+double MedianSigma(const std::vector<std::vector<double>>& distances);
+
+}  // namespace ida

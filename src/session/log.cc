@@ -1,0 +1,155 @@
+#include "session/log.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ida {
+
+size_t SessionLog::total_actions() const {
+  size_t n = 0;
+  for (const auto& r : records_) n += r.steps.size();
+  return n;
+}
+
+size_t SessionLog::successful_sessions() const {
+  size_t n = 0;
+  for (const auto& r : records_) n += r.successful ? 1 : 0;
+  return n;
+}
+
+size_t SessionLog::successful_actions() const {
+  size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.successful) n += r.steps.size();
+  }
+  return n;
+}
+
+std::string SessionLog::Serialize() const {
+  std::ostringstream os;
+  for (const auto& r : records_) {
+    os << "SESSION " << r.session_id << " " << r.user_id << " "
+       << r.dataset_id << " " << (r.successful ? 1 : 0) << "\n";
+    for (const auto& [parent, action] : r.steps) {
+      os << "STEP " << parent << " " << action.Serialize() << "\n";
+    }
+    os << "END\n";
+  }
+  return os.str();
+}
+
+Result<SessionLog> SessionLog::Parse(const std::string& text) {
+  SessionLog log;
+  std::istringstream in(text);
+  std::string line;
+  SessionRecord cur;
+  bool in_session = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    auto err = [&](const std::string& msg) {
+      return Status::InvalidArgument("session log line " +
+                                     std::to_string(line_no) + ": " + msg);
+    };
+    if (StartsWith(line, "SESSION ")) {
+      if (in_session) return err("nested SESSION");
+      std::vector<std::string> parts = Split(line, ' ');
+      if (parts.size() != 5) return err("SESSION needs 4 fields");
+      cur = SessionRecord{};
+      cur.session_id = parts[1];
+      cur.user_id = parts[2];
+      cur.dataset_id = parts[3];
+      cur.successful = parts[4] == "1";
+      in_session = true;
+    } else if (StartsWith(line, "STEP ")) {
+      if (!in_session) return err("STEP outside SESSION");
+      size_t sp1 = line.find(' ');
+      size_t sp2 = line.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos) return err("STEP needs parent and action");
+      int parent = 0;
+      try {
+        parent = std::stoi(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      } catch (...) {
+        return err("bad parent node id");
+      }
+      if (parent < 0 || parent > static_cast<int>(cur.steps.size())) {
+        return err("parent node id " + std::to_string(parent) +
+                   " out of range");
+      }
+      IDA_ASSIGN_OR_RETURN(Action action, Action::Parse(line.substr(sp2 + 1)));
+      if (action.type() == ActionType::kBack) {
+        return err("BACK actions are not recorded as steps");
+      }
+      cur.steps.emplace_back(parent, std::move(action));
+    } else if (line == "END") {
+      if (!in_session) return err("END outside SESSION");
+      log.Add(std::move(cur));
+      in_session = false;
+    } else {
+      return err("unrecognized line: " + line);
+    }
+  }
+  if (in_session) {
+    return Status::InvalidArgument("session log: unterminated SESSION '" +
+                                   cur.session_id + "'");
+  }
+  return log;
+}
+
+Status SessionLog::SaveToFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open '" + path + "' for writing");
+  f << Serialize();
+  if (!f) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<SessionLog> SessionLog::LoadFromFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return Parse(buf.str());
+}
+
+Result<SessionTree> ReplaySession(const SessionRecord& record,
+                                  const DatasetRegistry& datasets,
+                                  const ActionExecutor& exec) {
+  auto it = datasets.find(record.dataset_id);
+  if (it == datasets.end()) {
+    return Status::NotFound("dataset '" + record.dataset_id +
+                            "' not in registry (session '" +
+                            record.session_id + "')");
+  }
+  SessionTree tree(record.session_id, record.user_id, record.dataset_id,
+                   Display::MakeRoot(it->second));
+  tree.set_successful(record.successful);
+  for (const auto& [parent, action] : record.steps) {
+    IDA_ASSIGN_OR_RETURN(int node, tree.ApplyFrom(parent, action, exec));
+    (void)node;
+  }
+  return tree;
+}
+
+Status ReplayAll(const SessionLog& log, const DatasetRegistry& datasets,
+                 const ActionExecutor& exec,
+                 const std::function<void(const SessionTree&)>& consume,
+                 size_t* failed) {
+  size_t fail_count = 0;
+  for (const auto& record : log.records()) {
+    Result<SessionTree> tree = ReplaySession(record, datasets, exec);
+    if (!tree.ok()) {
+      ++fail_count;
+      continue;
+    }
+    consume(*tree);
+  }
+  if (failed != nullptr) *failed = fail_count;
+  return Status::OK();
+}
+
+}  // namespace ida

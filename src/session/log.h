@@ -1,0 +1,81 @@
+// Session-log repository R (paper Sec 2.1): recorded sessions that can be
+// persisted to a line-based text format and fully reconstructed (replayed)
+// against their datasets — mirroring the REACT-IDA benchmark's property
+// that "each recorded session can be fully reconstructed".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actions/action.h"
+#include "actions/executor.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "session/tree.h"
+
+namespace ida {
+
+/// A recorded session: metadata plus the ordered list of executed steps
+/// (parent display node + action). Node ids follow the step numbering of
+/// SessionTree (step k creates node k; parents are in [0, k-1]).
+struct SessionRecord {
+  std::string session_id;
+  std::string user_id;
+  std::string dataset_id;
+  bool successful = false;
+  std::vector<std::pair<int, Action>> steps;
+};
+
+/// An in-memory repository of recorded sessions.
+class SessionLog {
+ public:
+  SessionLog() = default;
+
+  void Add(SessionRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<SessionRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Total number of recorded actions across all sessions.
+  size_t total_actions() const;
+  /// Number of sessions marked successful.
+  size_t successful_sessions() const;
+  /// Total actions within successful sessions.
+  size_t successful_actions() const;
+
+  /// Line-based text serialization:
+  ///   SESSION <id> <user> <dataset> <successful:0|1>
+  ///   STEP <parent-node-id> <serialized action>
+  ///   ...
+  ///   END
+  std::string Serialize() const;
+  static Result<SessionLog> Parse(const std::string& text);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<SessionLog> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<SessionRecord> records_;
+};
+
+/// Maps dataset ids to their (root) tables so sessions can be replayed.
+using DatasetRegistry =
+    std::map<std::string, std::shared_ptr<const DataTable>>;
+
+/// Re-executes a recorded session against its dataset, rebuilding the full
+/// session tree with all result displays (paper Sec 4: "we re-executed the
+/// recorded actions ... and computed their interestingness scores").
+Result<SessionTree> ReplaySession(const SessionRecord& record,
+                                  const DatasetRegistry& datasets,
+                                  const ActionExecutor& exec);
+
+/// Replays every session in the log, invoking `consume` per replayed tree.
+/// Sessions that fail to replay are skipped and counted in *failed.
+Status ReplayAll(const SessionLog& log, const DatasetRegistry& datasets,
+                 const ActionExecutor& exec,
+                 const std::function<void(const SessionTree&)>& consume,
+                 size_t* failed = nullptr);
+
+}  // namespace ida

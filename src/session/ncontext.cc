@@ -1,0 +1,179 @@
+#include "session/ncontext.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace ida {
+
+namespace {
+
+// Bookkeeping for incremental minimal-subtree construction over session
+// node ids.
+struct SubtreeBuilder {
+  const SessionTree& tree;
+  std::vector<bool> node_included;
+  std::vector<bool> edge_included;  // edge identified by its child node id
+  std::vector<int> depth;
+  int cur_root = -1;  // shallowest included node
+  size_t size = 0;    // nodes + edges
+
+  explicit SubtreeBuilder(const SessionTree& t)
+      : tree(t),
+        node_included(static_cast<size_t>(t.num_nodes()), false),
+        edge_included(static_cast<size_t>(t.num_nodes()), false),
+        depth(static_cast<size_t>(t.num_nodes()), 0) {
+    for (int i = 1; i < t.num_nodes(); ++i) {
+      depth[static_cast<size_t>(i)] =
+          depth[static_cast<size_t>(t.node(i).parent)] + 1;
+    }
+  }
+
+  void IncludeNode(int v) {
+    if (!node_included[static_cast<size_t>(v)]) {
+      node_included[static_cast<size_t>(v)] = true;
+      ++size;
+      if (cur_root < 0 || depth[static_cast<size_t>(v)] <
+                              depth[static_cast<size_t>(cur_root)]) {
+        cur_root = v;
+      }
+    }
+  }
+
+  void IncludeEdge(int child) {
+    if (!edge_included[static_cast<size_t>(child)]) {
+      edge_included[static_cast<size_t>(child)] = true;
+      ++size;
+    }
+  }
+
+  // Adds node v together with the minimal connecting path to the current
+  // included subtree. No-op if v is already included.
+  void ConnectNode(int v) {
+    if (node_included[static_cast<size_t>(v)]) return;
+    if (cur_root < 0) {
+      IncludeNode(v);
+      return;
+    }
+    // Walk up from v; if we hit an included node, the prefix of the walk is
+    // the minimal connecting path.
+    int u = v;
+    while (u != -1 && !node_included[static_cast<size_t>(u)]) {
+      u = tree.node(u).parent;
+    }
+    if (u != -1) {
+      for (int w = v; w != u; w = tree.node(w).parent) {
+        IncludeNode(w);
+        IncludeEdge(w);
+      }
+      return;
+    }
+    // No ancestor of v is included: the subtree hangs in another branch.
+    // Connect through the LCA of v and the subtree root. Capture the root
+    // now — IncludeNode below may shift cur_root before the second path
+    // is added.
+    const int old_root = cur_root;
+    int a = v, b = cur_root;
+    while (depth[static_cast<size_t>(a)] > depth[static_cast<size_t>(b)]) {
+      a = tree.node(a).parent;
+    }
+    while (depth[static_cast<size_t>(b)] > depth[static_cast<size_t>(a)]) {
+      b = tree.node(b).parent;
+    }
+    while (a != b) {
+      a = tree.node(a).parent;
+      b = tree.node(b).parent;
+    }
+    const int lca = a;
+    for (int w = v; w != lca; w = tree.node(w).parent) {
+      IncludeNode(w);
+      IncludeEdge(w);
+    }
+    IncludeNode(lca);
+    for (int w = old_root; w != lca; w = tree.node(w).parent) {
+      IncludeEdge(w);
+      IncludeNode(tree.node(w).parent);
+    }
+  }
+};
+
+void EmitSubtree(const SessionTree& tree, const SubtreeBuilder& b,
+                 int session_node, int parent_ctx_index, bool is_root,
+                 NContext* out) {
+  NContextNode n;
+  const SessionNode& sn = tree.node(session_node);
+  n.display = sn.display;
+  n.step = session_node;  // node id == creation step
+  n.parent = parent_ctx_index;
+  if (!is_root) n.incoming = sn.incoming_action;
+  out->mutable_nodes()->push_back(std::move(n));
+  int my_index = static_cast<int>(out->nodes().size()) - 1;
+  if (parent_ctx_index >= 0) {
+    (*out->mutable_nodes())[static_cast<size_t>(parent_ctx_index)]
+        .children.push_back(my_index);
+  }
+  for (int child : sn.children) {
+    if (b.node_included[static_cast<size_t>(child)] &&
+        b.edge_included[static_cast<size_t>(child)]) {
+      EmitSubtree(tree, b, child, my_index, false, out);
+    }
+  }
+}
+
+}  // namespace
+
+NContext ExtractNContext(const SessionTree& tree, int t, int n) {
+  NContext ctx;
+  if (t < 0 || t > tree.num_steps() || n < 1) return ctx;
+  SubtreeBuilder b(tree);
+  b.IncludeNode(t);  // d_t (node id == step)
+  for (int k = t; k >= 1 && b.size < static_cast<size_t>(n); --k) {
+    // Element q_k: the edge that created display node k, plus whatever is
+    // needed to keep the subtree connected.
+    b.ConnectNode(k);
+    b.IncludeEdge(k);
+    // The edge's source display: adjacent to the (now included) node k, so
+    // a plain include preserves connectivity.
+    b.IncludeNode(tree.node(k).parent);
+  }
+  if (b.cur_root < 0) return ctx;
+  EmitSubtree(tree, b, b.cur_root, -1, true, &ctx);
+  ctx.set_root(0);
+  // Locate the focus node (step t).
+  for (size_t i = 0; i < ctx.nodes().size(); ++i) {
+    if (ctx.nodes()[i].step == t) {
+      ctx.set_focus(static_cast<int>(i));
+      break;
+    }
+  }
+  return ctx;
+}
+
+namespace {
+
+void FingerprintNode(const NContext& ctx, int i, std::ostringstream* os) {
+  const NContextNode& n = ctx.node(i);
+  (*os) << "(";
+  if (n.incoming.has_value()) (*os) << n.incoming->Serialize() << "->";
+  const InterestProfile& p = n.display->profile();
+  (*os) << DisplayKindName(n.display->kind()) << "/" << n.display->num_rows()
+        << "r/" << p.column << "/" << p.group_count() << "g/"
+        << static_cast<int64_t>(p.covered_tuples()) << "c/"
+        << n.display->dataset_size() << "o";
+  for (int c : n.children) {
+    (*os) << " ";
+    FingerprintNode(ctx, c, os);
+  }
+  (*os) << ")";
+}
+
+}  // namespace
+
+std::string NContext::Fingerprint() const {
+  if (empty()) return "()";
+  std::ostringstream os;
+  FingerprintNode(*this, root_, &os);
+  return os.str();
+}
+
+}  // namespace ida

@@ -1,0 +1,69 @@
+// n-context extraction (paper Sec 3.2): the minimal subtree of the session
+// covering the min(n, 2t+1) most recent elements (displays and actions) up
+// to step t. Elements are consumed in reverse execution order starting from
+// d_t; adding an edge pulls in the nodes needed to keep the subtree
+// connected, and every pulled-in node/edge counts toward the size.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "actions/action.h"
+#include "actions/display.h"
+#include "session/tree.h"
+
+namespace ida {
+
+/// Node of an extracted n-context subtree.
+struct NContextNode {
+  DisplayPtr display;
+  /// Action on the edge from the parent context node; nullopt for the
+  /// context root.
+  std::optional<Action> incoming;
+  /// Session step at which this display was created (0 for the session
+  /// root).
+  int step = 0;
+  int parent = -1;                  ///< Index within NContext::nodes.
+  std::vector<int> children;        ///< Indices, ordered by step.
+};
+
+/// A small ordered labeled tree describing the recent analysis context of a
+/// session state. This is the sample object of the classification problem.
+class NContext {
+ public:
+  NContext() = default;
+
+  const std::vector<NContextNode>& nodes() const { return nodes_; }
+  const NContextNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  /// Index of the context root (the shallowest included display).
+  int root() const { return root_; }
+  /// Index of the focus node d_t (the display being examined).
+  int focus() const { return focus_; }
+  /// Size in elements: nodes + edges (edges == nodes - 1).
+  size_t size_elements() const {
+    return nodes_.empty() ? 0 : 2 * nodes_.size() - 1;
+  }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Canonical one-line structural rendering (for dedup/merging of
+  /// identical contexts and for debugging). Includes action syntax and
+  /// display shapes, not full display contents.
+  std::string Fingerprint() const;
+
+  /// Internal: used by the extractor.
+  std::vector<NContextNode>* mutable_nodes() { return &nodes_; }
+  void set_root(int r) { root_ = r; }
+  void set_focus(int f) { focus_ = f; }
+
+ private:
+  std::vector<NContextNode> nodes_;
+  int root_ = -1;
+  int focus_ = -1;
+};
+
+/// Extracts the n-context of session state S_t. Requirements:
+/// 0 <= t <= tree.num_steps(), n >= 1.
+NContext ExtractNContext(const SessionTree& tree, int t, int n);
+
+}  // namespace ida

@@ -1,0 +1,44 @@
+#include "session/tree.h"
+
+namespace ida {
+
+SessionTree::SessionTree(std::string session_id, std::string user_id,
+                         std::string dataset_id, DisplayPtr root)
+    : session_id_(std::move(session_id)),
+      user_id_(std::move(user_id)),
+      dataset_id_(std::move(dataset_id)) {
+  SessionNode n;
+  n.id = 0;
+  n.parent = -1;
+  n.display = std::move(root);
+  nodes_.push_back(std::move(n));
+}
+
+Result<int> SessionTree::ApplyFrom(int parent_id, const Action& action,
+                                   const ActionExecutor& exec) {
+  if (parent_id < 0 || parent_id >= num_nodes()) {
+    return Status::OutOfRange("parent node id " + std::to_string(parent_id) +
+                              " out of range [0, " +
+                              std::to_string(num_nodes()) + ")");
+  }
+  if (action.type() == ActionType::kBack) {
+    return Status::InvalidArgument(
+        "BACK does not create a node; apply the next action from the "
+        "desired parent instead");
+  }
+  const SessionNode& parent = nodes_[static_cast<size_t>(parent_id)];
+  IDA_ASSIGN_OR_RETURN(DisplayPtr display,
+                       exec.Execute(action, *parent.display));
+  SessionNode n;
+  n.id = num_nodes();
+  n.parent = parent_id;
+  n.incoming_action = action;
+  n.display = std::move(display);
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent_id)].children.push_back(
+      nodes_.back().id);
+  steps_.push_back(SessionStep{parent_id, nodes_.back().id, action});
+  return nodes_.back().id;
+}
+
+}  // namespace ida

@@ -1,0 +1,83 @@
+// The IDA session model (paper Sec 2.1): an ordered labeled tree whose
+// nodes are displays and whose edges are the analysis actions that produced
+// them. Backtracking does not create nodes — it only changes the display a
+// later action is executed from, which is why a step records its parent
+// node explicitly.
+//
+// Step indexing follows the paper: step t (t >= 1) executes action q_t from
+// some parent display and yields display d_t; the session state S_t is "the
+// user examines d_t". Node ids coincide with step numbers (node 0 is the
+// root display d_0, node t is d_t).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actions/action.h"
+#include "actions/display.h"
+#include "actions/executor.h"
+#include "common/status.h"
+
+namespace ida {
+
+/// One display node in a session tree.
+struct SessionNode {
+  int id = 0;
+  int parent = -1;  ///< -1 for the root.
+  /// Action on the edge from `parent` (meaningless for the root).
+  Action incoming_action;
+  DisplayPtr display;
+  std::vector<int> children;  ///< In creation (step) order.
+};
+
+/// An executed step: q_t applied from display node `parent`, producing
+/// display node `node` (== t).
+struct SessionStep {
+  int parent = 0;
+  int node = 0;
+  Action action;
+};
+
+/// A recorded (or in-progress) analysis session.
+class SessionTree {
+ public:
+  /// Starts a session on a dataset whose root display is `root`.
+  SessionTree(std::string session_id, std::string user_id,
+              std::string dataset_id, DisplayPtr root);
+
+  /// Executes `action` from display node `parent_id` via `exec` and appends
+  /// the resulting display node. Returns the new node id (== new step
+  /// number). BACK actions are rejected — navigate by passing the desired
+  /// `parent_id` instead.
+  Result<int> ApplyFrom(int parent_id, const Action& action,
+                        const ActionExecutor& exec);
+
+  /// Number of executed steps T (root-only session has 0).
+  int num_steps() const { return static_cast<int>(steps_.size()); }
+  /// Number of display nodes (== num_steps() + 1).
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  const SessionNode& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  /// Display node created at step t (t == 0 gives the root).
+  const SessionNode& NodeOfStep(int t) const { return nodes_[static_cast<size_t>(t)]; }
+  const std::vector<SessionStep>& steps() const { return steps_; }
+  /// Step t (1-based, as in the paper).
+  const SessionStep& step(int t) const { return steps_[static_cast<size_t>(t - 1)]; }
+
+  const std::string& session_id() const { return session_id_; }
+  const std::string& user_id() const { return user_id_; }
+  const std::string& dataset_id() const { return dataset_id_; }
+  bool successful() const { return successful_; }
+  void set_successful(bool v) { successful_ = v; }
+
+ private:
+  std::string session_id_;
+  std::string user_id_;
+  std::string dataset_id_;
+  bool successful_ = false;
+  std::vector<SessionNode> nodes_;
+  std::vector<SessionStep> steps_;
+};
+
+}  // namespace ida

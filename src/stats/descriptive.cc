@@ -1,0 +1,148 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ida {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(), xs.begin() + mid - 1, xs.begin() + mid);
+  return (xs[mid - 1] + hi) / 2.0;
+}
+
+double Mad(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double med = Median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::fabs(x - med));
+  return Median(std::move(dev));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double Skewness(const std::vector<double>& xs) {
+  size_t n = xs.size();
+  if (n < 3) return 0.0;
+  double m = Mean(xs);
+  double m2 = 0.0, m3 = 0.0;
+  for (double x : xs) {
+    double d = x - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  double g1 = m3 / std::pow(m2, 1.5);
+  double nn = static_cast<double>(n);
+  return g1 * std::sqrt(nn * (nn - 1.0)) / (nn - 2.0);
+}
+
+double ShannonEntropy(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights)
+    if (w > 0.0) total += w;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) {
+      double p = w / total;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  double mx = Mean(xs), my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                    double epsilon) {
+  if (p.size() != q.size() || p.empty()) return 0.0;
+  double sp = 0.0, sq = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    sp += std::max(0.0, p[i]);
+    sq += std::max(0.0, q[i]);
+  }
+  if (sp <= 0.0 || sq <= 0.0) return 0.0;
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double pi = std::max(0.0, p[i]) / sp;
+    double qi = std::max(epsilon, std::max(0.0, q[i]) / sq);
+    if (pi > 0.0) kl += pi * std::log2(pi / qi);
+  }
+  return std::max(0.0, kl);
+}
+
+size_t Histogram::total() const {
+  size_t t = 0;
+  for (size_t c : counts) t += c;
+  return t;
+}
+
+size_t Histogram::BinOf(double v) const {
+  if (counts.empty()) return 0;
+  if (hi <= lo) return 0;
+  double frac = (v - lo) / (hi - lo);
+  auto bin = static_cast<long long>(frac * static_cast<double>(counts.size()));
+  bin = std::clamp<long long>(bin, 0,
+                              static_cast<long long>(counts.size()) - 1);
+  return static_cast<size_t>(bin);
+}
+
+Histogram MakeHistogram(const std::vector<double>& xs, size_t bins) {
+  Histogram h;
+  if (xs.empty() || bins == 0) return h;
+  h.lo = *std::min_element(xs.begin(), xs.end());
+  h.hi = *std::max_element(xs.begin(), xs.end());
+  h.counts.assign(h.hi <= h.lo ? 1 : bins, 0);
+  for (double x : xs) ++h.counts[h.BinOf(x)];
+  return h;
+}
+
+}  // namespace ida

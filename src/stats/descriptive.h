@@ -1,0 +1,62 @@
+// Descriptive statistics over double samples. NaN/inf inputs are the
+// caller's responsibility unless stated otherwise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ida {
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased (n-1) sample variance; 0 for samples with fewer than 2 points.
+double Variance(const std::vector<double>& xs);
+
+/// Square root of Variance().
+double StdDev(const std::vector<double>& xs);
+
+/// Median (average of middle two for even n); 0 for an empty sample.
+double Median(std::vector<double> xs);
+
+/// Median absolute deviation around the median.
+double Mad(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0,100].
+double Percentile(std::vector<double> xs, double p);
+
+/// Adjusted Fisher-Pearson sample skewness (g1 with bias correction);
+/// 0 for n < 3 or zero variance.
+double Skewness(const std::vector<double>& xs);
+
+/// Shannon entropy (bits) of a discrete distribution given as
+/// non-negative weights (normalized internally).
+double ShannonEntropy(const std::vector<double>& weights);
+
+/// Pearson correlation coefficient; 0 if either side has zero variance or
+/// the lengths mismatch / are < 2.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Kullback-Leibler divergence KL(p || q) in bits over two discrete
+/// distributions of equal length. Probabilities are renormalized; zero q
+/// mass where p has mass is smoothed by `epsilon`.
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                    double epsilon = 1e-9);
+
+/// Fixed-width histogram description.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<size_t> counts;
+
+  size_t total() const;
+  /// Bin index of value v (clamped to edge bins).
+  size_t BinOf(double v) const;
+};
+
+/// Builds a histogram of `xs` with `bins` equal-width bins spanning
+/// [min, max]; degenerate (constant) samples land in one bin.
+Histogram MakeHistogram(const std::vector<double>& xs, size_t bins);
+
+}  // namespace ida

@@ -1,0 +1,135 @@
+#include "stats/significance.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ida {
+
+double LogGamma(double x) {
+  // Lanczos approximation, g = 7, n = 9.
+  static const double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoef[0];
+  double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+namespace {
+
+// Series representation of P(a, x), converges well for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued-fraction representation of Q(a, x), converges well for
+// x >= a + 1 (modified Lentz).
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  if (!(a > 0.0) || x < 0.0 || !std::isfinite(x)) {
+    return x > 0.0 ? 1.0 : 0.0;
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  if (!(a > 0.0) || x < 0.0 || !std::isfinite(x)) {
+    return x > 0.0 ? 0.0 : 1.0;
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareSurvival(double stat, double dof) {
+  if (dof <= 0.0) return 1.0;
+  if (stat <= 0.0) return 1.0;
+  return RegularizedGammaQ(dof / 2.0, stat / 2.0);
+}
+
+ChiSquareResult ChiSquareIndependence(
+    const std::vector<std::vector<double>>& observed) {
+  ChiSquareResult result;
+  if (observed.empty()) return result;
+  size_t rows = observed.size();
+  size_t cols = observed[0].size();
+  for (const auto& row : observed) {
+    if (row.size() != cols) return result;
+  }
+
+  std::vector<double> row_sum(rows, 0.0), col_sum(cols, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      double o = observed[i][j];
+      row_sum[i] += o;
+      col_sum[j] += o;
+      total += o;
+    }
+  }
+  if (total <= 0.0) return result;
+
+  size_t eff_rows = 0, eff_cols = 0;
+  for (double s : row_sum) eff_rows += s > 0.0 ? 1 : 0;
+  for (double s : col_sum) eff_cols += s > 0.0 ? 1 : 0;
+  if (eff_rows < 2 || eff_cols < 2) return result;
+
+  double stat = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (row_sum[i] <= 0.0) continue;
+    for (size_t j = 0; j < cols; ++j) {
+      if (col_sum[j] <= 0.0) continue;
+      double expected = row_sum[i] * col_sum[j] / total;
+      double d = observed[i][j] - expected;
+      stat += d * d / expected;
+    }
+  }
+  result.statistic = stat;
+  result.dof =
+      static_cast<double>((eff_rows - 1)) * static_cast<double>(eff_cols - 1);
+  result.p_value = ChiSquareSurvival(stat, result.dof);
+  return result;
+}
+
+}  // namespace ida

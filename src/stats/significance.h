@@ -1,0 +1,39 @@
+// Significance testing: the chi-square test of independence used by the
+// paper (Sec 4.1) to show the two offline comparison methods are highly
+// correlated, plus the special functions it needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ida {
+
+/// Natural log of the gamma function (Lanczos approximation).
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a),
+/// a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: P(X >= stat).
+double ChiSquareSurvival(double stat, double dof);
+
+/// Result of a chi-square test of independence.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;
+};
+
+/// Pearson chi-square test of independence over an r x c contingency table
+/// of observed counts. Rows/columns with zero marginal are dropped.
+/// Degenerate tables (fewer than 2 effective rows or columns) yield
+/// p_value = 1.
+ChiSquareResult ChiSquareIndependence(
+    const std::vector<std::vector<double>>& observed);
+
+}  // namespace ida

@@ -1,0 +1,113 @@
+#include "stats/transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+
+namespace ida {
+
+namespace {
+constexpr double kPositiveEps = 1e-9;
+}
+
+double BoxCoxTransform::Apply(double x) const {
+  double v = x + shift;
+  if (!(v > 0.0)) v = kPositiveEps;
+  if (std::fabs(lambda) < 1e-12) return std::log(v);
+  return (std::pow(v, lambda) - 1.0) / lambda;
+}
+
+std::vector<double> BoxCoxTransform::ApplyAll(
+    const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(Apply(x));
+  return out;
+}
+
+double BoxCoxLogLikelihood(const std::vector<double>& positive_xs,
+                           double lambda) {
+  size_t n = positive_xs.size();
+  if (n < 2) return 0.0;
+  BoxCoxTransform t{lambda, 0.0};
+  std::vector<double> ys = t.ApplyAll(positive_xs);
+  // MLE variance (n denominator).
+  double m = Mean(ys);
+  double var = 0.0;
+  for (double y : ys) var += (y - m) * (y - m);
+  var /= static_cast<double>(n);
+  if (var <= 0.0) var = kPositiveEps;
+  double sum_log = 0.0;
+  for (double x : positive_xs) sum_log += std::log(std::max(x, kPositiveEps));
+  return -0.5 * static_cast<double>(n) * std::log(var) +
+         (lambda - 1.0) * sum_log;
+}
+
+BoxCoxTransform FitBoxCox(const std::vector<double>& xs, double lambda_lo,
+                          double lambda_hi) {
+  BoxCoxTransform t;
+  if (xs.size() < 2) return t;
+  double min_x = *std::min_element(xs.begin(), xs.end());
+  t.shift = min_x <= 0.0 ? (kPositiveEps * 10.0 - min_x) : 0.0;
+
+  std::vector<double> shifted;
+  shifted.reserve(xs.size());
+  bool constant = true;
+  for (double x : xs) {
+    shifted.push_back(x + t.shift);
+    if (std::fabs(x - xs[0]) > 1e-15) constant = false;
+  }
+  if (constant) {
+    t.lambda = 1.0;
+    return t;
+  }
+
+  // Golden-section maximization of the profile log-likelihood.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lambda_lo, b = lambda_hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = BoxCoxLogLikelihood(shifted, c);
+  double fd = BoxCoxLogLikelihood(shifted, d);
+  for (int iter = 0; iter < 80 && (b - a) > 1e-6; ++iter) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = BoxCoxLogLikelihood(shifted, c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = BoxCoxLogLikelihood(shifted, d);
+    }
+  }
+  t.lambda = (a + b) / 2.0;
+  return t;
+}
+
+double ZScoreParams::Apply(double x) const {
+  return (x - mean) / stddev;
+}
+
+ZScoreParams FitZScore(const std::vector<double>& xs) {
+  ZScoreParams p;
+  p.mean = Mean(xs);
+  double sd = StdDev(xs);
+  p.stddev = (std::isfinite(sd) && sd > 0.0) ? sd : 1.0;
+  return p;
+}
+
+NormalizedScoreModel NormalizedScoreModel::Fit(
+    const std::vector<double>& sample) {
+  NormalizedScoreModel m;
+  m.boxcox_ = FitBoxCox(sample);
+  m.zscore_ = FitZScore(m.boxcox_.ApplyAll(sample));
+  return m;
+}
+
+}  // namespace ida

@@ -1,0 +1,74 @@
+// Box-Cox power transformation (with maximum-likelihood lambda) and z-score
+// standardization — the two stages of the paper's Normalized comparison
+// (Sec 3.1, Algorithm 2).
+#pragma once
+
+#include <vector>
+
+namespace ida {
+
+/// A fitted Box-Cox transform y = ((x + shift)^lambda - 1) / lambda
+/// (log(x + shift) when lambda == 0). `shift` makes all inputs strictly
+/// positive, as power transformations require (paper Sec 4.1: "each series
+/// ... was first shifted by a constant in order to eliminate negative
+/// scores").
+struct BoxCoxTransform {
+  double lambda = 1.0;
+  double shift = 0.0;
+
+  /// Transforms one value. Inputs that are still non-positive after the
+  /// shift are clamped to a tiny positive epsilon.
+  double Apply(double x) const;
+
+  /// Transforms a whole sample.
+  std::vector<double> ApplyAll(const std::vector<double>& xs) const;
+};
+
+/// Fits lambda by maximizing the Box-Cox profile log-likelihood over
+/// [lambda_lo, lambda_hi] with golden-section search (the likelihood is
+/// unimodal in lambda for well-behaved samples). The shift is chosen as
+/// max(0, epsilon - min(xs)) so the shifted sample is strictly positive.
+BoxCoxTransform FitBoxCox(const std::vector<double>& xs,
+                          double lambda_lo = -5.0, double lambda_hi = 5.0);
+
+/// Profile log-likelihood of lambda for a (already shifted, positive)
+/// sample; exposed for tests.
+double BoxCoxLogLikelihood(const std::vector<double>& positive_xs,
+                           double lambda);
+
+/// Fitted z-score standardization: z = (x - mean) / stddev.
+struct ZScoreParams {
+  double mean = 0.0;
+  double stddev = 1.0;
+
+  double Apply(double x) const;
+};
+
+/// Fits mean/stddev on a sample. A zero or non-finite stddev degrades to 1
+/// (all z-scores 0 relative to the mean).
+ZScoreParams FitZScore(const std::vector<double>& xs);
+
+/// The full two-stage normalizer of Algorithm 2's PreProcess: Box-Cox, then
+/// z-score on the transformed sample. Normalize(x) is "how many standard
+/// deviations x's transformed value sits from the transformed mean".
+class NormalizedScoreModel {
+ public:
+  NormalizedScoreModel() = default;
+
+  /// Fits both stages on `sample` (one interestingness measure's raw score
+  /// distribution).
+  static NormalizedScoreModel Fit(const std::vector<double>& sample);
+
+  double Normalize(double raw) const {
+    return zscore_.Apply(boxcox_.Apply(raw));
+  }
+
+  const BoxCoxTransform& boxcox() const { return boxcox_; }
+  const ZScoreParams& zscore() const { return zscore_; }
+
+ private:
+  BoxCoxTransform boxcox_;
+  ZScoreParams zscore_;
+};
+
+}  // namespace ida

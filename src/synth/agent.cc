@@ -1,0 +1,254 @@
+#include "synth/agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ida {
+
+namespace {
+
+// One measure of the agent's current facet, drawn at random — users align
+// with a facet, not with one specific formula.
+MeasurePtr FacetMeasure(MeasureFacet facet, Rng* rng) {
+  static const MeasureSet kAll = CreateAllMeasures();
+  std::vector<MeasurePtr> of_facet;
+  for (const MeasurePtr& m : kAll) {
+    if (m->facet() == facet) of_facet.push_back(m);
+  }
+  return of_facet[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(of_facet.size()) - 1))];
+}
+
+// Candidate actions are valid when they produce a readable, non-trivial
+// display: at least 2 rows, filters must actually narrow the view, the
+// action must not repeat the one that produced the current display, and
+// re-grouping an aggregated display by its own group column is pointless.
+bool ValidCandidate(const Display& parent, const Action* parent_incoming,
+                    const Action& action, const Display& result) {
+  if (result.num_rows() < 2) return false;
+  if (action.type() == ActionType::kFilter &&
+      result.num_rows() >= parent.num_rows()) {
+    return false;
+  }
+  if (parent_incoming != nullptr && action == *parent_incoming) return false;
+  if (action.type() == ActionType::kGroupBy &&
+      parent.kind() == DisplayKind::kAggregated &&
+      action.group_column() == parent.profile().column) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MeasureFacet AnalystAgent::ContextualFacet(const Display& d) {
+  // The planted context -> interest rule (see header).
+  if (d.kind() == DisplayKind::kRoot) return MeasureFacet::kDiversity;
+  if (d.kind() == DisplayKind::kAggregated) {
+    size_t m = d.profile().group_count();
+    if (m > 8) return MeasureFacet::kConciseness;
+    // Few groups: skewed summaries invite drilling into the odd group,
+    // even ones invite comparing spreads.
+    std::vector<double> p = d.profile().Probabilities();
+    double simpson = 0.0;
+    for (double pj : p) simpson += pj * pj;
+    double uniform = p.empty() ? 1.0 : 1.0 / static_cast<double>(p.size());
+    return simpson > 2.0 * uniform ? MeasureFacet::kPeculiarity
+                                   : MeasureFacet::kDispersion;
+  }
+  // Raw (filtered) views: long listings beg for anomalies to chase;
+  // short ones for a summarization.
+  return d.num_rows() > 150 ? MeasureFacet::kPeculiarity
+                            : MeasureFacet::kConciseness;
+}
+
+Action AnalystAgent::RandomFilter(const Display& d) {
+  const DataTable& table = *d.table();
+  std::vector<Predicate> preds;
+  int num_preds = rng_.Bernoulli(0.3) ? 2 : 1;
+  for (int i = 0; i < num_preds; ++i) {
+    size_t col = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(table.num_columns()) - 1));
+    const Field& field = table.schema().field(col);
+    size_t row = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(table.num_rows()) - 1));
+    Value v = table.GetValue(row, col);
+    if (v.is_null()) continue;
+    Predicate p;
+    p.column = field.name;
+    p.operand = v;
+    if (field.type == ValueType::kString) {
+      p.op = CompareOp::kEq;
+    } else {
+      static const CompareOp kNumericOps[] = {CompareOp::kGe, CompareOp::kLe,
+                                              CompareOp::kGt, CompareOp::kLt};
+      p.op = kNumericOps[rng_.UniformInt(0, 3)];
+    }
+    preds.push_back(std::move(p));
+  }
+  if (preds.empty()) {
+    // Fallback: the classic after-hours filter.
+    preds.push_back(Predicate{"hour", CompareOp::kGe, Value(int64_t{19})});
+  }
+  return Action::Filter(std::move(preds));
+}
+
+Action AnalystAgent::RandomGroupBy(const Display& d) {
+  const DataTable& table = *d.table();
+  // Prefer categorical columns; "hour" also groups well.
+  std::vector<std::string> group_cols;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& f = table.schema().field(c);
+    if (f.type == ValueType::kString || f.name == "hour" ||
+        f.name == "dst_port") {
+      group_cols.push_back(f.name);
+    }
+  }
+  if (group_cols.empty()) group_cols.push_back(table.schema().field(0).name);
+  std::string gcol = group_cols[static_cast<size_t>(rng_.UniformInt(
+      0, static_cast<int64_t>(group_cols.size()) - 1))];
+  if (rng_.Bernoulli(0.7) || table.schema().FieldIndex("length") < 0) {
+    return Action::GroupBy(gcol, AggFunc::kCount);
+  }
+  AggFunc func = rng_.Bernoulli(0.5) ? AggFunc::kSum : AggFunc::kAvg;
+  std::string agg_col = rng_.Bernoulli(0.7) ? "length" : "duration";
+  if (table.schema().FieldIndex(agg_col) < 0) agg_col = "length";
+  return Action::GroupBy(gcol, func, agg_col);
+}
+
+Action AnalystAgent::EventSeekingAction(const Display& d) {
+  // Skill-guided move toward the planted signal: either isolate an event
+  // value or summarize over the event column.
+  const DataTable& table = *d.table();
+  bool has_col = table.schema().FieldIndex(dataset_->event_column) >= 0;
+  if (!has_col) return RandomGroupBy(d);
+  if (rng_.Bernoulli(0.5)) {
+    const std::string& v = dataset_->event_values[static_cast<size_t>(
+        rng_.UniformInt(0,
+                        static_cast<int64_t>(dataset_->event_values.size()) -
+                            1))];
+    return Action::Filter(
+        {Predicate{dataset_->event_column, CompareOp::kEq, Value(v)}});
+  }
+  return Action::GroupBy(dataset_->event_column, AggFunc::kCount);
+}
+
+Result<SessionTree> AnalystAgent::RunSession(const std::string& session_id,
+                                             const std::string& user_id,
+                                             const ActionExecutor& exec) {
+  SessionTree tree(session_id, user_id, dataset_->id,
+                   Display::MakeRoot(dataset_->table));
+  int target_steps = static_cast<int>(
+      rng_.UniformInt(profile_.min_steps, profile_.max_steps));
+  int current = 0;
+
+  for (int step = 0; step < target_steps; ++step) {
+    // Occasional backtrack to an earlier display.
+    if (current != 0 && rng_.Bernoulli(profile_.backtrack_prob)) {
+      current = static_cast<int>(rng_.UniformInt(0, current - 1));
+    }
+    const Display& here = *tree.node(current).display;
+
+    // Facet transition: contextual rule with noise.
+    MeasureFacet facet =
+        rng_.Bernoulli(profile_.noise)
+            ? static_cast<MeasureFacet>(rng_.UniformInt(0, kNumFacets - 1))
+            : ContextualFacet(here);
+    MeasurePtr measure = FacetMeasure(facet, &rng_);
+
+    // Candidate pool: random filters/group-bys plus skill-guided moves.
+    std::vector<Action> candidates;
+    for (int c = 0; c < profile_.candidates_per_step; ++c) {
+      if (rng_.Bernoulli(profile_.skill * 0.3)) {
+        candidates.push_back(EventSeekingAction(here));
+      } else if (rng_.Bernoulli(0.5)) {
+        candidates.push_back(RandomFilter(here));
+      } else {
+        candidates.push_back(RandomGroupBy(here));
+      }
+    }
+
+    // Execute candidates, keep valid ones with their displays.
+    const Display* root = tree.node(0).display.get();
+    const Action* incoming =
+        current != 0 ? &tree.node(current).incoming_action : nullptr;
+    std::vector<std::pair<Action, DisplayPtr>> valid;
+    for (Action& a : candidates) {
+      Result<DisplayPtr> r = exec.Execute(a, here);
+      if (!r.ok()) continue;
+      if (!ValidCandidate(here, incoming, a, **r)) continue;
+      valid.emplace_back(std::move(a), std::move(*r));
+    }
+    if (valid.empty()) {
+      // Nowhere interesting to go from this display; hop back to the root.
+      if (current == 0) break;
+      current = 0;
+      --step;
+      continue;
+    }
+
+    // Rank candidates by the facet measure, bias toward the event.
+    size_t choice;
+    if (rng_.Bernoulli(profile_.error_prob)) {
+      choice = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(valid.size()) - 1));
+    } else {
+      std::vector<size_t> order(valid.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::vector<double> raw(valid.size());
+      for (size_t i = 0; i < valid.size(); ++i) {
+        raw[i] = measure->Score(*valid[i].second, root);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](size_t a, size_t b) { return raw[a] < raw[b]; });
+      // Total utility: normalized measure rank + skill-scaled event signal.
+      std::vector<double> utility(valid.size());
+      for (size_t pos = 0; pos < order.size(); ++pos) {
+        double rank_score =
+            order.size() > 1
+                ? static_cast<double>(pos) /
+                      static_cast<double>(order.size() - 1)
+                : 1.0;
+        utility[order[pos]] = rank_score;
+      }
+      for (size_t i = 0; i < valid.size(); ++i) {
+        utility[i] +=
+            1.5 * profile_.skill * EventFraction(*valid[i].second, *dataset_);
+      }
+      choice = static_cast<size_t>(std::distance(
+          utility.begin(), std::max_element(utility.begin(), utility.end())));
+    }
+
+    IDA_ASSIGN_OR_RETURN(int node,
+                         tree.ApplyFrom(current, valid[choice].first, exec));
+    current = node;
+  }
+
+  // Success criterion: some compact display isolates the planted event.
+  bool success = false;
+  if (tree.num_steps() >= 4) {
+    for (int i = 1; i < tree.num_nodes(); ++i) {
+      const Display& d = *tree.node(i).display;
+      if (d.num_rows() <= 100 && EventFraction(d, *dataset_) >= 0.5) {
+        success = true;
+        break;
+      }
+    }
+  }
+  tree.set_successful(success);
+  return tree;
+}
+
+SessionRecord ToRecord(const SessionTree& tree) {
+  SessionRecord r;
+  r.session_id = tree.session_id();
+  r.user_id = tree.user_id();
+  r.dataset_id = tree.dataset_id();
+  r.successful = tree.successful();
+  for (const SessionStep& s : tree.steps()) {
+    r.steps.emplace_back(s.parent, s.action);
+  }
+  return r;
+}
+
+}  // namespace ida

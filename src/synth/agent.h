@@ -1,0 +1,78 @@
+// Simulated analyst agents. Each agent carries a latent *interest facet*
+// that evolves contextually — as a deterministic-plus-noise function of the
+// display it is looking at — and at every step picks, from a pool of
+// candidate actions, the one whose result display its current facet's
+// measure ranks highest (with an event-seeking bias scaled by the agent's
+// skill, and occasional erroneous choices).
+//
+// This plants exactly the structure the paper observes in REACT-IDA:
+// (1) different steps are interesting under different measures,
+// (2) the dominant measure switches every couple of steps, and
+// (3) the recent context carries signal about the current facet —
+// while leaving realistic noise (see DESIGN.md Sec 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "actions/executor.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "measures/measure.h"
+#include "session/log.h"
+#include "session/tree.h"
+#include "synth/dataset.h"
+
+namespace ida {
+
+/// Behavioral parameters of one simulated analyst.
+struct AgentProfile {
+  /// Probability of the facet transition ignoring context (uniform facet).
+  double noise = 0.25;
+  /// Event-seeking strength in [0, 1]; also drives session success.
+  double skill = 0.5;
+  /// Probability of acting from a random earlier display instead of the
+  /// current one (backtracking).
+  double backtrack_prob = 0.2;
+  /// Probability of an erroneous step (random valid candidate instead of
+  /// the facet-best one).
+  double error_prob = 0.15;
+  int candidates_per_step = 10;
+  int min_steps = 3;
+  int max_steps = 9;
+};
+
+/// Simulates sessions of a single analyst over one dataset.
+class AnalystAgent {
+ public:
+  AnalystAgent(const SynthDataset* dataset, AgentProfile profile,
+               uint64_t seed)
+      : dataset_(dataset), profile_(profile), rng_(seed) {}
+
+  /// Runs one full session. The returned tree owns all displays; use
+  /// ToRecord to persist it into a SessionLog. The session is marked
+  /// successful when some compact display isolates the planted event
+  /// (EventFraction >= 0.5 on a display of <= 100 rows, in a session of
+  /// >= 4 steps).
+  Result<SessionTree> RunSession(const std::string& session_id,
+                                 const std::string& user_id,
+                                 const ActionExecutor& exec);
+
+  /// The contextual facet-transition rule (exposed for tests): what facet
+  /// a user examining `d` is drawn to next, before noise.
+  static MeasureFacet ContextualFacet(const Display& d);
+
+ private:
+  Action RandomFilter(const Display& d);
+  Action RandomGroupBy(const Display& d);
+  Action EventSeekingAction(const Display& d);
+
+  const SynthDataset* dataset_;
+  AgentProfile profile_;
+  Rng rng_;
+};
+
+/// Converts a replayable tree back into a log record.
+SessionRecord ToRecord(const SessionTree& tree);
+
+}  // namespace ida

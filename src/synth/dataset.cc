@@ -1,0 +1,228 @@
+#include "synth/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ida {
+
+const char* ScenarioKindName(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::kMalwareBeacon:
+      return "malware_beacon";
+    case ScenarioKind::kPortScan:
+      return "port_scan";
+    case ScenarioKind::kLateralMovement:
+      return "lateral_movement";
+    case ScenarioKind::kDataExfil:
+      return "data_exfil";
+  }
+  return "?";
+}
+
+std::vector<std::string> NetworkLogColumns() {
+  return {"protocol", "src_ip",   "dst_ip", "src_port", "dst_port",
+          "length",   "duration", "hour",   "flags"};
+}
+
+namespace {
+
+const std::vector<std::string> kProtocols = {"HTTP", "HTTPS", "DNS", "SSH",
+                                             "FTP",  "SMTP",  "SSL", "ICMP"};
+const std::vector<int64_t> kProtocolPorts = {80, 443, 53, 22, 21, 25, 443, 0};
+const std::vector<std::string> kFlags = {"ACK", "SYN", "SYN-ACK",
+                                         "FIN", "PSH", "RST"};
+const std::vector<double> kFlagWeights = {5.0, 2.0, 1.5, 1.0, 1.0, 0.3};
+
+std::string InternalIp(Rng* rng) {
+  return "10.0." + std::to_string(rng->Zipf(6, 0.8) + 1) + "." +
+         std::to_string(rng->Zipf(30, 0.6) + 2);
+}
+
+std::string ExternalIp(Rng* rng) {
+  static const std::vector<std::string> kPrefixes = {
+      "203.0.113.", "198.51.100.", "192.0.2.", "172.217.4.", "151.101.1."};
+  size_t prefix = rng->Zipf(kPrefixes.size(), 1.0);
+  return kPrefixes[prefix] + std::to_string(rng->Zipf(40, 1.1) + 1);
+}
+
+int64_t BackgroundHour(Rng* rng) {
+  // Business hours (8-18) carry triple weight.
+  std::vector<double> w(24, 1.0);
+  for (int h = 8; h <= 18; ++h) w[static_cast<size_t>(h)] = 3.0;
+  return static_cast<int64_t>(rng->Categorical(w));
+}
+
+int64_t NightHour(Rng* rng) {
+  // 19..23 or 0..4.
+  int64_t pick = rng->UniformInt(0, 9);
+  return pick < 5 ? 19 + pick : pick - 5;
+}
+
+std::vector<Value> BackgroundRow(Rng* rng) {
+  size_t proto = rng->Zipf(kProtocols.size(), 1.0);
+  int64_t length = static_cast<int64_t>(
+      std::clamp(std::exp(rng->Gaussian(6.0, 1.0)), 40.0, 1500.0));
+  if (kProtocols[proto] == "DNS") length = rng->UniformInt(50, 180);
+  return {
+      Value(kProtocols[proto]),
+      Value(InternalIp(rng)),
+      Value(ExternalIp(rng)),
+      Value(rng->UniformInt(1024, 65535)),
+      Value(kProtocolPorts[proto] != 0 ? kProtocolPorts[proto]
+                                       : rng->UniformInt(1, 1023)),
+      Value(length),
+      Value(std::round(rng->Exponential(2.0) * 1000.0) / 1000.0),
+      Value(BackgroundHour(rng)),
+      Value(kFlags[rng->Categorical(kFlagWeights)]),
+  };
+}
+
+std::vector<Value> EventRow(ScenarioKind kind, Rng* rng) {
+  switch (kind) {
+    case ScenarioKind::kMalwareBeacon: {
+      // Small periodic HTTP beacons to two rare C2 addresses after hours.
+      static const std::vector<std::string> kC2 = {"185.220.101.7",
+                                                   "185.220.101.9"};
+      return {Value("HTTP"),
+              Value(InternalIp(rng)),
+              Value(kC2[static_cast<size_t>(rng->UniformInt(0, 1))]),
+              Value(rng->UniformInt(40000, 60000)),
+              Value(static_cast<int64_t>(80)),
+              Value(rng->UniformInt(40, 80)),
+              Value(std::round(rng->UniformReal(0.01, 0.05) * 1000.0) /
+                    1000.0),
+              Value(NightHour(rng)),
+              Value("PSH")};
+    }
+    case ScenarioKind::kPortScan: {
+      // One compromised host sweeping destination ports with tiny SYNs.
+      return {Value("ICMP"),
+              Value("10.0.9.66"),
+              Value(ExternalIp(rng)),
+              Value(rng->UniformInt(40000, 60000)),
+              Value(rng->UniformInt(1, 10000)),
+              Value(rng->UniformInt(40, 60)),
+              Value(0.001),
+              Value(BackgroundHour(rng)),
+              Value("SYN")};
+    }
+    case ScenarioKind::kLateralMovement: {
+      // Internal-to-internal SSH from one source at odd hours.
+      return {Value("SSH"),
+              Value("10.0.3.14"),
+              Value(InternalIp(rng)),
+              Value(rng->UniformInt(40000, 60000)),
+              Value(static_cast<int64_t>(22)),
+              Value(rng->UniformInt(200, 900)),
+              Value(std::round(rng->Exponential(0.2) * 1000.0) / 1000.0),
+              Value(rng->UniformInt(1, 5)),
+              Value("ACK")};
+    }
+    case ScenarioKind::kDataExfil: {
+      // Sustained maximal-size transfers to one rare address at night.
+      return {Value(rng->Bernoulli(0.6) ? "FTP" : "SSL"),
+              Value(InternalIp(rng)),
+              Value("91.198.174.192"),
+              Value(rng->UniformInt(40000, 60000)),
+              Value(rng->Bernoulli(0.6) ? static_cast<int64_t>(21)
+                                        : static_cast<int64_t>(443)),
+              Value(rng->UniformInt(1400, 1500)),
+              Value(std::round(rng->Exponential(0.05) * 1000.0) / 1000.0),
+              Value(NightHour(rng)),
+              Value("PSH")};
+    }
+  }
+  return BackgroundRow(rng);
+}
+
+void FillSignature(ScenarioKind kind, SynthDataset* out) {
+  switch (kind) {
+    case ScenarioKind::kMalwareBeacon:
+      out->event_column = "dst_ip";
+      out->event_values = {"185.220.101.7", "185.220.101.9"};
+      break;
+    case ScenarioKind::kPortScan:
+      out->event_column = "src_ip";
+      out->event_values = {"10.0.9.66"};
+      break;
+    case ScenarioKind::kLateralMovement:
+      out->event_column = "src_ip";
+      out->event_values = {"10.0.3.14"};
+      break;
+    case ScenarioKind::kDataExfil:
+      out->event_column = "dst_ip";
+      out->event_values = {"91.198.174.192"};
+      break;
+  }
+}
+
+}  // namespace
+
+SynthDataset MakeScenarioDataset(ScenarioKind kind, size_t rows,
+                                 uint64_t seed) {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL *
+                  (static_cast<uint64_t>(kind) + 1)));
+  SynthDataset out;
+  out.kind = kind;
+  out.id = ScenarioKindName(kind);
+  FillSignature(kind, &out);
+
+  TableBuilder builder(NetworkLogColumns());
+  double event_share = 0.03;
+  for (size_t r = 0; r < rows; ++r) {
+    bool is_event = rng.Bernoulli(event_share);
+    std::vector<Value> row = is_event ? EventRow(kind, &rng)
+                                      : BackgroundRow(&rng);
+    if (is_event) ++out.event_rows;
+    Status st = builder.AppendRow(row);
+    (void)st;  // schema is fixed; append cannot fail here
+  }
+  auto table = builder.Finish();
+  out.table = *table;
+  return out;
+}
+
+std::vector<SynthDataset> MakeAllScenarios(size_t rows_per_dataset,
+                                           uint64_t seed) {
+  std::vector<SynthDataset> out;
+  for (int k = 0; k < 4; ++k) {
+    out.push_back(MakeScenarioDataset(static_cast<ScenarioKind>(k),
+                                      rows_per_dataset, seed));
+  }
+  return out;
+}
+
+double EventFraction(const Display& d, const SynthDataset& dataset) {
+  const DataTable& table = *d.table();
+  auto is_event_value = [&](const std::string& v) {
+    return std::find(dataset.event_values.begin(), dataset.event_values.end(),
+                     v) != dataset.event_values.end();
+  };
+
+  if (d.kind() == DisplayKind::kAggregated) {
+    const InterestProfile& p = d.profile();
+    if (p.column != dataset.event_column) return 0.0;
+    double covered = p.covered_tuples();
+    if (covered <= 0.0) return 0.0;
+    double event_covered = 0.0;
+    for (size_t j = 0; j < p.labels.size(); ++j) {
+      if (is_event_value(p.labels[j])) event_covered += p.group_sizes[j];
+    }
+    return event_covered / covered;
+  }
+
+  std::shared_ptr<Column> col = table.ColumnByName(dataset.event_column);
+  if (col == nullptr || table.num_rows() == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t r = 0; r < col->size(); ++r) {
+    if (col->IsValid(r) && col->type() == ValueType::kString &&
+        is_event_value(col->strings()[r])) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(table.num_rows());
+}
+
+}  // namespace ida

@@ -1,0 +1,67 @@
+// Synthetic network-log datasets standing in for the four REACT-IDA
+// datasets (see DESIGN.md Sec 2). Each dataset hides a distinct security
+// event — the structural analogue of the paper's "each dataset contains
+// raw network logs that may reveal a distinct security event".
+//
+// The planted event is identified by a signature (a column and the set of
+// values planted rows carry in it), which lets the generator decide
+// whether a session "revealed" the event — the stand-in for REACT-IDA's
+// analyst-written summaries being judged successful.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actions/display.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace ida {
+
+/// The four planted security-event scenarios.
+enum class ScenarioKind {
+  kMalwareBeacon = 0,   ///< periodic small HTTP packets to rare IPs at night
+  kPortScan = 1,        ///< one source sweeping many destination ports
+  kLateralMovement = 2, ///< internal-to-internal SSH at odd hours
+  kDataExfil = 3,       ///< large outbound FTP/SSL transfers at night
+};
+
+const char* ScenarioKindName(ScenarioKind k);
+
+/// A generated dataset plus its planted-event signature.
+struct SynthDataset {
+  std::string id;
+  std::shared_ptr<const DataTable> table;
+  ScenarioKind kind = ScenarioKind::kMalwareBeacon;
+  /// Column identifying planted rows...
+  std::string event_column;
+  /// ...and the values planted rows carry in it.
+  std::vector<std::string> event_values;
+  /// Number of planted rows.
+  size_t event_rows = 0;
+};
+
+/// Schema shared by all scenarios:
+/// protocol:string, src_ip:string, dst_ip:string, src_port:int,
+/// dst_port:int, length:int, duration:double, hour:int, flags:string.
+std::vector<std::string> NetworkLogColumns();
+
+/// Generates one scenario dataset with `rows` rows (a few percent of which
+/// belong to the planted event), deterministically from `seed`.
+SynthDataset MakeScenarioDataset(ScenarioKind kind, size_t rows,
+                                 uint64_t seed);
+
+/// All four scenario datasets.
+std::vector<SynthDataset> MakeAllScenarios(size_t rows_per_dataset,
+                                           uint64_t seed);
+
+/// Fraction of a display's content matching the event signature: for raw
+/// displays, the fraction of rows whose `event_column` value is one of
+/// `event_values`; for aggregated displays grouped over `event_column`,
+/// the fraction of covered tuples in event-valued groups. Returns 0 when
+/// the display does not expose the event column.
+double EventFraction(const Display& d, const SynthDataset& dataset);
+
+}  // namespace ida

@@ -1,0 +1,66 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+
+namespace ida {
+
+const SynthDataset* SynthBenchmark::DatasetById(const std::string& id) const {
+  for (const SynthDataset& d : datasets) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+Result<SynthBenchmark> GenerateBenchmark(const GeneratorOptions& options) {
+  if (options.num_users == 0 || options.num_sessions == 0) {
+    return Status::InvalidArgument("need at least one user and one session");
+  }
+  SynthBenchmark bench;
+  bench.datasets = MakeAllScenarios(options.rows_per_dataset, options.seed);
+  for (const SynthDataset& d : bench.datasets) {
+    bench.registry[d.id] = d.table;
+  }
+
+  Rng rng(options.seed * 0x2545F4914F6CDD1DULL + 1);
+  ActionExecutor exec;
+
+  // Analyst population: per-user skill and noise drawn around the baseline.
+  std::vector<AgentProfile> users(options.num_users);
+  for (size_t u = 0; u < options.num_users; ++u) {
+    AgentProfile p = options.base_profile;
+    p.skill = std::clamp(rng.UniformReal(0.15, 0.95), 0.0, 1.0);
+    p.noise = std::clamp(
+        options.base_profile.noise + rng.UniformReal(-0.1, 0.1), 0.05, 0.6);
+    users[u] = p;
+  }
+
+  for (size_t s = 0; s < options.num_sessions; ++s) {
+    size_t user = s % options.num_users;
+    size_t dataset_idx = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(bench.datasets.size()) - 1));
+    const SynthDataset& dataset = bench.datasets[dataset_idx];
+    AnalystAgent agent(&dataset, users[user],
+                       options.seed ^ (0x9E3779B97F4A7C15ULL * (s + 1)));
+    std::string session_id = "s" + std::to_string(s);
+    std::string user_id = "u" + std::to_string(user);
+    IDA_ASSIGN_OR_RETURN(SessionTree tree,
+                         agent.RunSession(session_id, user_id, exec));
+    if (tree.num_steps() == 0) continue;  // degenerate; drop
+    bench.log.Add(ToRecord(tree));
+  }
+  if (bench.log.size() == 0) {
+    return Status::Internal("generator produced an empty session log");
+  }
+  return bench;
+}
+
+GeneratorOptions SmallGeneratorOptions(uint64_t seed) {
+  GeneratorOptions o;
+  o.num_users = 2;
+  o.num_sessions = 12;
+  o.rows_per_dataset = 600;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace ida

@@ -1,0 +1,40 @@
+// End-to-end synthetic benchmark generator: datasets + analyst population
+// + session log, shaped like REACT-IDA (56 analysts, 454 sessions, ~2460
+// actions over 4 datasets, with a ~quarter of sessions successful).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "session/log.h"
+#include "synth/agent.h"
+#include "synth/dataset.h"
+
+namespace ida {
+
+struct GeneratorOptions {
+  size_t num_users = 56;
+  size_t num_sessions = 454;
+  size_t rows_per_dataset = 4000;
+  uint64_t seed = 42;
+  /// Population-level baseline; per-user skill/noise are drawn around it.
+  AgentProfile base_profile;
+};
+
+/// A generated benchmark: the datasets (with registry for replay) and the
+/// recorded session log.
+struct SynthBenchmark {
+  std::vector<SynthDataset> datasets;
+  DatasetRegistry registry;
+  SessionLog log;
+
+  const SynthDataset* DatasetById(const std::string& id) const;
+};
+
+/// Generates the benchmark deterministically from options.seed.
+Result<SynthBenchmark> GenerateBenchmark(const GeneratorOptions& options);
+
+/// Small preset for unit tests (2 users, 12 sessions, 600-row datasets).
+GeneratorOptions SmallGeneratorOptions(uint64_t seed = 7);
+
+}  // namespace ida

@@ -1,0 +1,68 @@
+#include "predict/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ida {
+namespace {
+
+std::vector<TrainingSample> MakeSamples(const std::vector<int>& labels) {
+  std::vector<TrainingSample> out(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out[i].label = labels[i];
+    out[i].labels = {labels[i]};
+  }
+  return out;
+}
+
+TEST(RandomClassifierTest, UniformOverClasses) {
+  RandomClassifier model(4, 99);
+  std::map<int, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    Prediction p = model.Predict();
+    ASSERT_TRUE(p.HasPrediction());
+    ++counts[p.label];
+  }
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [label, count] : counts) {
+    EXPECT_NEAR(count / 20000.0, 0.25, 0.02) << "label " << label;
+  }
+}
+
+TEST(RandomClassifierTest, DeterministicUnderSeed) {
+  RandomClassifier a(4, 7), b(4, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Predict().label, b.Predict().label);
+  }
+}
+
+TEST(BestSingleMeasureTest, PicksMostPrevalent) {
+  auto train = MakeSamples({2, 2, 2, 1, 0});
+  BestSingleMeasure model(train);
+  EXPECT_EQ(model.best_label(), 2);
+  EXPECT_DOUBLE_EQ(model.prevalence(), 0.6);
+  EXPECT_EQ(model.Predict().label, 2);
+}
+
+TEST(BestSingleMeasureTest, TieBreaksTowardLowestIndex) {
+  auto train = MakeSamples({3, 1, 3, 1});
+  BestSingleMeasure model(train);
+  EXPECT_EQ(model.best_label(), 1);
+}
+
+TEST(BestSingleMeasureTest, ExcludeChangesOutcome) {
+  auto train = MakeSamples({0, 0, 1, 1, 1});
+  // Excluding one '1' sample creates a tie broken toward 0.
+  BestSingleMeasure model(train, /*exclude=*/4);
+  EXPECT_EQ(model.best_label(), 0);
+}
+
+TEST(BestSingleMeasureTest, EmptyTrainingSet) {
+  BestSingleMeasure model(std::vector<TrainingSample>{});
+  EXPECT_EQ(model.best_label(), -1);
+  EXPECT_DOUBLE_EQ(model.prevalence(), 0.0);
+}
+
+}  // namespace
+}  // namespace ida

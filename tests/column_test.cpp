@@ -1,0 +1,112 @@
+#include "data/column.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ida {
+namespace {
+
+TEST(ColumnBuilderTest, IntColumn) {
+  ColumnBuilder b("x");
+  b.AppendInt(1);
+  b.AppendInt(2);
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), ValueType::kInt);
+  EXPECT_EQ((*col)->size(), 2u);
+  EXPECT_EQ((*col)->ints()[1], 2);
+  EXPECT_EQ((*col)->null_count(), 0u);
+}
+
+TEST(ColumnBuilderTest, PromotesIntToDouble) {
+  ColumnBuilder b("x");
+  b.AppendInt(1);
+  b.AppendDouble(2.5);
+  b.AppendInt(3);
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ((*col)->doubles()[0], 1.0);
+  EXPECT_DOUBLE_EQ((*col)->doubles()[1], 2.5);
+  EXPECT_DOUBLE_EQ((*col)->doubles()[2], 3.0);
+}
+
+TEST(ColumnBuilderTest, LeadingNullsBackfilled) {
+  ColumnBuilder b("x");
+  b.AppendNull();
+  b.AppendNull();
+  b.AppendString("v");
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), ValueType::kString);
+  EXPECT_EQ((*col)->size(), 3u);
+  EXPECT_EQ((*col)->null_count(), 2u);
+  EXPECT_FALSE((*col)->IsValid(0));
+  EXPECT_TRUE((*col)->IsValid(2));
+  EXPECT_TRUE((*col)->GetValue(0).is_null());
+  EXPECT_EQ((*col)->GetValue(2).as_string(), "v");
+}
+
+TEST(ColumnBuilderTest, TypeMismatchRejected) {
+  ColumnBuilder b("x");
+  b.AppendInt(1);
+  EXPECT_FALSE(b.Append(Value("str")).ok());
+  ColumnBuilder s("y");
+  s.AppendString("a");
+  EXPECT_FALSE(s.Append(Value(int64_t{1})).ok());
+  EXPECT_FALSE(s.Append(Value(1.5)).ok());
+}
+
+TEST(ColumnBuilderTest, AllNullBecomesStringColumn) {
+  ColumnBuilder b("x");
+  b.AppendNull();
+  b.AppendNull();
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), ValueType::kString);
+  EXPECT_EQ((*col)->null_count(), 2u);
+}
+
+TEST(ColumnTest, GetNumeric) {
+  ColumnBuilder b("x");
+  b.AppendInt(4);
+  b.AppendNull();
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ((*col)->GetNumeric(0), 4.0);
+  EXPECT_TRUE(std::isnan((*col)->GetNumeric(1)));
+}
+
+TEST(ColumnTest, TakePreservesValuesAndNulls) {
+  ColumnBuilder b("x");
+  b.AppendInt(10);
+  b.AppendNull();
+  b.AppendInt(30);
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  auto taken = (*col)->Take({2, 1});
+  EXPECT_EQ(taken->size(), 2u);
+  EXPECT_EQ(taken->GetValue(0).as_int(), 30);
+  EXPECT_TRUE(taken->GetValue(1).is_null());
+}
+
+TEST(ColumnTest, CountDistinct) {
+  ColumnBuilder b("x");
+  for (const char* v : {"a", "b", "a", "c", "a"}) b.AppendString(v);
+  b.AppendNull();
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->CountDistinct(), 3u);  // nulls excluded
+}
+
+TEST(ColumnTest, CountDistinctNumeric) {
+  ColumnBuilder b("x");
+  for (int v : {1, 2, 2, 3}) b.AppendInt(v);
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->CountDistinct(), 3u);
+}
+
+}  // namespace
+}  // namespace ida

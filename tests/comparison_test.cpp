@@ -1,0 +1,198 @@
+#include "offline/comparison.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+MeasureSet TestMeasures() {
+  return {CreateMeasure("variance"), CreateMeasure("schutz"),
+          CreateMeasure("osf"), CreateMeasure("compaction_gain")};
+}
+
+TEST(ComparisonResultTest, DominantHelpers) {
+  ComparisonResult r;
+  r.relative_scores = {0.1, 0.9, 0.9, 0.3};
+  FillDominant(&r);
+  EXPECT_EQ(r.dominant, (std::vector<int>{1, 2}));  // tie kept
+  EXPECT_EQ(r.primary(), 1);
+  EXPECT_TRUE(r.IsDominant(2));
+  EXPECT_FALSE(r.IsDominant(0));
+  EXPECT_DOUBLE_EQ(r.max_relative, 0.9);
+}
+
+TEST(ComparisonResultTest, EmptyScores) {
+  ComparisonResult r;
+  FillDominant(&r);
+  EXPECT_TRUE(r.dominant.empty());
+  EXPECT_EQ(r.primary(), -1);
+}
+
+TEST(SubsetResultTest, ProjectsAndRecomputesDominance) {
+  ComparisonResult full;
+  full.raw_scores = {1.0, 2.0, 3.0, 4.0};
+  full.relative_scores = {0.5, 2.0, 1.0, -1.0};
+  FillDominant(&full);
+  EXPECT_EQ(full.primary(), 1);
+  // Project onto measures {2, 3}: now index 0 (=measure 2) dominates.
+  ComparisonResult sub = SubsetResult(full, {2, 3});
+  EXPECT_EQ(sub.primary(), 0);
+  EXPECT_DOUBLE_EQ(sub.max_relative, 1.0);
+  EXPECT_DOUBLE_EQ(sub.raw_scores[1], 4.0);
+}
+
+TEST(ScoreAllMeasuresTest, OnePerMeasure) {
+  auto d = testing::MakeProfileDisplay({10.0, 90.0});
+  auto scores = ScoreAllMeasures(TestMeasures(), *d, nullptr);
+  ASSERT_EQ(scores.size(), 4u);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(ReferenceBasedTest, RelativeScoreIsPercentileRank) {
+  // Parent display: the packets root. Action: a group-by whose display is
+  // compared against two alternatives.
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  ActionExecutor exec;
+  Action q = Action::GroupBy("dst_ip", AggFunc::kCount);
+  auto d = exec.Execute(q, *root);
+  ASSERT_TRUE(d.ok());
+
+  std::vector<Action> reference = {
+      Action::GroupBy("protocol", AggFunc::kCount),
+      Action::GroupBy("hour", AggFunc::kCount),
+      Action::GroupBy("flags", AggFunc::kCount),  // no flags column -> skip
+  };
+  ReferenceBasedComparison cmp(TestMeasures());
+  auto result = cmp.Compare(q, *root, **d, root.get(), reference);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->relative_scores.size(), 4u);
+  for (double r : result->relative_scores) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  EXPECT_FALSE(result->dominant.empty());
+  // Only 2 alternatives executed (flags column missing).
+  EXPECT_EQ(cmp.timings().reference_actions_executed, 2u);
+  EXPECT_EQ(cmp.timings().actions_compared, 1u);
+  EXPECT_GT(cmp.timings().total(), 0.0);
+}
+
+TEST(ReferenceBasedTest, EmptyReferenceSetGivesZeroRelative) {
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  ActionExecutor exec;
+  Action q = Action::GroupBy("protocol", AggFunc::kCount);
+  auto d = exec.Execute(q, *root);
+  ASSERT_TRUE(d.ok());
+  ReferenceBasedComparison cmp(TestMeasures());
+  auto result = cmp.Compare(q, *root, **d, root.get(), {});
+  ASSERT_TRUE(result.ok());
+  for (double r : result->relative_scores) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(ReferenceBasedTest, SubTwoRowAlternativesOmitted) {
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  ActionExecutor exec;
+  Action q = Action::GroupBy("protocol", AggFunc::kCount);
+  auto d = exec.Execute(q, *root);
+  ASSERT_TRUE(d.ok());
+  // This filter keeps one row only -> must be omitted from R(q).
+  std::vector<Action> reference = {
+      Action::Filter({{"length", CompareOp::kEq, Value(int64_t{500})}})};
+  ReferenceBasedComparison cmp(TestMeasures());
+  auto result = cmp.Compare(q, *root, **d, root.get(), reference);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(cmp.timings().reference_actions_executed, 0u);
+}
+
+TEST(ReferenceBasedTest, DominantMeasureRanksActionHighest) {
+  // A maximally concise display (2 groups over many tuples) compared
+  // against raw-ish alternatives must be dominated by conciseness.
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  ActionExecutor exec;
+  Action q = Action::GroupBy("dst_ip", AggFunc::kCount);
+  auto d_result = exec.Execute(q, *root);
+  ASSERT_TRUE(d_result.ok());
+  std::vector<Action> reference = {
+      Action::Filter({{"length", CompareOp::kGe, Value(int64_t{50})}}),
+      Action::Filter({{"hour", CompareOp::kGe, Value(int64_t{5})}}),
+      Action::Filter({{"length", CompareOp::kGe, Value(int64_t{40})}}),
+  };
+  ReferenceBasedComparison cmp(TestMeasures());
+  auto result = cmp.Compare(q, *root, **d_result, root.get(), reference);
+  ASSERT_TRUE(result.ok());
+  // compaction_gain (index 3) must rank q above all raw filters.
+  EXPECT_DOUBLE_EQ(result->relative_scores[3], 1.0);
+}
+
+TEST(NormalizedTest, RequiresPreprocess) {
+  NormalizedComparison cmp(TestMeasures());
+  auto d = testing::MakeProfileDisplay({1.0, 2.0});
+  EXPECT_FALSE(cmp.Compare(*d, nullptr).ok());
+}
+
+TEST(NormalizedTest, PreprocessValidatesSampleShape) {
+  NormalizedComparison cmp(TestMeasures());
+  EXPECT_FALSE(cmp.Preprocess({{1.0, 2.0}}).ok());  // wrong count
+  EXPECT_FALSE(
+      cmp.Preprocess({{1.0}, {1.0}, {1.0}, {1.0}}).ok());  // too short
+  EXPECT_TRUE(cmp.Preprocess({{1.0, 2.0, 3.0},
+                              {0.1, 0.2, 0.3},
+                              {0.0, 0.5, 1.0},
+                              {10.0, 20.0, 30.0}})
+                  .ok());
+  EXPECT_TRUE(cmp.preprocessed());
+  EXPECT_EQ(cmp.models().size(), 4u);
+}
+
+TEST(NormalizedTest, RelativeScoresAreStandardized) {
+  // Preprocess on a spread of displays, then compare one of them: its
+  // relative scores are z-scores — a middling display sits near 0.
+  ActionExecutor exec;
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  std::vector<DisplayPtr> displays;
+  std::vector<std::pair<const Display*, const Display*>> pairs;
+  for (const char* col : {"protocol", "dst_ip", "hour", "length"}) {
+    auto d = exec.Execute(Action::GroupBy(col, AggFunc::kCount), *root);
+    ASSERT_TRUE(d.ok());
+    displays.push_back(*d);
+  }
+  for (const auto& d : displays) pairs.emplace_back(d.get(), root.get());
+  NormalizedComparison cmp(TestMeasures());
+  ASSERT_TRUE(cmp.PreprocessFromDisplays(pairs).ok());
+  auto result = cmp.Compare(*displays[0], root.get());
+  ASSERT_TRUE(result.ok());
+  for (double z : result->relative_scores) {
+    EXPECT_GT(z, -3.0);
+    EXPECT_LT(z, 3.0);
+  }
+  EXPECT_FALSE(result->dominant.empty());
+}
+
+TEST(NormalizedTest, ExtremeDisplayGetsHighRelativeScore) {
+  // Fit on mostly-uniform profiles, then compare a very skewed one: its
+  // diversity z-score must exceed the fitted population's typical score.
+  std::vector<DisplayPtr> fit_displays;
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<double> v;
+    for (int j = 0; j < 5; ++j) v.push_back(10.0 + rng.UniformReal(0, 2.0));
+    fit_displays.push_back(testing::MakeProfileDisplay(v));
+  }
+  std::vector<std::pair<const Display*, const Display*>> pairs;
+  for (const auto& d : fit_displays) pairs.emplace_back(d.get(), nullptr);
+  NormalizedComparison cmp(TestMeasures());
+  ASSERT_TRUE(cmp.PreprocessFromDisplays(pairs).ok());
+
+  auto skewed = testing::MakeProfileDisplay({100.0, 1.0, 1.0, 1.0, 1.0});
+  auto result = cmp.Compare(*skewed, nullptr);
+  ASSERT_TRUE(result.ok());
+  // variance (index 0) is the dominant measure for this outlier display.
+  EXPECT_EQ(result->primary(), 0);
+  EXPECT_GT(result->max_relative, 2.0);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,92 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+TEST(CsvReadTest, InfersTypes) {
+  auto t = ReadCsvString("name,age,score\nalice,30,1.5\nbob,25,2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 2u);
+  EXPECT_EQ((*t)->schema().field(0).type, ValueType::kString);
+  EXPECT_EQ((*t)->schema().field(1).type, ValueType::kInt);
+  EXPECT_EQ((*t)->schema().field(2).type, ValueType::kDouble);
+  EXPECT_DOUBLE_EQ((*t)->GetValue(1, 2).ToNumeric(), 2.0);
+}
+
+TEST(CsvReadTest, EmptyFieldsBecomeNulls) {
+  auto t = ReadCsvString("a,b\n1,\n,x\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->GetValue(0, 1).is_null());
+  EXPECT_TRUE((*t)->GetValue(1, 0).is_null());
+  EXPECT_EQ((*t)->GetValue(1, 1).as_string(), "x");
+}
+
+TEST(CsvReadTest, QuotedFields) {
+  auto t = ReadCsvString("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->GetValue(0, 0).as_string(), "x,y");
+  EXPECT_EQ((*t)->GetValue(0, 1).as_string(), "he said \"hi\"");
+}
+
+TEST(CsvReadTest, NoHeaderNamesColumns) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto t = ReadCsvString("1,2\n3,4\n", opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->schema().field(0).name, "c0");
+  EXPECT_EQ((*t)->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, HandlesCrlfAndBlankLines) {
+  auto t = ReadCsvString("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, ErrorsOnEmptyInput) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvReadTest, ErrorsOnUnterminatedQuote) {
+  EXPECT_FALSE(ReadCsvString("a\n\"oops\n").ok());
+}
+
+TEST(CsvRoundTripTest, WriteThenRead) {
+  auto t = testing::PacketsTable();
+  std::string text = WriteCsvString(*t);
+  auto back = ReadCsvString(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->num_rows(), t->num_rows());
+  EXPECT_EQ((*back)->schema().ToString(), t->schema().ToString());
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      EXPECT_EQ((*back)->GetValue(r, c), t->GetValue(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(CsvFileTest, SaveAndLoad) {
+  auto t = testing::PacketsTable();
+  std::string path = ::testing::TempDir() + "/csv_test_packets.csv";
+  ASSERT_TRUE(WriteCsvFile(*t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->num_rows(), t->num_rows());
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto r = ReadCsvFile("/nonexistent/really/not/here.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,116 @@
+#include "synth/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "actions/executor.h"
+
+namespace ida {
+namespace {
+
+TEST(DatasetTest, SchemaMatchesSpec) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kMalwareBeacon, 500, 1);
+  ASSERT_NE(d.table, nullptr);
+  EXPECT_EQ(d.table->num_rows(), 500u);
+  auto cols = NetworkLogColumns();
+  ASSERT_EQ(d.table->num_columns(), cols.size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    EXPECT_EQ(d.table->schema().field(c).name, cols[c]);
+  }
+  EXPECT_EQ(d.table->schema().field(0).type, ValueType::kString);  // protocol
+  EXPECT_EQ(d.table->schema().field(5).type, ValueType::kInt);     // length
+  EXPECT_EQ(d.table->schema().field(6).type, ValueType::kDouble);  // duration
+}
+
+TEST(DatasetTest, DeterministicUnderSeed) {
+  SynthDataset a = MakeScenarioDataset(ScenarioKind::kPortScan, 300, 9);
+  SynthDataset b = MakeScenarioDataset(ScenarioKind::kPortScan, 300, 9);
+  ASSERT_EQ(a.table->num_rows(), b.table->num_rows());
+  for (size_t r = 0; r < a.table->num_rows(); ++r) {
+    for (size_t c = 0; c < a.table->num_columns(); ++c) {
+      ASSERT_EQ(a.table->GetValue(r, c), b.table->GetValue(r, c));
+    }
+  }
+  SynthDataset other = MakeScenarioDataset(ScenarioKind::kPortScan, 300, 10);
+  bool any_diff = false;
+  for (size_t r = 0; r < 300 && !any_diff; ++r) {
+    if (!(a.table->GetValue(r, 2) == other.table->GetValue(r, 2))) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetTest, EventRowsPlantedAtExpectedRate) {
+  for (int k = 0; k < 4; ++k) {
+    SynthDataset d =
+        MakeScenarioDataset(static_cast<ScenarioKind>(k), 4000, 11);
+    double rate = static_cast<double>(d.event_rows) / 4000.0;
+    EXPECT_GT(rate, 0.01) << ScenarioKindName(d.kind);
+    EXPECT_LT(rate, 0.06) << ScenarioKindName(d.kind);
+    EXPECT_FALSE(d.event_column.empty());
+    EXPECT_FALSE(d.event_values.empty());
+    EXPECT_GE(d.table->schema().FieldIndex(d.event_column), 0);
+  }
+}
+
+TEST(DatasetTest, EventSignatureActuallySelectsRows) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kDataExfil, 3000, 13);
+  auto col = d.table->ColumnByName(d.event_column);
+  ASSERT_NE(col, nullptr);
+  size_t hits = 0;
+  for (size_t r = 0; r < col->size(); ++r) {
+    for (const std::string& v : d.event_values) {
+      if (col->strings()[r] == v) ++hits;
+    }
+  }
+  EXPECT_EQ(hits, d.event_rows);
+}
+
+TEST(DatasetTest, AllScenariosDistinct) {
+  auto all = MakeAllScenarios(200, 15);
+  ASSERT_EQ(all.size(), 4u);
+  std::set<std::string> ids;
+  for (const auto& d : all) ids.insert(d.id);
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(EventFractionTest, RawDisplay) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kMalwareBeacon, 2000, 17);
+  auto root = Display::MakeRoot(d.table);
+  double base = EventFraction(*root, d);
+  EXPECT_NEAR(base, static_cast<double>(d.event_rows) / 2000.0, 1e-9);
+
+  // Filtering to an event value yields fraction 1.
+  ActionExecutor exec;
+  auto filtered = exec.Execute(
+      Action::Filter({{d.event_column, CompareOp::kEq,
+                       Value(d.event_values[0])}}),
+      *root);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_DOUBLE_EQ(EventFraction(**filtered, d), 1.0);
+}
+
+TEST(EventFractionTest, AggregatedOverEventColumn) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kDataExfil, 2000, 19);
+  ActionExecutor exec;
+  auto root = Display::MakeRoot(d.table);
+  auto agg = exec.Execute(Action::GroupBy(d.event_column, AggFunc::kCount),
+                          *root);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_NEAR(EventFraction(**agg, d),
+              static_cast<double>(d.event_rows) / 2000.0, 1e-9);
+}
+
+TEST(EventFractionTest, AggregatedOverOtherColumnIsZero) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kDataExfil, 500, 21);
+  ActionExecutor exec;
+  auto root = Display::MakeRoot(d.table);
+  auto agg = exec.Execute(Action::GroupBy("protocol", AggFunc::kCount), *root);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(EventFraction(**agg, d), 0.0);
+}
+
+}  // namespace
+}  // namespace ida

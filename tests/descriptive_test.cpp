@@ -1,0 +1,121 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ida {
+namespace {
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+TEST(DescriptiveTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(DescriptiveTest, Mad) {
+  // median=3, deviations {2,1,0,1,2} -> MAD 1.
+  EXPECT_DOUBLE_EQ(Mad({1.0, 2.0, 3.0, 4.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Mad({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(DescriptiveTest, Percentile) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 150), 40.0);  // clamped
+}
+
+TEST(DescriptiveTest, SkewnessSigns) {
+  // Right-skewed sample: positive skewness.
+  EXPECT_GT(Skewness({1.0, 1.0, 1.0, 2.0, 10.0}), 0.5);
+  // Left-skewed: negative.
+  EXPECT_LT(Skewness({-10.0, -2.0, -1.0, -1.0, -1.0}), -0.5);
+  // Symmetric: near zero.
+  EXPECT_NEAR(Skewness({-2.0, -1.0, 0.0, 1.0, 2.0}), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Skewness({1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Skewness({3.0, 3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(DescriptiveTest, ShannonEntropy) {
+  EXPECT_DOUBLE_EQ(ShannonEntropy({1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({1.0, 1.0, 1.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({}), 0.0);
+  // Unnormalized weights give the same entropy as normalized ones.
+  EXPECT_NEAR(ShannonEntropy({2.0, 6.0}), ShannonEntropy({0.25, 0.75}),
+              1e-12);
+}
+
+TEST(DescriptiveTest, PearsonCorrelation) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y_pos = {2.0, 4.0, 6.0, 8.0};
+  std::vector<double> y_neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, y_neg), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, {1.0, 1.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, {1.0}), 0.0);  // length mismatch
+}
+
+TEST(DescriptiveTest, PearsonNearZeroForIndependent) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.UniformReal(0, 1));
+    y.push_back(rng.UniformReal(0, 1));
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(DescriptiveTest, KlDivergence) {
+  // Identical distributions: 0.
+  EXPECT_NEAR(KlDivergence({0.5, 0.5}, {0.5, 0.5}), 0.0, 1e-9);
+  // Known value: KL((1,0) || (0.5,0.5)) = 1 bit.
+  EXPECT_NEAR(KlDivergence({1.0, 0.0}, {0.5, 0.5}), 1.0, 1e-6);
+  // Asymmetry.
+  double ab = KlDivergence({0.9, 0.1}, {0.5, 0.5});
+  double ba = KlDivergence({0.5, 0.5}, {0.9, 0.1});
+  EXPECT_NE(ab, ba);
+  // Non-negative even with smoothing.
+  EXPECT_GE(KlDivergence({0.5, 0.5}, {1.0, 0.0}), 0.0);
+  // Unnormalized inputs are normalized internally.
+  EXPECT_NEAR(KlDivergence({2.0, 0.0}, {3.0, 3.0}), 1.0, 1e-6);
+}
+
+TEST(HistogramTest, BasicBinning) {
+  Histogram h = MakeHistogram({0.0, 1.0, 2.0, 3.0, 4.0, 5.0}, 3);
+  EXPECT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.counts[0], 2u);  // 0,1
+  EXPECT_EQ(h.counts[1], 2u);  // 2,3 (3 is below 10/3*... )
+  EXPECT_EQ(h.counts[2], 2u);  // 4,5 (max clamps into last bin)
+}
+
+TEST(HistogramTest, ConstantSample) {
+  Histogram h = MakeHistogram({2.0, 2.0, 2.0}, 8);
+  EXPECT_EQ(h.counts.size(), 1u);
+  EXPECT_EQ(h.counts[0], 3u);
+}
+
+TEST(HistogramTest, EmptySample) {
+  Histogram h = MakeHistogram({}, 8);
+  EXPECT_TRUE(h.counts.empty());
+  EXPECT_EQ(h.total(), 0u);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,105 @@
+#include "actions/display.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+TEST(InterestProfileTest, Probabilities) {
+  InterestProfile p;
+  p.values = {1.0, 3.0};
+  auto probs = p.Probabilities();
+  EXPECT_DOUBLE_EQ(probs[0], 0.25);
+  EXPECT_DOUBLE_EQ(probs[1], 0.75);
+}
+
+TEST(InterestProfileTest, ProbabilitiesClampNegativeAndNonFinite) {
+  InterestProfile p;
+  p.values = {-5.0, 2.0, std::numeric_limits<double>::quiet_NaN(), 2.0};
+  auto probs = p.Probabilities();
+  EXPECT_DOUBLE_EQ(probs[0], 0.0);
+  EXPECT_DOUBLE_EQ(probs[1], 0.5);
+  EXPECT_DOUBLE_EQ(probs[2], 0.0);
+  EXPECT_DOUBLE_EQ(probs[3], 0.5);
+}
+
+TEST(InterestProfileTest, AllZeroBecomesUniform) {
+  InterestProfile p;
+  p.values = {0.0, 0.0, 0.0, 0.0};
+  auto probs = p.Probabilities();
+  for (double x : probs) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(InterestProfileTest, CoveredTuples) {
+  InterestProfile p;
+  p.group_sizes = {2.0, 6.0};
+  EXPECT_DOUBLE_EQ(p.covered_tuples(), 8.0);
+}
+
+TEST(RawProfileTest, PicksHighestEntropyStringColumn) {
+  // "protocol" has 4 values spread 4/2/1/1; "dst_ip" has 5 values spread
+  // 2/3/1/1/1 — dst_ip has higher entropy.
+  auto profile = ComputeRawProfile(*testing::PacketsTable());
+  EXPECT_EQ(profile.column, "dst_ip");
+  EXPECT_EQ(profile.group_count(), 5u);
+  EXPECT_DOUBLE_EQ(profile.covered_tuples(), 8.0);
+}
+
+TEST(RawProfileTest, SkipsHighCardinalityColumns) {
+  // A string column where every value is distinct (cardinality == rows)
+  // is skipped when it exceeds max_buckets.
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 12; ++i) {
+    rows.push_back({Value("id" + std::to_string(i)),
+                    Value(i % 2 == 0 ? "a" : "b")});
+  }
+  auto t = testing::MakeTable({"id", "cat"}, rows);
+  auto profile = ComputeRawProfile(*t, /*max_buckets=*/8);
+  EXPECT_EQ(profile.column, "cat");
+  EXPECT_EQ(profile.group_count(), 2u);
+}
+
+TEST(RawProfileTest, NumericFallbackBins) {
+  auto t = testing::MakeTable(
+      {"x"}, {{Value(1.0)}, {Value(2.0)}, {Value(9.0)}, {Value(10.0)}});
+  auto profile = ComputeRawProfile(*t, 256, /*bins=*/4);
+  EXPECT_EQ(profile.column, "x");
+  // Values land in first and last bins only; empty bins are dropped.
+  EXPECT_EQ(profile.group_count(), 2u);
+  EXPECT_DOUBLE_EQ(profile.covered_tuples(), 4.0);
+}
+
+TEST(RawProfileTest, ConstantNumericColumn) {
+  auto t = testing::MakeTable({"x"}, {{Value(5.0)}, {Value(5.0)}});
+  auto profile = ComputeRawProfile(*t);
+  EXPECT_EQ(profile.group_count(), 1u);
+  EXPECT_DOUBLE_EQ(profile.values[0], 2.0);
+}
+
+TEST(RawProfileTest, EmptyTable) {
+  TableBuilder b({"x"});
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  auto profile = ComputeRawProfile(**t);
+  EXPECT_EQ(profile.group_count(), 0u);
+}
+
+TEST(DisplayTest, MakeRoot) {
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  EXPECT_EQ(root->kind(), DisplayKind::kRoot);
+  EXPECT_EQ(root->num_rows(), 8u);
+  EXPECT_EQ(root->dataset_size(), 8u);
+  EXPECT_FALSE(root->profile().values.empty());
+}
+
+TEST(DisplayTest, DescribeMentionsShape) {
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  std::string desc = root->Describe();
+  EXPECT_NE(desc.find("root display"), std::string::npos);
+  EXPECT_NE(desc.find("8 rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,187 @@
+#include "actions/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = Display::MakeRoot(testing::PacketsTable());
+  }
+  ActionExecutor exec_;
+  DisplayPtr root_;
+};
+
+TEST_F(ExecutorTest, FilterEquality) {
+  auto r = exec_.Execute(
+      Action::Filter({{"protocol", CompareOp::kEq, Value("HTTP")}}), *root_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 4u);
+  EXPECT_EQ((*r)->kind(), DisplayKind::kRaw);
+}
+
+TEST_F(ExecutorTest, FilterConjunction) {
+  auto r = exec_.Execute(
+      Action::Filter({{"protocol", CompareOp::kEq, Value("HTTP")},
+                      {"hour", CompareOp::kGe, Value(int64_t{19})}}),
+      *root_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 3u);  // the three after-hours HTTP packets
+}
+
+TEST_F(ExecutorTest, FilterNumericOps) {
+  auto lt = exec_.Execute(
+      Action::Filter({{"length", CompareOp::kLt, Value(int64_t{60})}}),
+      *root_);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ((*lt)->num_rows(), 2u);  // 55, 58
+  auto ge = exec_.Execute(
+      Action::Filter({{"length", CompareOp::kGe, Value(int64_t{300})}}),
+      *root_);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ((*ge)->num_rows(), 2u);  // 500, 300
+}
+
+TEST_F(ExecutorTest, FilterContains) {
+  auto r = exec_.Execute(
+      Action::Filter({{"dst_ip", CompareOp::kContains, Value("2.2")}}),
+      *root_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, FilterTypeMismatchNeverMatchesEquality) {
+  auto r = exec_.Execute(
+      Action::Filter({{"length", CompareOp::kEq, Value("100")}}), *root_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 0u);
+}
+
+TEST_F(ExecutorTest, FilterUnknownColumn) {
+  auto r = exec_.Execute(
+      Action::Filter({{"nope", CompareOp::kEq, Value(int64_t{1})}}), *root_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, GroupByCount) {
+  auto r = exec_.Execute(Action::GroupBy("protocol", AggFunc::kCount), *root_);
+  ASSERT_TRUE(r.ok());
+  const Display& d = **r;
+  EXPECT_EQ(d.kind(), DisplayKind::kAggregated);
+  EXPECT_EQ(d.num_rows(), 4u);  // HTTP, DNS, SSH, SMTP
+  const InterestProfile& p = d.profile();
+  EXPECT_EQ(p.column, "protocol");
+  EXPECT_EQ(p.group_count(), 4u);
+  EXPECT_DOUBLE_EQ(p.covered_tuples(), 8.0);
+  // Deterministic (sorted) group order: DNS, HTTP, SMTP, SSH.
+  EXPECT_EQ(p.labels[0], "DNS");
+  EXPECT_DOUBLE_EQ(p.values[0], 2.0);
+  EXPECT_EQ(p.labels[1], "HTTP");
+  EXPECT_DOUBLE_EQ(p.values[1], 4.0);
+}
+
+TEST_F(ExecutorTest, GroupBySumAndAvg) {
+  auto sum = exec_.Execute(
+      Action::GroupBy("protocol", AggFunc::kSum, "length"), *root_);
+  ASSERT_TRUE(sum.ok());
+  // DNS lengths: 70 + 80.
+  EXPECT_DOUBLE_EQ((*sum)->profile().values[0], 150.0);
+  auto avg = exec_.Execute(
+      Action::GroupBy("protocol", AggFunc::kAvg, "length"), *root_);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ((*avg)->profile().values[0], 75.0);
+}
+
+TEST_F(ExecutorTest, GroupByMinMax) {
+  auto mn = exec_.Execute(
+      Action::GroupBy("protocol", AggFunc::kMin, "length"), *root_);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_DOUBLE_EQ((*mn)->profile().values[0], 70.0);
+  auto mx = exec_.Execute(
+      Action::GroupBy("protocol", AggFunc::kMax, "length"), *root_);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_DOUBLE_EQ((*mx)->profile().values[0], 80.0);
+}
+
+TEST_F(ExecutorTest, GroupByCountDistinct) {
+  auto r = exec_.Execute(
+      Action::GroupBy("protocol", AggFunc::kCountDistinct, "dst_ip"), *root_);
+  ASSERT_TRUE(r.ok());
+  // HTTP hits 1.1.1.1 and 2.2.2.2 -> 2 distinct.
+  const InterestProfile& p = (*r)->profile();
+  EXPECT_DOUBLE_EQ(p.values[1], 2.0);
+}
+
+TEST_F(ExecutorTest, GroupBySumRequiresNumericColumn) {
+  auto r = exec_.Execute(
+      Action::GroupBy("protocol", AggFunc::kSum, "dst_ip"), *root_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, GroupByGroupSizesTrackTupleCounts) {
+  auto r = exec_.Execute(
+      Action::GroupBy("protocol", AggFunc::kSum, "length"), *root_);
+  ASSERT_TRUE(r.ok());
+  const InterestProfile& p = (*r)->profile();
+  EXPECT_DOUBLE_EQ(p.group_sizes[1], 4.0);  // HTTP count, not its sum
+  EXPECT_DOUBLE_EQ(p.covered_tuples(), 8.0);
+}
+
+TEST_F(ExecutorTest, FilterOnAggregatedSelectsGroups) {
+  auto agg =
+      exec_.Execute(Action::GroupBy("protocol", AggFunc::kCount), *root_);
+  ASSERT_TRUE(agg.ok());
+  auto filtered = exec_.Execute(
+      Action::Filter({{"count", CompareOp::kGe, Value(int64_t{2})}}), **agg);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ((*filtered)->kind(), DisplayKind::kAggregated);
+  EXPECT_EQ((*filtered)->num_rows(), 2u);  // DNS(2) and HTTP(4)
+  const InterestProfile& p = (*filtered)->profile();
+  EXPECT_EQ(p.group_count(), 2u);
+  EXPECT_DOUBLE_EQ(p.covered_tuples(), 6.0);
+}
+
+TEST_F(ExecutorTest, GroupByOnAggregatedDisplay) {
+  auto agg =
+      exec_.Execute(Action::GroupBy("protocol", AggFunc::kCount), *root_);
+  ASSERT_TRUE(agg.ok());
+  auto regrouped = exec_.Execute(
+      Action::GroupBy("count", AggFunc::kCount), **agg);
+  ASSERT_TRUE(regrouped.ok());
+  // Counts are {2,4,1,1} -> groups {1:2, 2:1, 4:1}.
+  EXPECT_EQ((*regrouped)->profile().group_count(), 3u);
+}
+
+TEST_F(ExecutorTest, BackIsRejected) {
+  auto r = exec_.Execute(Action::Back(), *root_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorTest, DatasetSizePropagates) {
+  auto f = exec_.Execute(
+      Action::Filter({{"protocol", CompareOp::kEq, Value("DNS")}}), *root_);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->dataset_size(), 8u);
+  auto g = exec_.Execute(Action::GroupBy("dst_ip", AggFunc::kCount), **f);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->dataset_size(), 8u);
+}
+
+TEST_F(ExecutorTest, NullCellsNeverSatisfyPredicates) {
+  auto table = testing::MakeTable(
+      {"v"}, {{Value(int64_t{1})}, {Value::Null()}, {Value(int64_t{3})}});
+  auto root = Display::MakeRoot(table);
+  auto r = exec_.Execute(
+      Action::Filter({{"v", CompareOp::kNe, Value(int64_t{1})}}), *root);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 1u);  // only the 3; null excluded
+}
+
+}  // namespace
+}  // namespace ida

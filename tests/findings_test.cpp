@@ -1,0 +1,124 @@
+#include "offline/findings.h"
+
+#include <gtest/gtest.h>
+
+namespace ida {
+namespace {
+
+LabeledStep Step(int tree, int step, std::vector<int> dominant,
+                 std::vector<double> raw = {}) {
+  LabeledStep s;
+  s.tree_index = tree;
+  s.step = step;
+  s.result.dominant = std::move(dominant);
+  s.result.raw_scores = std::move(raw);
+  if (!s.result.dominant.empty()) {
+    s.result.relative_scores.assign(4, 0.0);
+    for (int d : s.result.dominant) {
+      s.result.relative_scores[static_cast<size_t>(d)] = 1.0;
+    }
+    s.result.max_relative = 1.0;
+  }
+  return s;
+}
+
+TEST(DominantShareTest, CountsTiesSeparately) {
+  std::vector<LabeledStep> labeled = {
+      Step(0, 1, {0}), Step(0, 2, {1}), Step(0, 3, {0, 2}), Step(0, 4, {3})};
+  auto share = DominantShare(labeled, 4);
+  EXPECT_DOUBLE_EQ(share[0], 0.5);
+  EXPECT_DOUBLE_EQ(share[1], 0.25);
+  EXPECT_DOUBLE_EQ(share[2], 0.25);
+  EXPECT_DOUBLE_EQ(share[3], 0.25);
+  // Ties make shares sum to more than 1 (paper Figure 3's note).
+  double total = share[0] + share[1] + share[2] + share[3];
+  EXPECT_GT(total, 1.0);
+}
+
+TEST(DominantShareTest, Empty) {
+  auto share = DominantShare({}, 4);
+  for (double s : share) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(SwitchRateTest, CountsChangesWithinSessions) {
+  // Session 0 labels: 0,0,1,1,0 -> 3 changes over... changes at steps
+  // 3 and 5: 2 changes. Session 1: 2,2 -> 0 changes.
+  std::vector<LabeledStep> labeled = {
+      Step(0, 1, {0}), Step(0, 2, {0}), Step(0, 3, {1}),
+      Step(0, 4, {1}), Step(0, 5, {0}), Step(1, 1, {2}),
+      Step(1, 2, {2})};
+  // 7 steps / 2 changes = 3.5.
+  EXPECT_DOUBLE_EQ(AverageStepsPerDominantChange(labeled), 3.5);
+}
+
+TEST(SwitchRateTest, OrderIndependent) {
+  std::vector<LabeledStep> shuffled = {
+      Step(0, 3, {1}), Step(0, 1, {0}), Step(0, 2, {0})};
+  // Sorted: 0,0,1 -> 1 change, 3 steps.
+  EXPECT_DOUBLE_EQ(AverageStepsPerDominantChange(shuffled), 3.0);
+}
+
+TEST(SwitchRateTest, NoChangesReturnsZero) {
+  std::vector<LabeledStep> labeled = {Step(0, 1, {1}), Step(0, 2, {1})};
+  EXPECT_DOUBLE_EQ(AverageStepsPerDominantChange(labeled), 0.0);
+}
+
+TEST(CompareLabelingsTest, AgreementAndChiSquare) {
+  std::vector<LabeledStep> a, b;
+  // 30 perfectly agreeing steps across 3 classes + 3 disagreements.
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(Step(0, i + 1, {i % 3}));
+    b.push_back(Step(0, i + 1, {i % 3}));
+  }
+  for (int i = 0; i < 3; ++i) {
+    a.push_back(Step(1, i + 1, {0}));
+    b.push_back(Step(1, i + 1, {1}));
+  }
+  auto agreement = CompareLabelings(a, b, 4);
+  ASSERT_TRUE(agreement.ok());
+  EXPECT_NEAR(agreement->exact_agreement, 30.0 / 33.0, 1e-12);
+  EXPECT_NEAR(agreement->primary_agreement, 30.0 / 33.0, 1e-12);
+  EXPECT_LT(agreement->chi_square.p_value, 1e-6);
+}
+
+TEST(CompareLabelingsTest, TieSetsMustMatchExactly) {
+  std::vector<LabeledStep> a = {Step(0, 1, {0, 1})};
+  std::vector<LabeledStep> b = {Step(0, 1, {0})};
+  auto agreement = CompareLabelings(a, b, 4);
+  ASSERT_TRUE(agreement.ok());
+  EXPECT_DOUBLE_EQ(agreement->exact_agreement, 0.0);
+  EXPECT_DOUBLE_EQ(agreement->primary_agreement, 1.0);
+}
+
+TEST(CompareLabelingsTest, RejectsMisalignedInputs) {
+  std::vector<LabeledStep> a = {Step(0, 1, {0})};
+  std::vector<LabeledStep> b = {Step(0, 1, {0}), Step(0, 2, {1})};
+  EXPECT_FALSE(CompareLabelings(a, b, 4).ok());
+  std::vector<LabeledStep> c = {Step(5, 9, {0})};
+  EXPECT_FALSE(CompareLabelings(a, c, 4).ok());
+  EXPECT_FALSE(CompareLabelings({}, {}, 4).ok());
+}
+
+TEST(CorrelationTest, MatrixAndSummary) {
+  // Measures 0 and 1 perfectly correlated, 2 anti-correlated with them,
+  // 3 constant.
+  std::vector<LabeledStep> labeled;
+  for (int i = 0; i < 20; ++i) {
+    double v = i * 0.1;
+    labeled.push_back(Step(0, i + 1, {0}, {v, 2.0 * v, -v, 1.0}));
+  }
+  auto corr = MeasureScoreCorrelations(labeled, 4);
+  EXPECT_NEAR(corr[0][1], 1.0, 1e-9);
+  EXPECT_NEAR(corr[0][2], -1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(corr[0][3], 0.0);
+  EXPECT_DOUBLE_EQ(corr[1][0], corr[0][1]);
+
+  // Facets: 0,1 same facet; 2,3 another.
+  auto summary = SummarizeCorrelations(corr, {0, 0, 1, 1});
+  EXPECT_NEAR(summary.same_facet, 0.5, 1e-9);   // (|1| + |0|) / 2
+  EXPECT_NEAR(summary.cross_facet, 0.5, 1e-9);  // (1+0+1+0)/4
+  EXPECT_GT(summary.overall, 0.0);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,164 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/agent.h"
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+TEST(ContextualFacetTest, PlantedRule) {
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  EXPECT_EQ(AnalystAgent::ContextualFacet(*root), MeasureFacet::kDiversity);
+
+  // Aggregated, many groups -> conciseness.
+  std::vector<double> many(12, 10.0);
+  auto big_agg = testing::MakeProfileDisplay(many);
+  EXPECT_EQ(AnalystAgent::ContextualFacet(*big_agg),
+            MeasureFacet::kConciseness);
+
+  // Aggregated, few skewed groups -> peculiarity.
+  auto skewed = testing::MakeProfileDisplay({95.0, 3.0, 2.0});
+  EXPECT_EQ(AnalystAgent::ContextualFacet(*skewed),
+            MeasureFacet::kPeculiarity);
+
+  // Aggregated, few even groups -> dispersion.
+  auto even = testing::MakeProfileDisplay({10.0, 11.0, 9.0});
+  EXPECT_EQ(AnalystAgent::ContextualFacet(*even), MeasureFacet::kDispersion);
+
+  // Long raw listing -> peculiarity; short raw -> conciseness.
+  auto long_raw = testing::MakeProfileDisplay({1.0, 1.0}, DisplayKind::kRaw,
+                                              1000, 400);
+  EXPECT_EQ(AnalystAgent::ContextualFacet(*long_raw),
+            MeasureFacet::kPeculiarity);
+  auto short_raw = testing::MakeProfileDisplay({1.0, 1.0}, DisplayKind::kRaw,
+                                               1000, 20);
+  EXPECT_EQ(AnalystAgent::ContextualFacet(*short_raw),
+            MeasureFacet::kConciseness);
+}
+
+TEST(AgentTest, SessionIsReplayable) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kMalwareBeacon, 800, 23);
+  AgentProfile profile;
+  AnalystAgent agent(&d, profile, 5);
+  ActionExecutor exec;
+  auto tree = agent.RunSession("s0", "u0", exec);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->num_steps(), 1);
+  EXPECT_LE(tree->num_steps(), profile.max_steps);
+
+  SessionRecord record = ToRecord(*tree);
+  DatasetRegistry registry;
+  registry[d.id] = d.table;
+  auto replayed = ReplaySession(record, registry, exec);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->num_nodes(), tree->num_nodes());
+  for (int i = 0; i < tree->num_nodes(); ++i) {
+    EXPECT_EQ(replayed->node(i).display->num_rows(),
+              tree->node(i).display->num_rows());
+  }
+}
+
+TEST(AgentTest, DeterministicUnderSeed) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kPortScan, 800, 23);
+  ActionExecutor exec;
+  AnalystAgent a(&d, AgentProfile{}, 7);
+  AnalystAgent b(&d, AgentProfile{}, 7);
+  auto ta = a.RunSession("s", "u", exec);
+  auto tb = b.RunSession("s", "u", exec);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  ASSERT_EQ(ta->num_steps(), tb->num_steps());
+  for (int s = 1; s <= ta->num_steps(); ++s) {
+    EXPECT_TRUE(ta->step(s).action == tb->step(s).action);
+    EXPECT_EQ(ta->step(s).parent, tb->step(s).parent);
+  }
+}
+
+TEST(AgentTest, SkillfulAgentsSucceedMore) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kDataExfil, 1200, 29);
+  ActionExecutor exec;
+  auto run_batch = [&](double skill, uint64_t seed_base) {
+    AgentProfile p;
+    p.skill = skill;
+    p.min_steps = 5;
+    p.max_steps = 9;
+    int successes = 0;
+    for (uint64_t s = 0; s < 12; ++s) {
+      AnalystAgent agent(&d, p, seed_base + s);
+      auto tree = agent.RunSession("s", "u", exec);
+      if (tree.ok() && tree->successful()) ++successes;
+    }
+    return successes;
+  };
+  int expert = run_batch(0.95, 100);
+  int novice = run_batch(0.05, 200);
+  EXPECT_GT(expert, novice);
+  EXPECT_GE(expert, 6);  // experts mostly find the event
+}
+
+TEST(GeneratorTest, ShapeMatchesOptions) {
+  GeneratorOptions options = SmallGeneratorOptions(35);
+  auto bench = GenerateBenchmark(options);
+  ASSERT_TRUE(bench.ok());
+  EXPECT_EQ(bench->datasets.size(), 4u);
+  EXPECT_EQ(bench->registry.size(), 4u);
+  EXPECT_LE(bench->log.size(), options.num_sessions);
+  EXPECT_GE(bench->log.size(), options.num_sessions - 2);  // rare drops
+  std::set<std::string> users, datasets;
+  for (const SessionRecord& r : bench->log.records()) {
+    users.insert(r.user_id);
+    datasets.insert(r.dataset_id);
+    EXPECT_FALSE(r.steps.empty());
+  }
+  EXPECT_LE(users.size(), options.num_users);
+  EXPECT_GE(datasets.size(), 2u);
+}
+
+TEST(GeneratorTest, DeterministicUnderSeed) {
+  auto a = GenerateBenchmark(SmallGeneratorOptions(37));
+  auto b = GenerateBenchmark(SmallGeneratorOptions(37));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->log.Serialize(), b->log.Serialize());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateBenchmark(SmallGeneratorOptions(39));
+  auto b = GenerateBenchmark(SmallGeneratorOptions(40));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->log.Serialize(), b->log.Serialize());
+}
+
+TEST(GeneratorTest, WholeLogReplayable) {
+  auto bench = GenerateBenchmark(SmallGeneratorOptions(41));
+  ASSERT_TRUE(bench.ok());
+  ActionExecutor exec;
+  size_t failed = 99;
+  size_t replayed = 0;
+  ASSERT_TRUE(ReplayAll(bench->log, bench->registry, exec,
+                        [&](const SessionTree&) { ++replayed; }, &failed)
+                  .ok());
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(replayed, bench->log.size());
+}
+
+TEST(GeneratorTest, DatasetByIdLookup) {
+  auto bench = GenerateBenchmark(SmallGeneratorOptions(43));
+  ASSERT_TRUE(bench.ok());
+  EXPECT_NE(bench->DatasetById("malware_beacon"), nullptr);
+  EXPECT_EQ(bench->DatasetById("nope"), nullptr);
+}
+
+TEST(GeneratorTest, RejectsDegenerateOptions) {
+  GeneratorOptions options;
+  options.num_users = 0;
+  EXPECT_FALSE(GenerateBenchmark(options).ok());
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,154 @@
+#include "predict/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+// Training samples whose contexts are irrelevant for KnnVote (it takes a
+// precomputed distance row).
+std::vector<TrainingSample> MakeSamples(const std::vector<int>& labels) {
+  std::vector<TrainingSample> out(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out[i].label = labels[i];
+    out[i].labels = {labels[i]};
+  }
+  return out;
+}
+
+TEST(KnnVoteTest, MajorityWins) {
+  auto train = MakeSamples({0, 0, 1, 1, 1});
+  std::vector<double> dist = {0.05, 0.06, 0.01, 0.02, 0.03};
+  KnnOptions options;
+  options.k = 5;
+  options.distance_threshold = 0.2;
+  Prediction p = KnnVote(dist, train, options);
+  EXPECT_EQ(p.label, 1);
+  EXPECT_NEAR(p.confidence, 0.6, 1e-12);
+}
+
+TEST(KnnVoteTest, OnlyKNearestVote) {
+  auto train = MakeSamples({1, 1, 0, 0, 0});
+  std::vector<double> dist = {0.01, 0.02, 0.1, 0.11, 0.12};
+  KnnOptions options;
+  options.k = 2;
+  options.distance_threshold = 1.0;
+  EXPECT_EQ(KnnVote(dist, train, options).label, 1);
+}
+
+TEST(KnnVoteTest, ThresholdAbstains) {
+  auto train = MakeSamples({0, 1});
+  std::vector<double> dist = {0.5, 0.6};
+  KnnOptions options;
+  options.k = 2;
+  options.distance_threshold = 0.3;
+  Prediction p = KnnVote(dist, train, options);
+  EXPECT_FALSE(p.HasPrediction());
+  EXPECT_EQ(p.label, -1);
+}
+
+TEST(KnnVoteTest, ThresholdPartiallyFilters) {
+  // Nearest two are admissible, the rest are too far: vote among 2.
+  auto train = MakeSamples({2, 2, 0, 0, 0});
+  std::vector<double> dist = {0.05, 0.08, 0.5, 0.5, 0.5};
+  KnnOptions options;
+  options.k = 5;
+  options.distance_threshold = 0.1;
+  EXPECT_EQ(KnnVote(dist, train, options).label, 2);
+}
+
+TEST(KnnVoteTest, TieBrokenByNearestNeighbor) {
+  auto train = MakeSamples({0, 1, 0, 1});
+  std::vector<double> dist = {0.02, 0.01, 0.09, 0.08};
+  KnnOptions options;
+  options.k = 4;
+  options.distance_threshold = 1.0;
+  // Two votes each; label 1 owns the closest neighbor.
+  EXPECT_EQ(KnnVote(dist, train, options).label, 1);
+}
+
+TEST(KnnVoteTest, ExcludeRemovesSelf) {
+  auto train = MakeSamples({0, 1, 1});
+  std::vector<double> dist = {0.0, 0.05, 0.06};
+  KnnOptions options;
+  options.k = 1;
+  options.distance_threshold = 1.0;
+  EXPECT_EQ(KnnVote(dist, train, options).label, 0);
+  EXPECT_EQ(KnnVote(dist, train, options, /*exclude=*/0).label, 1);
+}
+
+TEST(KnnVoteTest, DegenerateInputs) {
+  KnnOptions options;
+  EXPECT_FALSE(KnnVote({}, {}, options).HasPrediction());
+  auto train = MakeSamples({0});
+  EXPECT_FALSE(KnnVote({0.1, 0.2}, train, options).HasPrediction());
+  options.k = 0;
+  EXPECT_FALSE(KnnVote({0.1}, train, options).HasPrediction());
+}
+
+TEST(IKnnClassifierTest, PredictsFromOwnTrainingNeighborhood) {
+  // Build real contexts from the example session; query with one of them.
+  SessionTree t = testing::ExampleSession();
+  std::vector<TrainingSample> train;
+  for (int step = 0; step <= t.num_steps(); ++step) {
+    TrainingSample s;
+    s.context = ExtractNContext(t, step, 3);
+    s.label = step % 2;
+    s.labels = {s.label};
+    train.push_back(std::move(s));
+  }
+  KnnOptions options;
+  options.k = 1;
+  options.distance_threshold = 0.05;
+  IKnnClassifier model(train, SessionDistance(), options);
+  NContext query = ExtractNContext(t, 2, 3);
+  Prediction p = model.Predict(query);
+  ASSERT_TRUE(p.HasPrediction());
+  EXPECT_EQ(p.label, 0);  // step 2's own label
+}
+
+TEST(KnnVoteTest, DistanceWeightedVotingFavorsCloseNeighbors) {
+  // Two far '0' votes vs one very close '1' vote: plain majority picks 0,
+  // weighted voting picks 1.
+  auto train = MakeSamples({0, 0, 1});
+  std::vector<double> dist = {0.30, 0.30, 0.001};
+  KnnOptions options;
+  options.k = 3;
+  options.distance_threshold = 0.5;
+  EXPECT_EQ(KnnVote(dist, train, options).label, 0);
+  options.distance_weighted = true;
+  Prediction p = KnnVote(dist, train, options);
+  EXPECT_EQ(p.label, 1);
+  EXPECT_GT(p.confidence, 0.5);
+}
+
+TEST(KnnVoteTest, WeightedVotingStillRespectsThreshold) {
+  auto train = MakeSamples({0, 1});
+  std::vector<double> dist = {0.9, 0.8};
+  KnnOptions options;
+  options.k = 2;
+  options.distance_threshold = 0.5;
+  options.distance_weighted = true;
+  EXPECT_FALSE(KnnVote(dist, train, options).HasPrediction());
+}
+
+TEST(IKnnClassifierTest, AbstainsOnAlienQuery) {
+  SessionTree t = testing::ExampleSession();
+  std::vector<TrainingSample> train;
+  TrainingSample s;
+  s.context = ExtractNContext(t, 3, 7);  // large deep context
+  s.label = 0;
+  s.labels = {0};
+  train.push_back(std::move(s));
+  KnnOptions options;
+  options.k = 1;
+  options.distance_threshold = 0.01;  // unreachable for a 1-node query
+  IKnnClassifier model(train, SessionDistance(), options);
+  NContext query = ExtractNContext(t, 0, 1);
+  EXPECT_FALSE(model.Predict(query).HasPrediction());
+}
+
+}  // namespace
+}  // namespace ida

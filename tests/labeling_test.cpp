@@ -1,0 +1,141 @@
+#include "offline/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+class LabelingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto b = GenerateBenchmark(SmallGeneratorOptions(31));
+    ASSERT_TRUE(b.ok());
+    bench_ = new SynthBenchmark(std::move(*b));
+    ActionExecutor exec;
+    auto repo = ReplayedRepository::Build(bench_->log, bench_->registry, exec);
+    ASSERT_TRUE(repo.ok());
+    repo_ = new ReplayedRepository(std::move(*repo));
+  }
+  static void TearDownTestSuite() {
+    delete repo_;
+    delete bench_;
+    repo_ = nullptr;
+    bench_ = nullptr;
+  }
+
+  static MeasureSet Measures() {
+    return {CreateMeasure("simpson"), CreateMeasure("macarthur"),
+            CreateMeasure("deviation"), CreateMeasure("log_length")};
+  }
+
+  static SynthBenchmark* bench_;
+  static ReplayedRepository* repo_;
+};
+
+SynthBenchmark* LabelingTest::bench_ = nullptr;
+ReplayedRepository* LabelingTest::repo_ = nullptr;
+
+TEST_F(LabelingTest, RepositoryReplaysEverySession) {
+  EXPECT_EQ(repo_->failed_replays(), 0u);
+  EXPECT_EQ(repo_->trees().size(), bench_->log.size());
+  EXPECT_EQ(repo_->total_steps(), bench_->log.total_actions());
+}
+
+TEST_F(LabelingTest, ActionPoolDeduplicated) {
+  const auto& filters = repo_->ActionsOfType(ActionType::kFilter);
+  const auto& groupbys = repo_->ActionsOfType(ActionType::kGroupBy);
+  EXPECT_FALSE(groupbys.empty());
+  for (size_t i = 0; i < filters.size(); ++i) {
+    for (size_t j = i + 1; j < filters.size(); ++j) {
+      EXPECT_FALSE(filters[i] == filters[j]) << "duplicate at " << i;
+    }
+  }
+  EXPECT_TRUE(repo_->ActionsOfType(ActionType::kBack).empty());
+}
+
+TEST_F(LabelingTest, AllDisplayPairsCoverEveryStep) {
+  EXPECT_EQ(repo_->AllDisplayPairs().size(), repo_->total_steps());
+}
+
+TEST_F(LabelingTest, NormalizedLabelerLabelsEveryStep) {
+  NormalizedLabeler labeler(Measures());
+  ASSERT_TRUE(labeler.Preprocess(*repo_).ok());
+  auto labeled = LabelRepository(*repo_, &labeler);
+  ASSERT_TRUE(labeled.ok());
+  EXPECT_EQ(labeled->size(), repo_->total_steps());
+  for (const LabeledStep& s : *labeled) {
+    EXPECT_FALSE(s.result.dominant.empty());
+    EXPECT_EQ(s.result.raw_scores.size(), 4u);
+  }
+}
+
+TEST_F(LabelingTest, ReferenceBasedLabelerRespectsSamplingCap) {
+  ReferenceBasedLabelerOptions options;
+  options.max_reference_actions = 5;
+  ReferenceBasedLabeler labeler(Measures(), repo_, options);
+  const SessionTree& tree = repo_->trees().front();
+  auto result = labeler.LabelStep(tree, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(labeler.timings().reference_actions_executed, 5u);
+}
+
+TEST_F(LabelingTest, LabelersRejectBadSteps) {
+  NormalizedLabeler labeler(Measures());
+  ASSERT_TRUE(labeler.Preprocess(*repo_).ok());
+  const SessionTree& tree = repo_->trees().front();
+  EXPECT_FALSE(labeler.LabelStep(tree, 0).ok());
+  EXPECT_FALSE(labeler.LabelStep(tree, tree.num_steps() + 1).ok());
+  ReferenceBasedLabeler rb(Measures(), repo_);
+  EXPECT_FALSE(rb.LabelStep(tree, 0).ok());
+}
+
+TEST_F(LabelingTest, MethodsAgreeMoreThanChance) {
+  NormalizedLabeler norm(Measures());
+  ASSERT_TRUE(norm.Preprocess(*repo_).ok());
+  auto norm_labels = LabelRepository(*repo_, &norm);
+  ASSERT_TRUE(norm_labels.ok());
+
+  ReferenceBasedLabelerOptions options;
+  options.max_reference_actions = 24;
+  ReferenceBasedLabeler rb(Measures(), repo_, options);
+  auto rb_labels = LabelRepository(*repo_, &rb);
+  ASSERT_TRUE(rb_labels.ok());
+
+  size_t agree = 0, co_labeled = 0;
+  for (size_t i = 0; i < norm_labels->size(); ++i) {
+    int pn = (*norm_labels)[i].result.primary();
+    int pr = (*rb_labels)[i].result.primary();
+    if (pn < 0 || pr < 0) continue;  // thin reference: RB abstains
+    ++co_labeled;
+    if (pn == pr) ++agree;
+  }
+  ASSERT_GT(co_labeled, 20u);
+  double rate = static_cast<double>(agree) / static_cast<double>(co_labeled);
+  EXPECT_GT(rate, 0.3);  // above the 0.25 chance level
+}
+
+TEST_F(LabelingTest, DeterministicAcrossRuns) {
+  NormalizedLabeler a(Measures()), b(Measures());
+  ASSERT_TRUE(a.Preprocess(*repo_).ok());
+  ASSERT_TRUE(b.Preprocess(*repo_).ok());
+  auto la = LabelRepository(*repo_, &a);
+  auto lb = LabelRepository(*repo_, &b);
+  ASSERT_TRUE(la.ok());
+  ASSERT_TRUE(lb.ok());
+  for (size_t i = 0; i < la->size(); ++i) {
+    EXPECT_EQ((*la)[i].result.primary(), (*lb)[i].result.primary());
+  }
+}
+
+TEST(ReplayedRepositoryTest, EmptyLogRejected) {
+  SessionLog empty;
+  DatasetRegistry registry;
+  ActionExecutor exec;
+  EXPECT_FALSE(ReplayedRepository::Build(empty, registry, exec).ok());
+}
+
+}  // namespace
+}  // namespace ida

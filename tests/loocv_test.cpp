@@ -1,0 +1,135 @@
+#include "eval/loocv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ida {
+namespace {
+
+// A synthetic "two clusters, two labels" setup where distance perfectly
+// separates the classes: LOOCV kNN must be near-perfect, Best-SM at the
+// prevalence level.
+struct Clustered {
+  std::vector<TrainingSample> samples;
+  std::vector<std::vector<double>> dist;
+};
+
+Clustered MakeClustered(size_t per_class, double separation, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  Clustered out;
+  for (int cls = 0; cls < 2; ++cls) {
+    for (size_t i = 0; i < per_class; ++i) {
+      xs.push_back(cls * separation + rng.UniformReal(-0.02, 0.02));
+      TrainingSample s;
+      s.label = cls;
+      s.labels = {cls};
+      s.max_relative = rng.UniformReal(0.0, 1.0);
+      out.samples.push_back(std::move(s));
+    }
+  }
+  out.dist.assign(xs.size(), std::vector<double>(xs.size(), 0.0));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = 0; j < xs.size(); ++j) {
+      out.dist[i][j] = std::fabs(xs[i] - xs[j]);
+    }
+  }
+  return out;
+}
+
+TEST(LoocvTest, AllIndicesHelper) {
+  EXPECT_EQ(AllIndices(3), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_TRUE(AllIndices(0).empty());
+}
+
+TEST(LoocvTest, FilterByTheta) {
+  Clustered c = MakeClustered(10, 1.0, 3);
+  auto some = FilterByTheta(c.samples, 0.5);
+  EXPECT_LT(some.size(), c.samples.size());
+  EXPECT_GT(some.size(), 0u);
+  for (size_t i : some) EXPECT_GE(c.samples[i].max_relative, 0.5);
+  EXPECT_EQ(FilterByTheta(c.samples, -1.0).size(), c.samples.size());
+  EXPECT_TRUE(FilterByTheta(c.samples, 2.0).empty());
+}
+
+TEST(LoocvTest, KnnNearPerfectOnSeparableClusters) {
+  Clustered c = MakeClustered(15, 1.0, 5);
+  KnnOptions options;
+  options.k = 3;
+  options.distance_threshold = 0.5;
+  EvalMetrics m = EvaluateKnnLoocv(c.samples, c.dist,
+                                   AllIndices(c.samples.size()), options, 2);
+  EXPECT_DOUBLE_EQ(m.coverage, 1.0);
+  EXPECT_GT(m.accuracy, 0.99);
+  EXPECT_GT(m.macro_f1, 0.99);
+}
+
+TEST(LoocvTest, TightThresholdLowersCoverage) {
+  Clustered c = MakeClustered(15, 1.0, 5);
+  KnnOptions loose, tight;
+  loose.k = tight.k = 3;
+  loose.distance_threshold = 0.5;
+  tight.distance_threshold = 1e-6;
+  auto subset = AllIndices(c.samples.size());
+  EvalMetrics ml = EvaluateKnnLoocv(c.samples, c.dist, subset, loose, 2);
+  EvalMetrics mt = EvaluateKnnLoocv(c.samples, c.dist, subset, tight, 2);
+  EXPECT_GT(ml.coverage, mt.coverage);
+}
+
+TEST(LoocvTest, SubsetRestrictsEvaluation) {
+  Clustered c = MakeClustered(10, 1.0, 7);
+  std::vector<size_t> subset = {0, 1, 2, 10, 11, 12};
+  KnnOptions options;
+  options.k = 1;
+  options.distance_threshold = 0.5;
+  EvalMetrics m = EvaluateKnnLoocv(c.samples, c.dist, subset, options, 2);
+  EXPECT_EQ(m.total, subset.size());
+  EXPECT_GT(m.accuracy, 0.99);
+}
+
+TEST(LoocvTest, BestSmMatchesPrevalence) {
+  Clustered c = MakeClustered(10, 1.0, 9);
+  // 10 of each class; add 5 extra of class 0 to break symmetry.
+  for (int i = 0; i < 5; ++i) {
+    TrainingSample s;
+    s.label = 0;
+    s.labels = {0};
+    c.samples.push_back(s);
+  }
+  EvalMetrics m =
+      EvaluateBestSmLoocv(c.samples, AllIndices(c.samples.size()), 2);
+  EXPECT_DOUBLE_EQ(m.coverage, 1.0);
+  EXPECT_NEAR(m.accuracy, 15.0 / 25.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.macro_recall, 0.5);
+}
+
+TEST(LoocvTest, RandomNearChanceLevel) {
+  Clustered c = MakeClustered(400, 1.0, 11);
+  EvalMetrics m =
+      EvaluateRandom(c.samples, AllIndices(c.samples.size()), 4, 13);
+  EXPECT_DOUBLE_EQ(m.coverage, 1.0);
+  EXPECT_NEAR(m.accuracy, 0.25, 0.06);  // 4 classes, truth uses 2
+}
+
+TEST(LoocvTest, SvmKfoldSeparatesClusters) {
+  Clustered c = MakeClustered(12, 2.0, 15);
+  SvmOptions options;
+  EvalMetrics m = EvaluateSvmKfold(c.samples, c.dist,
+                                   AllIndices(c.samples.size()), options,
+                                   /*folds=*/4, 2);
+  EXPECT_DOUBLE_EQ(m.coverage, 1.0);  // SVM always predicts
+  EXPECT_GT(m.accuracy, 0.9);
+}
+
+TEST(LoocvTest, SvmDegenerateSubset) {
+  Clustered c = MakeClustered(2, 1.0, 17);
+  SvmOptions options;
+  EvalMetrics m = EvaluateSvmKfold(c.samples, c.dist, {0}, options, 4, 2);
+  EXPECT_EQ(m.total, 0u);  // too small to fold
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,330 @@
+#include "measures/measure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "actions/executor.h"
+#include "measures/conciseness.h"
+#include "measures/dispersion.h"
+#include "measures/diversity.h"
+#include "measures/peculiarity.h"
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+using testing::MakeProfileDisplay;
+
+TEST(MeasureRegistryTest, AllEightMeasures) {
+  MeasureSet all = CreateAllMeasures();
+  ASSERT_EQ(all.size(), 8u);
+  int facet_counts[kNumFacets] = {0, 0, 0, 0};
+  for (const auto& m : all) ++facet_counts[static_cast<int>(m->facet())];
+  for (int f = 0; f < kNumFacets; ++f) EXPECT_EQ(facet_counts[f], 2);
+}
+
+TEST(MeasureRegistryTest, CreateByName) {
+  for (const char* name : {"variance", "simpson", "schutz", "macarthur",
+                           "osf", "deviation", "compaction_gain",
+                           "log_length"}) {
+    auto m = CreateMeasure(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->name(), name);
+  }
+  EXPECT_EQ(CreateMeasure("bogus"), nullptr);
+}
+
+TEST(MeasureRegistryTest, SixteenConfigurations) {
+  auto configs = CreateMeasureConfigurations();
+  ASSERT_EQ(configs.size(), 16u);
+  for (const MeasureSet& I : configs) {
+    ASSERT_EQ(I.size(), 4u);
+    // One per facet, in facet order.
+    for (int f = 0; f < kNumFacets; ++f) {
+      EXPECT_EQ(static_cast<int>(I[static_cast<size_t>(f)]->facet()), f);
+    }
+  }
+}
+
+TEST(MeasureRegistryTest, MeasureIndex) {
+  MeasureSet all = CreateAllMeasures();
+  EXPECT_EQ(MeasureIndex(all, "variance"), 0);
+  EXPECT_EQ(MeasureIndex(all, "log_length"), 7);
+  EXPECT_EQ(MeasureIndex(all, "nope"), -1);
+}
+
+// ---------------------------------------------------------------- diversity
+
+TEST(DiversityTest, SkewedBeatsUniform) {
+  auto skewed = MakeProfileDisplay({97.0, 1.0, 1.0, 1.0});
+  auto uniform = MakeProfileDisplay({25.0, 25.0, 25.0, 25.0});
+  for (const char* name : {"variance", "simpson"}) {
+    auto m = CreateMeasure(name);
+    EXPECT_GT(m->Score(*skewed, nullptr), m->Score(*uniform, nullptr))
+        << name;
+  }
+}
+
+TEST(DiversityTest, SimpsonBounds) {
+  SimpsonMeasure simpson;
+  auto uniform = MakeProfileDisplay({10.0, 10.0, 10.0, 10.0});
+  EXPECT_NEAR(simpson.Score(*uniform, nullptr), 0.25, 1e-12);  // 1/m
+  auto one = MakeProfileDisplay({100.0});
+  EXPECT_NEAR(simpson.Score(*one, nullptr), 1.0, 1e-12);
+}
+
+TEST(DiversityTest, VarianceZeroForUniformAndSingleton) {
+  VarianceMeasure variance;
+  auto uniform = MakeProfileDisplay({5.0, 5.0, 5.0});
+  EXPECT_NEAR(variance.Score(*uniform, nullptr), 0.0, 1e-12);
+  auto one = MakeProfileDisplay({9.0});
+  EXPECT_DOUBLE_EQ(variance.Score(*one, nullptr), 0.0);
+}
+
+TEST(DiversityTest, VarianceHandComputed) {
+  // p = (0.75, 0.25), qbar = 0.5: ((0.25)^2 + (0.25)^2) / 1 = 0.125.
+  VarianceMeasure variance;
+  auto d = MakeProfileDisplay({75.0, 25.0});
+  EXPECT_NEAR(variance.Score(*d, nullptr), 0.125, 1e-12);
+}
+
+// --------------------------------------------------------------- dispersion
+
+TEST(DispersionTest, UniformBeatsSkewed) {
+  auto skewed = MakeProfileDisplay({97.0, 1.0, 1.0, 1.0});
+  auto uniform = MakeProfileDisplay({25.0, 25.0, 25.0, 25.0});
+  for (const char* name : {"schutz", "macarthur"}) {
+    auto m = CreateMeasure(name);
+    EXPECT_GT(m->Score(*uniform, nullptr), m->Score(*skewed, nullptr))
+        << name;
+  }
+}
+
+TEST(DispersionTest, UniformScoresOne) {
+  auto uniform = MakeProfileDisplay({10.0, 10.0, 10.0, 10.0, 10.0});
+  EXPECT_NEAR(CreateMeasure("schutz")->Score(*uniform, nullptr), 1.0, 1e-12);
+  EXPECT_NEAR(CreateMeasure("macarthur")->Score(*uniform, nullptr), 1.0,
+              1e-9);
+}
+
+TEST(DispersionTest, SchutzHandComputed) {
+  // p = (0.75, 0.25): sum|p - 0.5| = 0.5; inequality 0.25 -> score 0.75.
+  SchutzMeasure schutz;
+  auto d = MakeProfileDisplay({75.0, 25.0});
+  EXPECT_NEAR(schutz.Score(*d, nullptr), 0.75, 1e-12);
+}
+
+TEST(DispersionTest, BoundedInUnitInterval) {
+  for (const char* name : {"schutz", "macarthur"}) {
+    auto m = CreateMeasure(name);
+    for (const auto& values :
+         {std::vector<double>{1.0, 999.0}, {1.0, 1.0, 1.0},
+          {0.5, 0.2, 0.3}, {100.0}}) {
+      auto d = MakeProfileDisplay(values);
+      double s = m->Score(*d, nullptr);
+      EXPECT_GE(s, 0.0) << name;
+      EXPECT_LE(s, 1.0) << name;
+    }
+  }
+}
+
+// -------------------------------------------------------------- peculiarity
+
+TEST(OsfTest, OutlierRaisesScore) {
+  OsfMeasure osf;
+  auto with_outlier = MakeProfileDisplay({10.0, 11.0, 9.0, 10.0, 95.0});
+  auto flat = MakeProfileDisplay({10.0, 11.0, 9.0, 10.0, 10.5});
+  EXPECT_GT(osf.Score(*with_outlier, nullptr), osf.Score(*flat, nullptr));
+}
+
+TEST(OsfTest, ConstantVectorScoresZero) {
+  OsfMeasure osf;
+  auto flat = MakeProfileDisplay({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(osf.Score(*flat, nullptr), 0.0);
+  auto single = MakeProfileDisplay({5.0});
+  EXPECT_DOUBLE_EQ(osf.Score(*single, nullptr), 0.0);
+}
+
+TEST(OsfTest, ElementScoresIdentifyTheOutlier) {
+  auto scores = OsfMeasure::ElementScores({10.0, 10.5, 9.5, 50.0, 10.0});
+  size_t argmax = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, 3u);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(OsfTest, ScaleInvariance) {
+  OsfMeasure osf;
+  auto a = MakeProfileDisplay({1.0, 1.1, 0.9, 5.0});
+  auto b = MakeProfileDisplay({100.0, 110.0, 90.0, 500.0});
+  EXPECT_NEAR(osf.Score(*a, nullptr), osf.Score(*b, nullptr), 1e-9);
+}
+
+TEST(DeviationTest, MatchingReferenceScoresNearZero) {
+  // Display whose distribution matches the root's distribution of the
+  // same column.
+  ActionExecutor exec;
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  auto agg = exec.Execute(Action::GroupBy("protocol", AggFunc::kCount), *root);
+  ASSERT_TRUE(agg.ok());
+  DeviationMeasure dev;
+  EXPECT_NEAR(dev.Score(**agg, root.get()), 0.0, 1e-6);
+}
+
+TEST(DeviationTest, FilteredDisplayDeviates) {
+  ActionExecutor exec;
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  // After-hours slice has a very different protocol mix than the root.
+  auto filtered = exec.Execute(
+      Action::Filter({{"hour", CompareOp::kGe, Value(int64_t{19})}}), *root);
+  ASSERT_TRUE(filtered.ok());
+  auto agg =
+      exec.Execute(Action::GroupBy("protocol", AggFunc::kCount), **filtered);
+  ASSERT_TRUE(agg.ok());
+  DeviationMeasure dev;
+  EXPECT_GT(dev.Score(**agg, root.get()), 0.5);
+}
+
+TEST(DeviationTest, NullRootFallsBackToUniformReference) {
+  DeviationMeasure dev;
+  auto skewed = MakeProfileDisplay({90.0, 5.0, 5.0});
+  auto uniform = MakeProfileDisplay({10.0, 10.0, 10.0});
+  EXPECT_GT(dev.Score(*skewed, nullptr), dev.Score(*uniform, nullptr));
+  EXPECT_NEAR(dev.Score(*uniform, nullptr), 0.0, 1e-9);
+}
+
+// -------------------------------------------------------------- conciseness
+
+TEST(CompactionGainTest, SummaryOfLargeDatasetScoresHigh) {
+  CompactionGainMeasure cg;
+  // Two groups summarizing a 150,908-tuple dataset: CG = 75,454 (paper
+  // Example 2.1).
+  auto d = MakeProfileDisplay({100.0, 50.0}, DisplayKind::kAggregated,
+                              /*dataset_size=*/150908);
+  EXPECT_NEAR(cg.Score(*d, nullptr), 75454.0, 1e-6);
+}
+
+TEST(CompactionGainTest, NarrowFilterScoresHigherThanFullListing) {
+  ActionExecutor exec;
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  auto narrow = exec.Execute(
+      Action::Filter({{"protocol", CompareOp::kEq, Value("DNS")}}), *root);
+  ASSERT_TRUE(narrow.ok());
+  CompactionGainMeasure cg;
+  EXPECT_DOUBLE_EQ(cg.Score(*root, nullptr), 1.0);        // 8/8
+  EXPECT_DOUBLE_EQ(cg.Score(**narrow, nullptr), 4.0);     // 8/2
+}
+
+TEST(CompactionGainTest, FewerGroupsScoreHigher) {
+  CompactionGainMeasure cg;
+  auto two = MakeProfileDisplay({500.0, 500.0});
+  auto ten = MakeProfileDisplay(std::vector<double>(10, 100.0));
+  EXPECT_GT(cg.Score(*two, nullptr), cg.Score(*ten, nullptr));
+}
+
+TEST(LogLengthTest, MonotoneDecreasingInRows) {
+  LogLengthMeasure ll;
+  auto small = MakeProfileDisplay({1.0, 1.0});
+  auto large = MakeProfileDisplay(std::vector<double>(200, 1.0));
+  EXPECT_GT(ll.Score(*small, nullptr), ll.Score(*large, nullptr));
+}
+
+TEST(LogLengthTest, CapSaturatesAtZero) {
+  LogLengthMeasure ll(/*cap=*/3.0);  // 2^3 - 1 = 7 rows saturate
+  auto big = MakeProfileDisplay(std::vector<double>(64, 1.0));
+  EXPECT_DOUBLE_EQ(ll.Score(*big, nullptr), 0.0);
+}
+
+TEST(LogLengthTest, BoundedInUnitInterval) {
+  LogLengthMeasure ll;
+  for (size_t rows : {1u, 5u, 100u, 10000u}) {
+    auto d = MakeProfileDisplay(std::vector<double>(std::min<size_t>(rows, 64), 1.0),
+                                DisplayKind::kAggregated, 1000, rows);
+    double s = ll.Score(*d, nullptr);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+// ----------------------------------------------------- cross-facet behavior
+
+// The paper's Example 2.1 in miniature: a skewed overview display vs a
+// two-group compact summary. Diversity must favor the overview; dispersion
+// and conciseness the summary.
+TEST(CrossFacetTest, RunningExampleOrdering) {
+  auto d1 = MakeProfileDisplay({48000.0, 1500.0, 400.0, 150.0, 80.0, 46.0});
+  auto d3 = MakeProfileDisplay({80000.0, 70908.0});
+  EXPECT_GT(CreateMeasure("variance")->Score(*d1, nullptr),
+            CreateMeasure("variance")->Score(*d3, nullptr));
+  EXPECT_GT(CreateMeasure("schutz")->Score(*d3, nullptr),
+            CreateMeasure("schutz")->Score(*d1, nullptr));
+  EXPECT_GT(CreateMeasure("compaction_gain")->Score(*d3, nullptr),
+            CreateMeasure("compaction_gain")->Score(*d1, nullptr));
+  EXPECT_GT(CreateMeasure("log_length")->Score(*d3, nullptr),
+            CreateMeasure("log_length")->Score(*d1, nullptr));
+}
+
+// Scale invariance of probability-vector measures: multiplying all
+// aggregate values by a constant must not change the score.
+class ScaleInvarianceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScaleInvarianceTest, ScoreUnchangedUnderScaling) {
+  auto m = CreateMeasure(GetParam());
+  ASSERT_NE(m, nullptr);
+  std::vector<double> base = {5.0, 20.0, 1.0, 14.0};
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(v * 37.5);
+  auto a = MakeProfileDisplay(base);
+  auto b = MakeProfileDisplay(scaled);
+  EXPECT_NEAR(m->Score(*a, nullptr), m->Score(*b, nullptr), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbabilityMeasures, ScaleInvarianceTest,
+                         ::testing::Values("variance", "simpson", "schutz",
+                                           "macarthur", "osf"));
+
+// Permutation invariance: group order must not matter.
+class PermutationInvarianceTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PermutationInvarianceTest, ScoreUnchangedUnderPermutation) {
+  auto m = CreateMeasure(GetParam());
+  ASSERT_NE(m, nullptr);
+  auto a = MakeProfileDisplay({3.0, 9.0, 1.0, 7.0});
+  auto b = MakeProfileDisplay({9.0, 7.0, 3.0, 1.0});
+  EXPECT_NEAR(m->Score(*a, nullptr), m->Score(*b, nullptr), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfileMeasures, PermutationInvarianceTest,
+                         ::testing::Values("variance", "simpson", "schutz",
+                                           "macarthur", "osf",
+                                           "compaction_gain", "log_length"));
+
+// All measures must return finite scores on degenerate displays.
+class RobustnessTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RobustnessTest, FiniteOnDegenerateInputs) {
+  auto m = CreateMeasure(GetParam());
+  ASSERT_NE(m, nullptr);
+  auto root = Display::MakeRoot(testing::PacketsTable());
+  for (const auto& values :
+       {std::vector<double>{}, {1.0}, {0.0, 0.0}, {1e12, 1e-12}}) {
+    auto d = MakeProfileDisplay(values);
+    double s = m->Score(*d, root.get());
+    EXPECT_TRUE(std::isfinite(s)) << m->name() << " on size " << values.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, RobustnessTest,
+                         ::testing::Values("variance", "simpson", "schutz",
+                                           "macarthur", "osf", "deviation",
+                                           "compaction_gain", "log_length"));
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,103 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ida {
+namespace {
+
+TrainingSample Truth(int label, std::vector<int> ties = {}) {
+  TrainingSample s;
+  s.label = label;
+  s.labels = ties.empty() ? std::vector<int>{label} : std::move(ties);
+  return s;
+}
+
+Prediction Pred(int label) {
+  Prediction p;
+  p.label = label;
+  return p;
+}
+
+TEST(MetricsTest, PerfectPredictions) {
+  MetricsAccumulator acc(3);
+  for (int c = 0; c < 3; ++c) {
+    acc.Add(Pred(c), Truth(c));
+    acc.Add(Pred(c), Truth(c));
+  }
+  EvalMetrics m = acc.Finish();
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.coverage, 1.0);
+}
+
+TEST(MetricsTest, AbstentionsAffectCoverageNotAccuracy) {
+  MetricsAccumulator acc(2);
+  acc.Add(Pred(0), Truth(0));
+  acc.Add(Pred(-1), Truth(1));  // abstain
+  acc.Add(Pred(-1), Truth(0));  // abstain
+  EvalMetrics m = acc.Finish();
+  EXPECT_DOUBLE_EQ(m.coverage, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_EQ(m.predicted, 1u);
+  EXPECT_EQ(m.total, 3u);
+}
+
+TEST(MetricsTest, TiedTruthAcceptsAnyDominantLabel) {
+  MetricsAccumulator acc(3);
+  acc.Add(Pred(2), Truth(1, {1, 2}));  // tie: 2 counts as correct
+  EvalMetrics m = acc.Finish();
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+}
+
+TEST(MetricsTest, BestSmShape) {
+  // Always predicting the majority class: macro-recall must equal
+  // 1/num_classes and macro-precision the accuracy (paper Table 5's
+  // Best-SM pattern).
+  MetricsAccumulator acc(4);
+  for (int i = 0; i < 40; ++i) acc.Add(Pred(0), Truth(0));
+  for (int c = 1; c < 4; ++c) {
+    for (int i = 0; i < 20; ++i) acc.Add(Pred(0), Truth(c));
+  }
+  EvalMetrics m = acc.Finish();
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.4);
+  EXPECT_DOUBLE_EQ(m.macro_precision, 0.4);
+  EXPECT_DOUBLE_EQ(m.macro_recall, 0.25);
+}
+
+TEST(MetricsTest, ConfusionAccounting) {
+  MetricsAccumulator acc(2);
+  acc.Add(Pred(0), Truth(0));  // TP for 0
+  acc.Add(Pred(0), Truth(1));  // FP for 0, FN for 1
+  acc.Add(Pred(1), Truth(1));  // TP for 1
+  acc.Add(Pred(1), Truth(1));  // TP for 1
+  EvalMetrics m = acc.Finish();
+  // precision: class0 1/2, class1 2/2 -> 0.75; recall: class0 1/1,
+  // class1 2/3 -> 5/6.
+  EXPECT_DOUBLE_EQ(m.macro_precision, 0.75);
+  EXPECT_NEAR(m.macro_recall, 5.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.75);
+  double p = 0.75, r = 5.0 / 6.0;
+  EXPECT_NEAR(m.macro_f1, 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(MetricsTest, EmptyAccumulator) {
+  MetricsAccumulator acc(4);
+  EvalMetrics m = acc.Finish();
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.coverage, 0.0);
+  EXPECT_EQ(m.total, 0u);
+}
+
+TEST(MetricsTest, ToStringMentionsEverything) {
+  MetricsAccumulator acc(2);
+  acc.Add(Pred(0), Truth(0));
+  std::string s = acc.Finish().ToString();
+  EXPECT_NE(s.find("acc="), std::string::npos);
+  EXPECT_NE(s.find("coverage="), std::string::npos);
+  EXPECT_NE(s.find("(1/1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,133 @@
+#include "session/ncontext.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+// The paper's worked examples (Sec 3.2 / Example 3.3) on the running
+// session: q1 from d0, q2 from d0 (after backtracking), q3 from d2.
+
+TEST(NContextTest, PaperExampleStateS0) {
+  SessionTree t = testing::ExampleSession();
+  // "c_1 contains the single node d_0".
+  NContext c = ExtractNContext(t, 0, 3);
+  EXPECT_EQ(c.nodes().size(), 1u);
+  EXPECT_EQ(c.size_elements(), 1u);
+  EXPECT_EQ(c.node(c.root()).step, 0);
+  EXPECT_EQ(c.focus(), c.root());
+  EXPECT_FALSE(c.node(c.root()).incoming.has_value());
+}
+
+TEST(NContextTest, PaperExampleStateS1) {
+  SessionTree t = testing::ExampleSession();
+  // "c_2 contains d_0, q_1, d_1".
+  NContext c = ExtractNContext(t, 1, 3);
+  EXPECT_EQ(c.size_elements(), 3u);
+  ASSERT_EQ(c.nodes().size(), 2u);
+  EXPECT_EQ(c.node(c.root()).step, 0);
+  EXPECT_EQ(c.node(c.focus()).step, 1);
+  ASSERT_TRUE(c.node(c.focus()).incoming.has_value());
+  EXPECT_EQ(c.node(c.focus()).incoming->group_column(), "protocol");
+}
+
+TEST(NContextTest, PaperExampleStateS2SkipsSiblingBranch) {
+  SessionTree t = testing::ExampleSession();
+  // "the 3-context at step t = 2 includes displays d_0 and d_2 and the
+  // action q_2" — NOT d_1/q_1, which sit on the abandoned branch.
+  NContext c = ExtractNContext(t, 2, 3);
+  EXPECT_EQ(c.size_elements(), 3u);
+  std::set<int> steps;
+  for (const auto& n : c.nodes()) steps.insert(n.step);
+  EXPECT_EQ(steps, (std::set<int>{0, 2}));
+  ASSERT_TRUE(c.node(c.focus()).incoming.has_value());
+  EXPECT_EQ(c.node(c.focus()).incoming->type(), ActionType::kFilter);
+}
+
+TEST(NContextTest, LargerContextPullsInEarlierBranch) {
+  SessionTree t = testing::ExampleSession();
+  // 5-context at t=2: after {d_2, q_2, d_0} the walk adds q_1 and d_1.
+  NContext c = ExtractNContext(t, 2, 5);
+  EXPECT_EQ(c.size_elements(), 5u);
+  std::set<int> steps;
+  for (const auto& n : c.nodes()) steps.insert(n.step);
+  EXPECT_EQ(steps, (std::set<int>{0, 1, 2}));
+}
+
+TEST(NContextTest, FullSessionContext) {
+  SessionTree t = testing::ExampleSession();
+  // More than 2T+1 elements available -> whole tree (7 elements).
+  NContext c = ExtractNContext(t, 3, 100);
+  EXPECT_EQ(c.size_elements(), 7u);
+  EXPECT_EQ(c.nodes().size(), 4u);
+  EXPECT_EQ(c.node(c.focus()).step, 3);
+  // Root has two children in step order.
+  const NContextNode& root = c.node(c.root());
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_LT(c.node(root.children[0]).step, c.node(root.children[1]).step);
+}
+
+TEST(NContextTest, SizeOneIsJustTheFocusDisplay) {
+  SessionTree t = testing::ExampleSession();
+  NContext c = ExtractNContext(t, 3, 1);
+  EXPECT_EQ(c.nodes().size(), 1u);
+  EXPECT_EQ(c.node(0).step, 3);
+}
+
+TEST(NContextTest, ChainContextOnLinearSession) {
+  ActionExecutor exec;
+  SessionTree t("s", "u", "d", Display::MakeRoot(testing::PacketsTable()));
+  int cur = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto r = t.ApplyFrom(
+        cur, Action::Filter({{"length", CompareOp::kGe, Value(int64_t{50 + i})}}),
+        exec);
+    ASSERT_TRUE(r.ok());
+    cur = *r;
+  }
+  NContext c = ExtractNContext(t, 4, 5);
+  EXPECT_EQ(c.size_elements(), 5u);
+  std::set<int> steps;
+  for (const auto& n : c.nodes()) steps.insert(n.step);
+  EXPECT_EQ(steps, (std::set<int>{2, 3, 4}));
+}
+
+TEST(NContextTest, InvalidArgsYieldEmpty) {
+  SessionTree t = testing::ExampleSession();
+  EXPECT_TRUE(ExtractNContext(t, -1, 3).empty());
+  EXPECT_TRUE(ExtractNContext(t, 99, 3).empty());
+  EXPECT_TRUE(ExtractNContext(t, 1, 0).empty());
+}
+
+TEST(NContextTest, FingerprintStableAndDiscriminating) {
+  SessionTree t = testing::ExampleSession();
+  NContext a = ExtractNContext(t, 2, 3);
+  NContext b = ExtractNContext(t, 2, 3);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  NContext c = ExtractNContext(t, 3, 3);
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_EQ(NContext().Fingerprint(), "()");
+}
+
+TEST(NContextTest, ParentChildIndicesConsistent) {
+  SessionTree t = testing::ExampleSession();
+  NContext c = ExtractNContext(t, 3, 100);
+  for (size_t i = 0; i < c.nodes().size(); ++i) {
+    const NContextNode& n = c.nodes()[i];
+    if (n.parent >= 0) {
+      const auto& siblings = c.node(n.parent).children;
+      EXPECT_NE(std::find(siblings.begin(), siblings.end(),
+                          static_cast<int>(i)),
+                siblings.end());
+    } else {
+      EXPECT_EQ(static_cast<int>(i), c.root());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ida

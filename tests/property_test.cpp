@@ -1,0 +1,253 @@
+// Randomized property sweeps across module boundaries: invariants that
+// must hold for arbitrary generated data, actions and sessions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "actions/executor.h"
+#include "distance/ted.h"
+#include "measures/measure.h"
+#include "offline/comparison.h"
+#include "session/ncontext.h"
+#include "synth/agent.h"
+#include "synth/dataset.h"
+
+namespace ida {
+namespace {
+
+// ------------------------------------------------------ executor invariants
+
+class ExecutorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorPropertyTest, FilterResultIsSubsetOfParent) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kPortScan, 400,
+                                       GetParam());
+  auto root = Display::MakeRoot(d.table);
+  ActionExecutor exec;
+  Rng rng(GetParam() * 31 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    // A random single-predicate filter built from an actual cell value.
+    size_t col = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(d.table->num_columns()) - 1));
+    size_t row = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(d.table->num_rows()) - 1));
+    Value v = d.table->GetValue(row, col);
+    if (v.is_null()) continue;
+    Action a = Action::Filter(
+        {Predicate{d.table->schema().field(col).name, CompareOp::kEq, v}});
+    auto r = exec.Execute(a, *root);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE((*r)->num_rows(), root->num_rows());
+    EXPECT_GE((*r)->num_rows(), 1u);  // the witness row matches itself
+    // Filter is idempotent: applying it again changes nothing.
+    auto rr = exec.Execute(a, **r);
+    ASSERT_TRUE(rr.ok());
+    EXPECT_EQ((*rr)->num_rows(), (*r)->num_rows());
+  }
+}
+
+TEST_P(ExecutorPropertyTest, GroupByCoversAllParentTuples) {
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kDataExfil, 300,
+                                       GetParam());
+  auto root = Display::MakeRoot(d.table);
+  ActionExecutor exec;
+  for (const char* col : {"protocol", "src_ip", "dst_ip", "flags", "hour"}) {
+    auto r = exec.Execute(Action::GroupBy(col, AggFunc::kCount), *root);
+    ASSERT_TRUE(r.ok()) << col;
+    const InterestProfile& p = (*r)->profile();
+    EXPECT_DOUBLE_EQ(p.covered_tuples(), 300.0) << col;
+    // Counts equal group sizes for kCount.
+    for (size_t j = 0; j < p.group_count(); ++j) {
+      EXPECT_DOUBLE_EQ(p.values[j], p.group_sizes[j]);
+    }
+    // Sum aggregate must total the column sum.
+    auto sum = exec.Execute(Action::GroupBy(col, AggFunc::kSum, "length"),
+                            *root);
+    ASSERT_TRUE(sum.ok());
+    double total = 0.0;
+    for (double v : (*sum)->profile().values) total += v;
+    auto lc = d.table->ColumnByName("length");
+    double expect = 0.0;
+    for (size_t i = 0; i < lc->size(); ++i) expect += lc->GetNumeric(i);
+    EXPECT_NEAR(total, expect, 1e-6) << col;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// ----------------------------------------------- session / context sweeps
+
+class SessionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SessionPropertyTest, NContextInvariants) {
+  SynthDataset d =
+      MakeScenarioDataset(ScenarioKind::kLateralMovement, 500, GetParam());
+  AgentProfile profile;
+  profile.min_steps = 5;
+  profile.max_steps = 9;
+  AnalystAgent agent(&d, profile, GetParam() * 7 + 3);
+  ActionExecutor exec;
+  auto tree = agent.RunSession("s", "u", exec);
+  ASSERT_TRUE(tree.ok());
+
+  for (int t = 0; t <= tree->num_steps(); ++t) {
+    for (int n = 1; n <= 11; n += 2) {
+      NContext c = ExtractNContext(*tree, t, n);
+      ASSERT_FALSE(c.empty());
+      // Size bounds: at least min(n, 2t+1); overshoot past n is possible
+      // (adding one more edge may pull in a whole connecting path), but a
+      // context can never exceed the elements that exist up to step t.
+      size_t available = static_cast<size_t>(2 * t + 1);
+      EXPECT_GE(c.size_elements(),
+                std::min<size_t>(static_cast<size_t>(n), available));
+      EXPECT_LE(c.size_elements(), available);
+      // Focus node is d_t; root has no incoming action.
+      EXPECT_EQ(c.node(c.focus()).step, t);
+      EXPECT_FALSE(c.node(c.root()).incoming.has_value());
+      // Every non-root node carries its incoming action.
+      for (size_t i = 0; i < c.nodes().size(); ++i) {
+        if (static_cast<int>(i) != c.root()) {
+          EXPECT_TRUE(c.nodes()[i].incoming.has_value());
+        }
+      }
+      // Monotone: a larger n never yields a smaller context.
+      if (n > 1) {
+        NContext smaller = ExtractNContext(*tree, t, n - 2);
+        EXPECT_LE(smaller.size_elements(), c.size_elements());
+      }
+    }
+  }
+}
+
+TEST_P(SessionPropertyTest, DistanceCacheIsTransparent) {
+  SynthDataset d =
+      MakeScenarioDataset(ScenarioKind::kMalwareBeacon, 400, GetParam());
+  AgentProfile profile;
+  profile.min_steps = 6;
+  profile.max_steps = 8;
+  AnalystAgent agent(&d, profile, GetParam() + 77);
+  ActionExecutor exec;
+  auto tree = agent.RunSession("s", "u", exec);
+  ASSERT_TRUE(tree.ok());
+  std::vector<NContext> contexts;
+  for (int t = 0; t <= tree->num_steps(); ++t) {
+    contexts.push_back(ExtractNContext(*tree, t, 5));
+  }
+  SessionDistance warm;  // reused across pairs: cache fills up
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    for (size_t j = 0; j < contexts.size(); ++j) {
+      SessionDistance cold;  // fresh metric: no cache reuse
+      EXPECT_NEAR(warm.Distance(contexts[i], contexts[j]),
+                  cold.Distance(contexts[i], contexts[j]), 1e-12);
+    }
+  }
+  EXPECT_GT(warm.cache_size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionPropertyTest,
+                         ::testing::Values(11, 22, 33));
+
+// ----------------------------------------------------- comparison sweeps
+
+TEST(ComparisonPropertyTest, SubsetProjectionConsistent) {
+  // For any full result, the projected dominant measure must be the
+  // measure with the maximal relative score among the projected indices.
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    ComparisonResult full;
+    for (int m = 0; m < 8; ++m) {
+      full.raw_scores.push_back(rng.UniformReal(0, 10));
+      full.relative_scores.push_back(rng.UniformReal(-2.5, 2.5));
+    }
+    FillDominant(&full);
+    std::vector<int> indices;
+    for (int m = 0; m < 8; ++m) {
+      if (rng.Bernoulli(0.5)) indices.push_back(m);
+    }
+    if (indices.empty()) continue;
+    ComparisonResult sub = SubsetResult(full, indices);
+    ASSERT_FALSE(sub.dominant.empty());
+    double best = -1e300;
+    for (int idx : indices) {
+      best = std::max(best, full.relative_scores[static_cast<size_t>(idx)]);
+    }
+    EXPECT_DOUBLE_EQ(sub.max_relative, best);
+    for (int d : sub.dominant) {
+      EXPECT_DOUBLE_EQ(sub.relative_scores[static_cast<size_t>(d)], best);
+    }
+  }
+}
+
+TEST(ComparisonPropertyTest, ReferenceBasedRelativeScoresAreMidRanks) {
+  // With k alternatives, every relative score must be a multiple of
+  // 0.5/k within [0, 1].
+  SynthDataset d = MakeScenarioDataset(ScenarioKind::kPortScan, 300, 3);
+  auto root = Display::MakeRoot(d.table);
+  ActionExecutor exec;
+  Action q = Action::GroupBy("protocol", AggFunc::kCount);
+  auto display = exec.Execute(q, *root);
+  ASSERT_TRUE(display.ok());
+  std::vector<Action> reference = {
+      Action::GroupBy("flags", AggFunc::kCount),
+      Action::GroupBy("src_ip", AggFunc::kCount),
+      Action::GroupBy("hour", AggFunc::kCount),
+      Action::GroupBy("dst_ip", AggFunc::kCount),
+  };
+  MeasureSet I = CreateAllMeasures();
+  ReferenceBasedComparison cmp(I);
+  auto result = cmp.Compare(q, *root, **display, root.get(), reference);
+  ASSERT_TRUE(result.ok());
+  double k = static_cast<double>(result->effective_reference_size);
+  ASSERT_GT(k, 0.0);
+  for (double r : result->relative_scores) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    double scaled = r * k * 2.0;  // multiples of 0.5/k
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+  }
+}
+
+// ------------------------------------------------------- measure sweeps
+
+class MeasureMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeasureMonotonicityTest, SimpsonIncreasesWithConcentration) {
+  // Moving mass from the smallest to the largest group can only raise
+  // Simpson (and lower Schutz dispersion).
+  int m = GetParam();
+  std::vector<double> values(static_cast<size_t>(m), 10.0);
+  MeasurePtr simpson = CreateMeasure("simpson");
+  MeasurePtr schutz = CreateMeasure("schutz");
+  double prev_simpson = -1.0;
+  double prev_schutz = 2.0;
+  for (int shift = 0; shift < 5; ++shift) {
+    InterestProfile p;
+    p.column = "c";
+    TableBuilder b({"c", "v"});
+    for (size_t j = 0; j < values.size(); ++j) {
+      p.labels.push_back(std::to_string(j));
+      p.values.push_back(values[j]);
+      p.group_sizes.push_back(values[j]);
+      Status st = b.AppendRow({Value(std::to_string(j)), Value(values[j])});
+      (void)st;
+    }
+    auto table = b.Finish();
+    Display d(DisplayKind::kAggregated, *table, std::move(p), 1000);
+    double s = simpson->Score(d, nullptr);
+    double z = schutz->Score(d, nullptr);
+    EXPECT_GE(s, prev_simpson - 1e-12);
+    EXPECT_LE(z, prev_schutz + 1e-12);
+    prev_simpson = s;
+    prev_schutz = z;
+    values[0] += 8.0;  // concentrate
+    values.back() = std::max(1.0, values.back() - 8.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupCounts, MeasureMonotonicityTest,
+                         ::testing::Values(3, 5, 9, 17));
+
+}  // namespace
+}  // namespace ida

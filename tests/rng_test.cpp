@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ida {
+namespace {
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1'000'000) == b.UniformInt(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntRespectssBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, UniformRealRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(11);
+  std::vector<double> w = {1.0, 3.0, 0.0};
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, CategoricalAllZeroIsUniform) {
+  Rng rng(11);
+  std::vector<double> w = {0.0, 0.0};
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_GT(counts[0], 1500);
+  EXPECT_GT(counts[1], 1500);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(13);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], 3 * counts[9]);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,161 @@
+#include "session/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+SessionRecord ExampleRecord() {
+  SessionRecord r;
+  r.session_id = "example";
+  r.user_id = "clarice";
+  r.dataset_id = "packets";
+  r.successful = true;
+  r.steps = {
+      {0, Action::GroupBy("protocol", AggFunc::kCount)},
+      {0, Action::Filter({{"protocol", CompareOp::kEq, Value("HTTP")},
+                          {"hour", CompareOp::kGe, Value(int64_t{19})}})},
+      {2, Action::GroupBy("dst_ip", AggFunc::kCount)},
+  };
+  return r;
+}
+
+TEST(SessionLogTest, Counters) {
+  SessionLog log;
+  log.Add(ExampleRecord());
+  SessionRecord failed = ExampleRecord();
+  failed.session_id = "other";
+  failed.successful = false;
+  failed.steps.pop_back();
+  log.Add(failed);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.total_actions(), 5u);
+  EXPECT_EQ(log.successful_sessions(), 1u);
+  EXPECT_EQ(log.successful_actions(), 3u);
+}
+
+TEST(SessionLogTest, SerializeParseRoundTrip) {
+  SessionLog log;
+  log.Add(ExampleRecord());
+  std::string text = log.Serialize();
+  auto back = SessionLog::Parse(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 1u);
+  const SessionRecord& r = back->records()[0];
+  EXPECT_EQ(r.session_id, "example");
+  EXPECT_EQ(r.user_id, "clarice");
+  EXPECT_EQ(r.dataset_id, "packets");
+  EXPECT_TRUE(r.successful);
+  ASSERT_EQ(r.steps.size(), 3u);
+  EXPECT_EQ(r.steps[1].first, 0);
+  EXPECT_TRUE(r.steps[1].second == ExampleRecord().steps[1].second);
+  EXPECT_EQ(r.steps[2].first, 2);
+}
+
+TEST(SessionLogTest, ParseSkipsCommentsAndBlanks) {
+  auto log = SessionLog::Parse(
+      "# header comment\n\nSESSION s u d 0\nSTEP 0 GROUPBY a AGG count\n"
+      "END\n");
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->size(), 1u);
+}
+
+TEST(SessionLogTest, ParseErrors) {
+  EXPECT_FALSE(SessionLog::Parse("SESSION a b\nEND\n").ok());
+  EXPECT_FALSE(SessionLog::Parse("STEP 0 BACK\n").ok());  // outside SESSION
+  EXPECT_FALSE(SessionLog::Parse("SESSION s u d 0\nSTEP 0 BACK\nEND\n").ok());
+  EXPECT_FALSE(SessionLog::Parse("SESSION s u d 0\nSTEP 9 GROUPBY a AGG "
+                                 "count\nEND\n")
+                   .ok());  // parent out of range
+  EXPECT_FALSE(SessionLog::Parse("SESSION s u d 0\n").ok());  // unterminated
+  EXPECT_FALSE(SessionLog::Parse("END\n").ok());
+  EXPECT_FALSE(
+      SessionLog::Parse("SESSION s u d 0\nSTEP x GROUPBY a AGG count\nEND\n")
+          .ok());
+  EXPECT_FALSE(SessionLog::Parse("GARBAGE\n").ok());
+  EXPECT_FALSE(
+      SessionLog::Parse("SESSION a b c 1\nSESSION d e f 0\nEND\n").ok());
+}
+
+TEST(SessionLogTest, FileRoundTrip) {
+  SessionLog log;
+  log.Add(ExampleRecord());
+  std::string path = ::testing::TempDir() + "/session_log_test.log";
+  ASSERT_TRUE(log.SaveToFile(path).ok());
+  auto back = SessionLog::LoadFromFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Serialize(), log.Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTest, RebuildsFullTree) {
+  DatasetRegistry registry;
+  registry["packets"] = testing::PacketsTable();
+  ActionExecutor exec;
+  auto tree = ReplaySession(ExampleRecord(), registry, exec);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->num_steps(), 3);
+  EXPECT_TRUE(tree->successful());
+  EXPECT_EQ(tree->node(2).parent, 0);
+  EXPECT_EQ(tree->node(3).parent, 2);
+  // Displays materialized with correct contents.
+  EXPECT_EQ(tree->node(1).display->profile().group_count(), 4u);
+  EXPECT_EQ(tree->node(2).display->num_rows(), 3u);
+}
+
+TEST(ReplayTest, MissingDatasetErrors) {
+  DatasetRegistry registry;
+  ActionExecutor exec;
+  auto tree = ReplaySession(ExampleRecord(), registry, exec);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReplayTest, ReplayMatchesOriginalTree) {
+  // A tree built live and the replay of its record are structurally equal.
+  SessionTree original = testing::ExampleSession();
+  SessionRecord record;
+  record.session_id = original.session_id();
+  record.user_id = original.user_id();
+  record.dataset_id = original.dataset_id();
+  record.successful = original.successful();
+  for (const SessionStep& s : original.steps()) {
+    record.steps.emplace_back(s.parent, s.action);
+  }
+  DatasetRegistry registry;
+  registry["packets"] = testing::PacketsTable();
+  ActionExecutor exec;
+  auto replayed = ReplaySession(record, registry, exec);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed->num_nodes(), original.num_nodes());
+  for (int i = 0; i < original.num_nodes(); ++i) {
+    EXPECT_EQ(replayed->node(i).parent, original.node(i).parent);
+    EXPECT_EQ(replayed->node(i).display->num_rows(),
+              original.node(i).display->num_rows());
+  }
+}
+
+TEST(ReplayAllTest, CountsFailures) {
+  SessionLog log;
+  log.Add(ExampleRecord());
+  SessionRecord bad = ExampleRecord();
+  bad.session_id = "bad";
+  bad.dataset_id = "missing";
+  log.Add(bad);
+  DatasetRegistry registry;
+  registry["packets"] = testing::PacketsTable();
+  ActionExecutor exec;
+  size_t consumed = 0, failed = 0;
+  ASSERT_TRUE(ReplayAll(log, registry, exec,
+                        [&](const SessionTree&) { ++consumed; }, &failed)
+                  .ok());
+  EXPECT_EQ(consumed, 1u);
+  EXPECT_EQ(failed, 1u);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,81 @@
+#include "session/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+TEST(SessionTreeTest, RootOnly) {
+  SessionTree t("s", "u", "d", Display::MakeRoot(testing::PacketsTable()));
+  EXPECT_EQ(t.num_steps(), 0);
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_EQ(t.node(0).parent, -1);
+  EXPECT_EQ(t.session_id(), "s");
+  EXPECT_FALSE(t.successful());
+}
+
+TEST(SessionTreeTest, LinearGrowth) {
+  ActionExecutor exec;
+  SessionTree t("s", "u", "d", Display::MakeRoot(testing::PacketsTable()));
+  auto n1 = t.ApplyFrom(0, Action::GroupBy("protocol", AggFunc::kCount), exec);
+  ASSERT_TRUE(n1.ok());
+  EXPECT_EQ(*n1, 1);
+  auto n2 = t.ApplyFrom(
+      *n1, Action::Filter({{"count", CompareOp::kGe, Value(int64_t{2})}}),
+      exec);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 2);
+  EXPECT_EQ(t.num_steps(), 2);
+  EXPECT_EQ(t.node(2).parent, 1);
+  EXPECT_EQ(t.node(1).children, std::vector<int>{2});
+  EXPECT_EQ(t.step(2).parent, 1);
+}
+
+TEST(SessionTreeTest, BacktrackingBranches) {
+  SessionTree t = testing::ExampleSession();
+  // q1 from root, q2 from root (backtracked), q3 from node 2.
+  EXPECT_EQ(t.num_steps(), 3);
+  EXPECT_EQ(t.node(1).parent, 0);
+  EXPECT_EQ(t.node(2).parent, 0);
+  EXPECT_EQ(t.node(3).parent, 2);
+  EXPECT_EQ(t.node(0).children, (std::vector<int>{1, 2}));
+}
+
+TEST(SessionTreeTest, RejectsBadParent) {
+  ActionExecutor exec;
+  SessionTree t("s", "u", "d", Display::MakeRoot(testing::PacketsTable()));
+  EXPECT_FALSE(
+      t.ApplyFrom(5, Action::GroupBy("protocol", AggFunc::kCount), exec).ok());
+  EXPECT_FALSE(
+      t.ApplyFrom(-1, Action::GroupBy("protocol", AggFunc::kCount), exec)
+          .ok());
+}
+
+TEST(SessionTreeTest, RejectsBackAction) {
+  ActionExecutor exec;
+  SessionTree t("s", "u", "d", Display::MakeRoot(testing::PacketsTable()));
+  EXPECT_FALSE(t.ApplyFrom(0, Action::Back(), exec).ok());
+}
+
+TEST(SessionTreeTest, FailedActionLeavesTreeUnchanged) {
+  ActionExecutor exec;
+  SessionTree t("s", "u", "d", Display::MakeRoot(testing::PacketsTable()));
+  auto r = t.ApplyFrom(0, Action::GroupBy("missing", AggFunc::kCount), exec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_EQ(t.num_steps(), 0);
+  EXPECT_TRUE(t.node(0).children.empty());
+}
+
+TEST(SessionTreeTest, NodeIdsMatchStepNumbers) {
+  SessionTree t = testing::ExampleSession();
+  for (int s = 1; s <= t.num_steps(); ++s) {
+    EXPECT_EQ(t.step(s).node, s);
+    EXPECT_EQ(&t.NodeOfStep(s), &t.node(s));
+  }
+}
+
+}  // namespace
+}  // namespace ida

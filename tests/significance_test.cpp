@@ -1,0 +1,101 @@
+#include "stats/significance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ida {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);          // Gamma(1)=1
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);          // Gamma(2)=1
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-9);  // Gamma(5)=24
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(M_PI)), 1e-9);
+}
+
+TEST(RegularizedGammaTest, ComplementaryPair) {
+  for (double a : {0.5, 1.0, 2.5, 10.0}) {
+    for (double x : {0.1, 1.0, 3.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 50.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // For a=1, P(1,x) = 1 - exp(-x).
+  for (double x : {0.2, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(ChiSquareSurvivalTest, KnownQuantiles) {
+  // Classic table values: P(X >= 3.841 | 1 dof) = 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1), 0.05, 0.001);
+  // P(X >= 5.991 | 2 dof) = 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(5.991, 2), 0.05, 0.001);
+  // P(X >= 16.919 | 9 dof) = 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(16.919, 9), 0.05, 0.001);
+  // Median of chi-square(2) is 2 ln 2.
+  EXPECT_NEAR(ChiSquareSurvival(2.0 * std::log(2.0), 2), 0.5, 1e-9);
+}
+
+TEST(ChiSquareIndependenceTest, PerfectIndependence) {
+  // Rows proportional to columns -> statistic 0, p-value 1.
+  ChiSquareResult r = ChiSquareIndependence({{10, 20}, {20, 40}});
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.dof, 1.0);
+}
+
+TEST(ChiSquareIndependenceTest, StrongAssociation) {
+  ChiSquareResult r = ChiSquareIndependence({{100, 0}, {0, 100}});
+  EXPECT_NEAR(r.statistic, 200.0, 1e-9);
+  EXPECT_LT(r.p_value, 1e-40);
+}
+
+TEST(ChiSquareIndependenceTest, HandComputedTwoByTwo) {
+  // Observed {{10,20},{30,40}}: chi2 = 100*(10*40-20*30)^2 /
+  // (30*70*40*60) = 0.7936...
+  ChiSquareResult r = ChiSquareIndependence({{10, 20}, {30, 40}});
+  EXPECT_NEAR(r.statistic, 0.79365, 1e-4);
+  EXPECT_NEAR(r.p_value, 0.3729, 1e-3);
+}
+
+TEST(ChiSquareIndependenceTest, DropsZeroMarginals) {
+  // Middle column is all-zero; effective table is 2x2.
+  ChiSquareResult r = ChiSquareIndependence({{10, 0, 20}, {20, 0, 40}});
+  EXPECT_DOUBLE_EQ(r.dof, 1.0);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+}
+
+TEST(ChiSquareIndependenceTest, DegenerateTables) {
+  EXPECT_DOUBLE_EQ(ChiSquareIndependence({}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquareIndependence({{5, 5}}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquareIndependence({{5}, {5}}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquareIndependence({{0, 0}, {0, 0}}).p_value, 1.0);
+  // Ragged input rejected.
+  EXPECT_DOUBLE_EQ(ChiSquareIndependence({{1, 2}, {3}}).p_value, 1.0);
+}
+
+TEST(ChiSquareIndependenceTest, FourByFourDiagonal) {
+  // A strongly diagonal 4x4 table (like two agreeing labeling methods)
+  // must come out overwhelmingly dependent — the paper reports
+  // p < 1e-67 for its two comparison methods.
+  std::vector<std::vector<double>> diag(4, std::vector<double>(4, 2.0));
+  for (int i = 0; i < 4; ++i) diag[i][i] = 150.0;
+  ChiSquareResult r = ChiSquareIndependence(diag);
+  EXPECT_DOUBLE_EQ(r.dof, 9.0);
+  EXPECT_LT(r.p_value, 1e-60);
+}
+
+}  // namespace
+}  // namespace ida

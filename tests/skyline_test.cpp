@@ -1,0 +1,69 @@
+#include "eval/skyline.h"
+
+#include <gtest/gtest.h>
+
+namespace ida {
+namespace {
+
+TEST(SkylineTest, Empty) {
+  EXPECT_TRUE(ParetoSkyline({}).empty());
+}
+
+TEST(SkylineTest, SinglePoint) {
+  EXPECT_EQ(ParetoSkyline({{0.5, 0.5}}), (std::vector<size_t>{0}));
+}
+
+TEST(SkylineTest, DominatedPointsRemoved) {
+  // (0.5, 0.5) is dominated by (0.6, 0.7).
+  std::vector<std::pair<double, double>> pts = {
+      {0.5, 0.5}, {0.6, 0.7}, {0.9, 0.3}};
+  auto sky = ParetoSkyline(pts);
+  EXPECT_EQ(sky, (std::vector<size_t>{1, 2}));
+}
+
+TEST(SkylineTest, MonotoneFrontier) {
+  std::vector<std::pair<double, double>> pts = {
+      {0.1, 0.9}, {0.3, 0.8}, {0.5, 0.85}, {0.7, 0.6}, {0.9, 0.4},
+      {0.2, 0.2}, {0.6, 0.5}, {0.8, 0.61}};
+  auto sky = ParetoSkyline(pts);
+  // Ascending x, non-increasing y along the frontier.
+  for (size_t i = 1; i < sky.size(); ++i) {
+    EXPECT_LE(pts[sky[i - 1]].first, pts[sky[i]].first);
+    EXPECT_GE(pts[sky[i - 1]].second, pts[sky[i]].second);
+  }
+  // Every non-skyline point is dominated by some skyline point.
+  for (size_t p = 0; p < pts.size(); ++p) {
+    if (std::find(sky.begin(), sky.end(), p) != sky.end()) continue;
+    bool dominated = false;
+    for (size_t s : sky) {
+      if (pts[s].first >= pts[p].first && pts[s].second > pts[p].second) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << "point " << p;
+  }
+}
+
+TEST(SkylineTest, EqualXKeepsBestYOnly) {
+  std::vector<std::pair<double, double>> pts = {{0.5, 0.3}, {0.5, 0.9}};
+  EXPECT_EQ(ParetoSkyline(pts), (std::vector<size_t>{1}));
+}
+
+TEST(SkylineTest, EqualYBothSurvive) {
+  // Under the paper's dominance (x' >= x and y' > y), equal-y points do
+  // not dominate each other; both stay.
+  std::vector<std::pair<double, double>> pts = {{0.3, 0.5}, {0.7, 0.5}};
+  auto sky = ParetoSkyline(pts);
+  // Neither dominates the other (dominance needs strictly larger y).
+  EXPECT_EQ(sky, (std::vector<size_t>{0, 1}));
+}
+
+TEST(SkylineTest, AllIdenticalPoints) {
+  std::vector<std::pair<double, double>> pts(4, {0.4, 0.4});
+  // Identical points do not dominate one another; all survive.
+  EXPECT_EQ(ParetoSkyline(pts).size(), 4u);
+}
+
+}  // namespace
+}  // namespace ida

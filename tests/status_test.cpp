@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ida {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructors) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ConvertingConstructor) {
+  // A shared_ptr<Derived-ish> converts through; this mirrors how
+  // Result<DisplayPtr> accepts make_shared<Display>.
+  std::shared_ptr<int> p = std::make_shared<int>(7);
+  Result<std::shared_ptr<const int>> r(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailingStep() { return Status::IoError("disk"); }
+
+Status UsesReturnNotOk() {
+  IDA_RETURN_NOT_OK(FailingStep());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kIoError);
+}
+
+Result<int> GiveSeven() { return 7; }
+
+Result<int> UsesAssignOrReturn() {
+  IDA_ASSIGN_OR_RETURN(int v, GiveSeven());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacroBinds) {
+  Result<int> r = UsesAssignOrReturn();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 8);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,140 @@
+#include "predict/svm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ida {
+namespace {
+
+// Builds a Euclidean distance matrix over 1-D points.
+std::vector<std::vector<double>> PointDistances(
+    const std::vector<double>& xs) {
+  std::vector<std::vector<double>> d(xs.size(),
+                                     std::vector<double>(xs.size(), 0.0));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = 0; j < xs.size(); ++j) {
+      d[i][j] = std::fabs(xs[i] - xs[j]);
+    }
+  }
+  return d;
+}
+
+TEST(KernelTest, MedianSigma) {
+  auto d = PointDistances({0.0, 1.0, 2.0});
+  // Pairwise distances {1, 2, 1} -> median 1.
+  EXPECT_DOUBLE_EQ(MedianSigma(d), 1.0);
+  // All-zero distances degrade to 1.
+  EXPECT_DOUBLE_EQ(MedianSigma({{0.0, 0.0}, {0.0, 0.0}}), 1.0);
+}
+
+TEST(KernelTest, DistanceToKernelProperties) {
+  auto dist = PointDistances({0.0, 0.5, 3.0});
+  auto k = DistanceToKernel(dist, 1.0);
+  for (size_t i = 0; i < k.size(); ++i) {
+    EXPECT_DOUBLE_EQ(k[i][i], 1.0);  // zero distance
+    for (size_t j = 0; j < k.size(); ++j) {
+      EXPECT_GT(k[i][j], 0.0);
+      EXPECT_LE(k[i][j], 1.0);
+      EXPECT_DOUBLE_EQ(k[i][j], k[j][i]);
+    }
+  }
+  // Monotone: nearer pairs have larger kernel value.
+  EXPECT_GT(k[0][1], k[0][2]);
+}
+
+TEST(KernelTest, RowConversionMatchesMatrix) {
+  auto dist = PointDistances({0.0, 1.0, 2.0});
+  double sigma = 0.7;
+  auto k = DistanceToKernel(dist, sigma);
+  auto row = DistanceRowToKernelRow(dist[1], sigma);
+  for (size_t j = 0; j < row.size(); ++j) {
+    EXPECT_DOUBLE_EQ(row[j], k[1][j]);
+  }
+}
+
+TEST(BinarySvmTest, SeparatesTwoClusters) {
+  std::vector<double> xs = {0.0, 0.1, 0.2, 0.3, 5.0, 5.1, 5.2, 5.3};
+  std::vector<int> ys = {-1, -1, -1, -1, 1, 1, 1, 1};
+  auto kernel = DistanceToKernel(PointDistances(xs), 1.0);
+  BinaryKernelSvm svm;
+  ASSERT_TRUE(svm.Train(kernel, ys).ok());
+  // Training points classified correctly.
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double d = svm.Decision(kernel[i]);
+    EXPECT_GT(d * ys[i], 0.0) << "point " << xs[i];
+  }
+}
+
+TEST(BinarySvmTest, ClassifiesHeldOutPoints) {
+  std::vector<double> xs = {0.0, 0.2, 0.4, 4.6, 4.8, 5.0};
+  std::vector<int> ys = {-1, -1, -1, 1, 1, 1};
+  double sigma = 1.0;
+  auto kernel = DistanceToKernel(PointDistances(xs), sigma);
+  BinaryKernelSvm svm;
+  ASSERT_TRUE(svm.Train(kernel, ys).ok());
+  auto query_row = [&](double q) {
+    std::vector<double> row(xs.size());
+    for (size_t j = 0; j < xs.size(); ++j) row[j] = std::fabs(q - xs[j]);
+    return DistanceRowToKernelRow(row, sigma);
+  };
+  EXPECT_LT(svm.Decision(query_row(0.3)), 0.0);
+  EXPECT_GT(svm.Decision(query_row(4.7)), 0.0);
+}
+
+TEST(BinarySvmTest, RejectsMalformedInput) {
+  BinaryKernelSvm svm;
+  EXPECT_FALSE(svm.Train({{1.0}}, {1, -1}).ok());           // size mismatch
+  EXPECT_FALSE(svm.Train({{1.0, 0.0}}, {1, -1}).ok());      // not square
+  EXPECT_FALSE(
+      svm.Train({{1.0, 0.0}, {0.0, 1.0}}, {1, 2}).ok());    // bad labels
+}
+
+TEST(BinarySvmTest, OneClassDegeneratesToConstant) {
+  auto kernel = DistanceToKernel(PointDistances({0.0, 1.0}), 1.0);
+  BinaryKernelSvm svm;
+  ASSERT_TRUE(svm.Train(kernel, {1, 1}).ok());
+  EXPECT_GT(svm.Decision(kernel[0]), 0.0);
+  EXPECT_GT(svm.Decision(kernel[1]), 0.0);
+}
+
+TEST(MultiClassSvmTest, ThreeClusters) {
+  std::vector<double> xs;
+  std::vector<int> ys;
+  Rng rng(5);
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < 8; ++i) {
+      xs.push_back(cls * 4.0 + rng.UniformReal(-0.3, 0.3));
+      ys.push_back(cls);
+    }
+  }
+  double sigma = 1.0;
+  auto kernel = DistanceToKernel(PointDistances(xs), sigma);
+  MultiClassKernelSvm svm;
+  ASSERT_TRUE(svm.Train(kernel, ys).ok());
+  EXPECT_EQ(svm.classes().size(), 3u);
+  int correct = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (svm.Predict(kernel[i]) == ys[i]) ++correct;
+  }
+  EXPECT_GE(correct, 22);  // near-perfect on training data
+}
+
+TEST(MultiClassSvmTest, AlwaysPredicts) {
+  auto kernel = DistanceToKernel(PointDistances({0.0, 1.0, 5.0}), 1.0);
+  MultiClassKernelSvm svm;
+  ASSERT_TRUE(svm.Train(kernel, {0, 0, 1}).ok());
+  // Even a far-away query gets a label (100% coverage).
+  std::vector<double> far_row = DistanceRowToKernelRow({50.0, 50.0, 50.0}, 1.0);
+  EXPECT_GE(svm.Predict(far_row), 0);
+}
+
+TEST(MultiClassSvmTest, EmptyModelPredictsMinusOne) {
+  MultiClassKernelSvm svm;
+  EXPECT_EQ(svm.Predict({1.0}), -1);
+}
+
+}  // namespace
+}  // namespace ida

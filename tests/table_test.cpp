@@ -1,0 +1,81 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kString}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.FieldIndex("b"), 1);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+  EXPECT_TRUE(s.HasField("a"));
+  EXPECT_FALSE(s.HasField("c"));
+  EXPECT_EQ(s.ToString(), "a:int, b:string");
+}
+
+TEST(TableBuilderTest, BuildsTable) {
+  auto t = testing::MakeTable(
+      {"name", "count"},
+      {{Value("x"), Value(int64_t{1})}, {Value("y"), Value(int64_t{2})}});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->num_columns(), 2u);
+  EXPECT_EQ(t->GetValue(1, 0).as_string(), "y");
+  EXPECT_EQ(t->GetValue(0, 1).as_int(), 1);
+}
+
+TEST(TableBuilderTest, RejectsWrongWidth) {
+  TableBuilder b({"a", "b"});
+  EXPECT_FALSE(b.AppendRow({Value(int64_t{1})}).ok());
+}
+
+TEST(TableTest, MakeRejectsRaggedColumns) {
+  ColumnBuilder a("a"), b("b");
+  a.AppendInt(1);
+  a.AppendInt(2);
+  b.AppendInt(1);
+  auto ca = a.Finish();
+  auto cb = b.Finish();
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  auto t = DataTable::Make({*ca, *cb});
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, ColumnByName) {
+  auto t = testing::PacketsTable();
+  ASSERT_NE(t, nullptr);
+  EXPECT_NE(t->ColumnByName("protocol"), nullptr);
+  EXPECT_EQ(t->ColumnByName("nope"), nullptr);
+}
+
+TEST(TableTest, TakeSelectsRowsInOrder) {
+  auto t = testing::PacketsTable();
+  auto taken = t->Take({5, 0});
+  EXPECT_EQ(taken->num_rows(), 2u);
+  EXPECT_EQ(taken->GetValue(0, 0).as_string(), "SSH");
+  EXPECT_EQ(taken->GetValue(1, 0).as_string(), "HTTP");
+  // Schema preserved.
+  EXPECT_EQ(taken->schema().ToString(), t->schema().ToString());
+}
+
+TEST(TableTest, TakeEmptySelection) {
+  auto t = testing::PacketsTable();
+  auto taken = t->Take({});
+  EXPECT_EQ(taken->num_rows(), 0u);
+  EXPECT_EQ(taken->num_columns(), t->num_columns());
+}
+
+TEST(TableTest, ToStringTruncates) {
+  auto t = testing::PacketsTable();
+  std::string s = t->ToString(2);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ida

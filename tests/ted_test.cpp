@@ -1,0 +1,162 @@
+#include "distance/ted.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synth/generator.h"
+#include "test_util.h"
+
+namespace ida {
+namespace {
+
+// Contexts extracted from the running-example session at various states
+// and sizes give a small diverse tree population.
+std::vector<NContext> ExampleContexts() {
+  SessionTree t = testing::ExampleSession();
+  std::vector<NContext> out;
+  for (int step = 0; step <= t.num_steps(); ++step) {
+    for (int n : {1, 3, 5, 7}) {
+      out.push_back(ExtractNContext(t, step, n));
+    }
+  }
+  return out;
+}
+
+TEST(TedTest, IdenticalTreesHaveZeroDistance) {
+  SessionDistance metric;
+  for (const NContext& c : ExampleContexts()) {
+    EXPECT_NEAR(metric.TreeEditDistance(c, c), 0.0, 1e-12);
+    EXPECT_NEAR(metric.Distance(c, c), 0.0, 1e-12);
+  }
+}
+
+TEST(TedTest, EmptyTreeCosts) {
+  SessionDistance metric;
+  NContext empty;
+  SessionTree t = testing::ExampleSession();
+  NContext c = ExtractNContext(t, 2, 3);  // 2 nodes
+  EXPECT_DOUBLE_EQ(metric.TreeEditDistance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(metric.TreeEditDistance(c, empty), 2.0);
+  EXPECT_DOUBLE_EQ(metric.TreeEditDistance(empty, c), 2.0);
+  EXPECT_DOUBLE_EQ(metric.Distance(c, empty), 1.0);  // maximal
+}
+
+TEST(TedTest, Symmetry) {
+  SessionDistance metric;
+  auto contexts = ExampleContexts();
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    for (size_t j = i + 1; j < contexts.size(); ++j) {
+      EXPECT_NEAR(metric.TreeEditDistance(contexts[i], contexts[j]),
+                  metric.TreeEditDistance(contexts[j], contexts[i]), 1e-9);
+    }
+  }
+}
+
+TEST(TedTest, TriangleInequalityOnSample) {
+  SessionDistance metric;
+  auto contexts = ExampleContexts();
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    for (size_t j = 0; j < contexts.size(); ++j) {
+      for (size_t k = 0; k < contexts.size(); ++k) {
+        double dij = metric.TreeEditDistance(contexts[i], contexts[j]);
+        double djk = metric.TreeEditDistance(contexts[j], contexts[k]);
+        double dik = metric.TreeEditDistance(contexts[i], contexts[k]);
+        EXPECT_LE(dik, dij + djk + 1e-9)
+            << "triangle violated at (" << i << "," << j << "," << k << ")";
+      }
+    }
+  }
+}
+
+TEST(TedTest, SingleNodeTreesCompareByGroundMetrics) {
+  SessionTree t = testing::ExampleSession();
+  NContext a = ExtractNContext(t, 0, 1);  // root display only
+  NContext b = ExtractNContext(t, 1, 1);  // d1 only
+  SessionDistance metric;
+  double d = metric.TreeEditDistance(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);  // an alter costs at most indel
+}
+
+TEST(TedTest, AlterCheaperThanDeleteInsert) {
+  // Two 3-element contexts differing only in the incoming action should
+  // sit well below the normalized maximum.
+  SessionTree t = testing::ExampleSession();
+  NContext a = ExtractNContext(t, 1, 3);
+  NContext b = ExtractNContext(t, 2, 3);
+  SessionDistance metric;
+  EXPECT_LT(metric.Distance(a, b), 0.5);
+}
+
+TEST(TedTest, NormalizedDistanceBounded) {
+  SessionDistance metric;
+  auto contexts = ExampleContexts();
+  for (const NContext& a : contexts) {
+    for (const NContext& b : contexts) {
+      double d = metric.Distance(a, b);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+TEST(TedTest, LargerDivergenceLargerDistance) {
+  ActionExecutor exec;
+  SessionTree t("s", "u", "d", Display::MakeRoot(testing::PacketsTable()));
+  // Branch A: two group-bys; branch B: two filters.
+  auto a1 = t.ApplyFrom(0, Action::GroupBy("protocol", AggFunc::kCount), exec);
+  ASSERT_TRUE(a1.ok());
+  auto b1 = t.ApplyFrom(
+      0, Action::Filter({{"hour", CompareOp::kGe, Value(int64_t{19})}}), exec);
+  ASSERT_TRUE(b1.ok());
+  NContext near_a = ExtractNContext(t, 1, 3);
+  NContext near_b = ExtractNContext(t, 2, 3);
+  // A context equal to near_a must be closer to near_a than near_b is.
+  SessionDistance metric;
+  EXPECT_LT(metric.Distance(near_a, near_a), metric.Distance(near_a, near_b));
+}
+
+TEST(TedTest, DistanceMatrixSymmetricZeroDiagonal) {
+  auto contexts = ExampleContexts();
+  SessionDistance metric;
+  auto m = BuildDistanceMatrix(contexts, metric);
+  ASSERT_EQ(m.size(), contexts.size());
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 0.0);
+    for (size_t j = 0; j < m.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+    }
+  }
+}
+
+TEST(TedTest, MetricPropertiesOnSynthContexts) {
+  // Broader property sweep over generated sessions.
+  auto bench = GenerateBenchmark(SmallGeneratorOptions(21));
+  ASSERT_TRUE(bench.ok());
+  ActionExecutor exec;
+  std::vector<NContext> contexts;
+  for (const SessionRecord& rec : bench->log.records()) {
+    auto tree = ReplaySession(rec, bench->registry, exec);
+    ASSERT_TRUE(tree.ok());
+    for (int step = 0; step <= std::min(3, tree->num_steps()); ++step) {
+      contexts.push_back(ExtractNContext(*tree, step, 5));
+    }
+    if (contexts.size() > 14) break;
+  }
+  SessionDistance metric;
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    for (size_t j = 0; j < contexts.size(); ++j) {
+      double dij = metric.TreeEditDistance(contexts[i], contexts[j]);
+      EXPECT_NEAR(dij, metric.TreeEditDistance(contexts[j], contexts[i]),
+                  1e-9);
+      for (size_t k = 0; k < contexts.size(); ++k) {
+        EXPECT_LE(metric.TreeEditDistance(contexts[i], contexts[k]),
+                  dij + metric.TreeEditDistance(contexts[j], contexts[k]) +
+                      1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,90 @@
+// Shared helpers for the test suite: tiny tables, displays with chosen
+// profiles, and miniature session trees.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actions/display.h"
+#include "actions/executor.h"
+#include "data/table.h"
+#include "session/tree.h"
+
+namespace ida::testing {
+
+/// Builds a table from rows; column types are inferred from values.
+inline std::shared_ptr<const DataTable> MakeTable(
+    const std::vector<std::string>& columns,
+    const std::vector<std::vector<Value>>& rows) {
+  TableBuilder b(columns);
+  for (const auto& row : rows) {
+    Status st = b.AppendRow(row);
+    if (!st.ok()) return nullptr;
+  }
+  auto r = b.Finish();
+  return r.ok() ? *r : nullptr;
+}
+
+/// A display whose interest profile is exactly `values` (counts double as
+/// group sizes), detached from any table content. `rows` defaults to the
+/// number of groups (like an aggregated display).
+inline DisplayPtr MakeProfileDisplay(const std::vector<double>& values,
+                                     DisplayKind kind = DisplayKind::kAggregated,
+                                     size_t dataset_size = 1000,
+                                     size_t rows = 0) {
+  InterestProfile p;
+  p.column = "col";
+  for (size_t i = 0; i < values.size(); ++i) {
+    p.labels.push_back("g" + std::to_string(i));
+    p.values.push_back(values[i]);
+    p.group_sizes.push_back(values[i]);
+  }
+  TableBuilder b({"col", "count"});
+  size_t want_rows = rows == 0 ? values.size() : rows;
+  for (size_t i = 0; i < want_rows; ++i) {
+    Status st = b.AppendRow(
+        {Value("g" + std::to_string(i)),
+         Value(i < values.size() ? values[i] : 0.0)});
+    (void)st;
+  }
+  auto table = b.Finish();
+  return std::make_shared<Display>(kind, *table, std::move(p), dataset_size);
+}
+
+/// The small packets table used across action/session tests.
+inline std::shared_ptr<const DataTable> PacketsTable() {
+  return MakeTable(
+      {"protocol", "dst_ip", "length", "hour"},
+      {
+          {Value("HTTP"), Value("1.1.1.1"), Value(int64_t{100}), Value(int64_t{9})},
+          {Value("HTTP"), Value("2.2.2.2"), Value(int64_t{60}), Value(int64_t{20})},
+          {Value("HTTP"), Value("2.2.2.2"), Value(int64_t{55}), Value(int64_t{21})},
+          {Value("DNS"), Value("3.3.3.3"), Value(int64_t{70}), Value(int64_t{10})},
+          {Value("DNS"), Value("1.1.1.1"), Value(int64_t{80}), Value(int64_t{11})},
+          {Value("SSH"), Value("4.4.4.4"), Value(int64_t{500}), Value(int64_t{2})},
+          {Value("HTTP"), Value("2.2.2.2"), Value(int64_t{58}), Value(int64_t{23})},
+          {Value("SMTP"), Value("5.5.5.5"), Value(int64_t{300}), Value(int64_t{14})},
+      });
+}
+
+/// A linear session: root -> q1(group protocol) -> q2(filter hour>=19 from
+/// root) -> q3(group dst_ip), mirroring the paper's running example
+/// topology (q2 backtracks to the root).
+inline SessionTree ExampleSession() {
+  ActionExecutor exec;
+  SessionTree tree("example", "clarice", "packets",
+                   Display::MakeRoot(PacketsTable()));
+  auto q1 = Action::GroupBy("protocol", AggFunc::kCount);
+  auto q2 = Action::Filter({Predicate{"protocol", CompareOp::kEq, Value("HTTP")},
+                            Predicate{"hour", CompareOp::kGe, Value(int64_t{19})}});
+  auto q3 = Action::GroupBy("dst_ip", AggFunc::kCount);
+  auto r1 = tree.ApplyFrom(0, q1, exec);
+  auto r2 = tree.ApplyFrom(0, q2, exec);  // backtracked to root
+  auto r3 = tree.ApplyFrom(*r2, q3, exec);
+  (void)r1;
+  (void)r3;
+  return tree;
+}
+
+}  // namespace ida::testing

@@ -1,0 +1,155 @@
+#include "offline/training.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "synth/generator.h"
+
+namespace ida {
+namespace {
+
+class TrainingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto b = GenerateBenchmark(SmallGeneratorOptions(33));
+    ASSERT_TRUE(b.ok());
+    ActionExecutor exec;
+    auto repo = ReplayedRepository::Build(b->log, b->registry, exec);
+    ASSERT_TRUE(repo.ok());
+    repo_ = new ReplayedRepository(std::move(*repo));
+    labeler_ = new NormalizedLabeler(
+        {CreateMeasure("variance"), CreateMeasure("schutz"),
+         CreateMeasure("osf"), CreateMeasure("compaction_gain")});
+    ASSERT_TRUE(labeler_->Preprocess(*repo_).ok());
+    auto labeled = LabelRepository(*repo_, labeler_);
+    ASSERT_TRUE(labeled.ok());
+    labeled_ = new std::vector<LabeledStep>(std::move(*labeled));
+  }
+  static void TearDownTestSuite() {
+    delete labeled_;
+    delete labeler_;
+    delete repo_;
+  }
+
+  static ReplayedRepository* repo_;
+  static NormalizedLabeler* labeler_;
+  static std::vector<LabeledStep>* labeled_;
+};
+
+ReplayedRepository* TrainingTest::repo_ = nullptr;
+NormalizedLabeler* TrainingTest::labeler_ = nullptr;
+std::vector<LabeledStep>* TrainingTest::labeled_ = nullptr;
+
+TEST_F(TrainingTest, BuildsSamplesForSuccessfulSessions) {
+  TrainingSetOptions options;
+  options.n_context_size = 3;
+  options.theta_interest = -100.0;  // keep everything
+  TrainingSetStats stats;
+  auto samples = BuildTrainingSet(*repo_, labeler_, options, &stats);
+  ASSERT_TRUE(samples.ok());
+  size_t successful_states = 0;
+  for (const auto& tree : repo_->trees()) {
+    if (tree.successful()) {
+      successful_states += static_cast<size_t>(tree.num_steps());
+    }
+  }
+  EXPECT_EQ(stats.states_considered, successful_states);
+  EXPECT_EQ(samples->size(), successful_states);
+  EXPECT_EQ(stats.filtered_by_theta, 0u);
+  for (const TrainingSample& s : *samples) {
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 4);
+    EXPECT_FALSE(s.context.empty());
+    EXPECT_LE(s.context.size_elements(), 4u);  // n=3 can overshoot by 1
+  }
+}
+
+TEST_F(TrainingTest, ThetaFilterDropsWeakSamples) {
+  TrainingSetOptions loose, strict;
+  loose.theta_interest = -100.0;
+  strict.theta_interest = 1.5;  // standard deviations
+  auto all = BuildTrainingSet(*repo_, labeler_, loose);
+  auto filtered = BuildTrainingSet(*repo_, labeler_, strict);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT(filtered->size(), all->size());
+  for (const TrainingSample& s : *filtered) {
+    EXPECT_GE(s.max_relative, 1.5);
+  }
+}
+
+TEST_F(TrainingTest, SuccessfulOnlyToggle) {
+  TrainingSetOptions options;
+  options.theta_interest = -100.0;
+  options.successful_only = false;
+  auto all_sessions = BuildTrainingSet(*repo_, labeler_, options);
+  options.successful_only = true;
+  auto successful = BuildTrainingSet(*repo_, labeler_, options);
+  ASSERT_TRUE(all_sessions.ok());
+  ASSERT_TRUE(successful.ok());
+  EXPECT_GE(all_sessions->size(), successful->size());
+  EXPECT_EQ(all_sessions->size(), repo_->total_steps());
+}
+
+TEST_F(TrainingTest, FromLabelsMatchesDirectConstruction) {
+  TrainingSetOptions options;
+  options.n_context_size = 2;
+  options.theta_interest = 0.3;
+  auto direct = BuildTrainingSet(*repo_, labeler_, options);
+  auto from_labels =
+      BuildTrainingSetFromLabels(*repo_, *labeled_, options);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(from_labels.ok());
+  ASSERT_EQ(direct->size(), from_labels->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ((*direct)[i].label, (*from_labels)[i].label);
+    EXPECT_EQ((*direct)[i].step, (*from_labels)[i].step);
+    EXPECT_EQ((*direct)[i].context.Fingerprint(),
+              (*from_labels)[i].context.Fingerprint());
+  }
+}
+
+TEST_F(TrainingTest, MergeIdenticalUnanimity) {
+  TrainingSetOptions options;
+  options.n_context_size = 1;  // single-display contexts collide often
+  options.theta_interest = -100.0;
+  options.merge_identical = true;
+  auto merged = BuildTrainingSet(*repo_, labeler_, options);
+  ASSERT_TRUE(merged.ok());
+  // After merging, identical fingerprints carry identical labels.
+  std::map<std::string, int> label_of;
+  for (const TrainingSample& s : *merged) {
+    std::string fp = s.context.Fingerprint();
+    auto it = label_of.find(fp);
+    if (it == label_of.end()) {
+      label_of[fp] = s.label;
+    } else {
+      EXPECT_EQ(it->second, s.label) << "fingerprint " << fp;
+    }
+  }
+}
+
+TEST_F(TrainingTest, RejectsBadContextSize) {
+  TrainingSetOptions options;
+  options.n_context_size = 0;
+  EXPECT_FALSE(BuildTrainingSet(*repo_, labeler_, options).ok());
+  EXPECT_FALSE(BuildTrainingSetFromLabels(*repo_, *labeled_, options).ok());
+}
+
+TEST_F(TrainingTest, FromLabelsValidatesProvenance) {
+  TrainingSetOptions options;
+  std::vector<LabeledStep> bogus = *labeled_;
+  bogus[0].tree_index = 10000;
+  EXPECT_FALSE(BuildTrainingSetFromLabels(*repo_, bogus, options).ok());
+  bogus = *labeled_;
+  bogus[0].step = 10000;
+  // Step out of range on a successful tree errors; on a skipped
+  // (unsuccessful) tree it is ignored. Force successful_only=false to
+  // exercise the check deterministically.
+  options.successful_only = false;
+  EXPECT_FALSE(BuildTrainingSetFromLabels(*repo_, bogus, options).ok());
+}
+
+}  // namespace
+}  // namespace ida

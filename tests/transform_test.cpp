@@ -1,0 +1,146 @@
+#include "stats/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+
+namespace ida {
+namespace {
+
+TEST(BoxCoxTest, LambdaOneIsShiftedIdentity) {
+  BoxCoxTransform t{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(t.Apply(5.0), 4.0);  // (x^1 - 1)/1
+}
+
+TEST(BoxCoxTest, LambdaZeroIsLog) {
+  BoxCoxTransform t{0.0, 0.0};
+  EXPECT_NEAR(t.Apply(std::exp(2.0)), 2.0, 1e-12);
+}
+
+TEST(BoxCoxTest, ShiftKeepsInputsPositive) {
+  BoxCoxTransform t{0.5, 3.0};
+  EXPECT_TRUE(std::isfinite(t.Apply(-2.9)));
+  // Even deeply negative inputs are clamped, not NaN.
+  EXPECT_TRUE(std::isfinite(t.Apply(-100.0)));
+}
+
+TEST(BoxCoxTest, MonotoneIncreasing) {
+  for (double lambda : {-2.0, -0.5, 0.0, 0.5, 1.0, 2.0}) {
+    BoxCoxTransform t{lambda, 0.0};
+    double prev = t.Apply(0.1);
+    for (double x = 0.2; x < 10.0; x += 0.3) {
+      double cur = t.Apply(x);
+      EXPECT_GT(cur, prev) << "lambda=" << lambda << " x=" << x;
+      prev = cur;
+    }
+  }
+}
+
+TEST(BoxCoxTest, FitRecoversLogNormalLambdaNearZero) {
+  // For log-normal data the likelihood-optimal lambda is ~0.
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(std::exp(rng.Gaussian(0.0, 1.0)));
+  BoxCoxTransform t = FitBoxCox(xs);
+  EXPECT_NEAR(t.lambda, 0.0, 0.15);
+}
+
+TEST(BoxCoxTest, FitOnNormalDataKeepsLambdaNearOne) {
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.Gaussian(10.0, 1.0));
+  BoxCoxTransform t = FitBoxCox(xs);
+  EXPECT_NEAR(t.lambda, 1.0, 0.6);
+}
+
+TEST(BoxCoxTest, FitReducesSkewOfSkewedSample) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.Exponential(1.0) + 0.01);
+  BoxCoxTransform t = FitBoxCox(xs);
+  double skew_before = std::fabs(Skewness(xs));
+  double skew_after = std::fabs(Skewness(t.ApplyAll(xs)));
+  EXPECT_LT(skew_after, skew_before * 0.5);
+}
+
+TEST(BoxCoxTest, NegativeInputsGetShifted) {
+  std::vector<double> xs = {-3.0, -1.0, 0.0, 2.0, 5.0};
+  BoxCoxTransform t = FitBoxCox(xs);
+  EXPECT_GT(t.shift, 3.0 - 1e-6);
+  for (double x : xs) EXPECT_TRUE(std::isfinite(t.Apply(x)));
+}
+
+TEST(BoxCoxTest, DegenerateSamples) {
+  EXPECT_DOUBLE_EQ(FitBoxCox({}).lambda, 1.0);
+  EXPECT_DOUBLE_EQ(FitBoxCox({5.0}).lambda, 1.0);
+  BoxCoxTransform t = FitBoxCox({2.0, 2.0, 2.0});
+  EXPECT_TRUE(std::isfinite(t.Apply(2.0)));
+}
+
+TEST(BoxCoxTest, LogLikelihoodPeaksNearFittedLambda) {
+  Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(std::exp(rng.Gaussian(1.0, 0.5)));
+  BoxCoxTransform t = FitBoxCox(xs);
+  double at_fit = BoxCoxLogLikelihood(xs, t.lambda);
+  EXPECT_GE(at_fit, BoxCoxLogLikelihood(xs, t.lambda + 1.0));
+  EXPECT_GE(at_fit, BoxCoxLogLikelihood(xs, t.lambda - 1.0));
+}
+
+TEST(ZScoreTest, StandardizesToZeroMeanUnitSd) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  ZScoreParams p = FitZScore(xs);
+  std::vector<double> zs;
+  for (double x : xs) zs.push_back(p.Apply(x));
+  EXPECT_NEAR(Mean(zs), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(zs), 1.0, 1e-12);
+}
+
+TEST(ZScoreTest, ConstantSampleDegradesGracefully) {
+  ZScoreParams p = FitZScore({4.0, 4.0, 4.0});
+  EXPECT_DOUBLE_EQ(p.stddev, 1.0);
+  EXPECT_DOUBLE_EQ(p.Apply(4.0), 0.0);
+}
+
+TEST(NormalizedScoreModelTest, NormalizedSampleIsStandardized) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.Exponential(0.5));
+  NormalizedScoreModel m = NormalizedScoreModel::Fit(xs);
+  std::vector<double> zs;
+  for (double x : xs) zs.push_back(m.Normalize(x));
+  EXPECT_NEAR(Mean(zs), 0.0, 1e-9);
+  EXPECT_NEAR(StdDev(zs), 1.0, 1e-9);
+  // Skew is also tamed (that is the point of the Box-Cox stage).
+  EXPECT_LT(std::fabs(Skewness(zs)), std::fabs(Skewness(xs)));
+}
+
+TEST(NormalizedScoreModelTest, PreservesOrder) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.UniformReal(0.0, 100.0));
+  NormalizedScoreModel m = NormalizedScoreModel::Fit(xs);
+  EXPECT_LT(m.Normalize(1.0), m.Normalize(2.0));
+  EXPECT_LT(m.Normalize(50.0), m.Normalize(99.0));
+}
+
+TEST(NormalizedScoreModelTest, MostMassWithinTwoPointFiveSigma) {
+  // The paper notes standardized scores "largely fall between -2.5 and
+  // 2.5 standard deviations".
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.Exponential(1.0));
+  NormalizedScoreModel m = NormalizedScoreModel::Fit(xs);
+  size_t inside = 0;
+  for (double x : xs) {
+    double z = m.Normalize(x);
+    if (z > -2.5 && z < 2.5) ++inside;
+  }
+  EXPECT_GT(static_cast<double>(inside) / xs.size(), 0.95);
+}
+
+}  // namespace
+}  // namespace ida

@@ -1,0 +1,66 @@
+#include "data/value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+namespace ida {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{5}).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_EQ(Value(std::string("s")).type(), ValueType::kString);
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).ToNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).ToNumeric(), 1.5);
+  EXPECT_TRUE(std::isnan(Value("x").ToNumeric()));
+  EXPECT_TRUE(std::isnan(Value::Null().ToNumeric()));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, EqualityIsTyped) {
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_NE(Value(int64_t{3}), Value(3.0));  // int vs double
+  EXPECT_NE(Value("3"), Value(int64_t{3}));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, OrderingNullNumericString) {
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));
+  EXPECT_LT(Value(int64_t{2}), Value(int64_t{3}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+  // Numeric tie: int sorts before double.
+  EXPECT_LT(Value(int64_t{2}), Value(2.0));
+  EXPECT_FALSE(Value(2.0) < Value(int64_t{2}));
+  // Irreflexive.
+  EXPECT_FALSE(Value(int64_t{3}) < Value(int64_t{3}));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  ValueHash h;
+  EXPECT_EQ(h(Value(int64_t{9})), h(Value(int64_t{9})));
+  EXPECT_EQ(h(Value("k")), h(Value("k")));
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(int64_t{1}));
+  set.insert(Value(int64_t{1}));
+  set.insert(Value("1"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ida
