@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distance_micro.dir/bench_distance_micro.cpp.o"
+  "CMakeFiles/bench_distance_micro.dir/bench_distance_micro.cpp.o.d"
+  "bench_distance_micro"
+  "bench_distance_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distance_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

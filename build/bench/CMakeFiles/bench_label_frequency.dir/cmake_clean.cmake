@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_label_frequency.dir/bench_label_frequency.cpp.o"
+  "CMakeFiles/bench_label_frequency.dir/bench_label_frequency.cpp.o.d"
+  "bench_label_frequency"
+  "bench_label_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_label_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

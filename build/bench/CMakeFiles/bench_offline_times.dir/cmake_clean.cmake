@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offline_times.dir/bench_offline_times.cpp.o"
+  "CMakeFiles/bench_offline_times.dir/bench_offline_times.cpp.o.d"
+  "bench_offline_times"
+  "bench_offline_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skyline.dir/bench_skyline.cpp.o"
+  "CMakeFiles/bench_skyline.dir/bench_skyline.cpp.o.d"
+  "bench_skyline"
+  "bench_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libida_bench_common.a"
+  "../lib/libida_bench_common.pdb"
+  "CMakeFiles/ida_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ida_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libida_bench_common.a"
+)

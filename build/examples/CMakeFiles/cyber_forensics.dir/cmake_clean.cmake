@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyber_forensics.dir/cyber_forensics.cpp.o"
+  "CMakeFiles/cyber_forensics.dir/cyber_forensics.cpp.o.d"
+  "cyber_forensics"
+  "cyber_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyber_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_advisor.dir/live_advisor.cpp.o"
+  "CMakeFiles/live_advisor.dir/live_advisor.cpp.o.d"
+  "live_advisor"
+  "live_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actions/action.cc" "src/actions/CMakeFiles/ida_actions.dir/action.cc.o" "gcc" "src/actions/CMakeFiles/ida_actions.dir/action.cc.o.d"
+  "/root/repo/src/actions/display.cc" "src/actions/CMakeFiles/ida_actions.dir/display.cc.o" "gcc" "src/actions/CMakeFiles/ida_actions.dir/display.cc.o.d"
+  "/root/repo/src/actions/executor.cc" "src/actions/CMakeFiles/ida_actions.dir/executor.cc.o" "gcc" "src/actions/CMakeFiles/ida_actions.dir/executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/ida_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ida_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_actions.dir/action.cc.o"
+  "CMakeFiles/ida_actions.dir/action.cc.o.d"
+  "CMakeFiles/ida_actions.dir/display.cc.o"
+  "CMakeFiles/ida_actions.dir/display.cc.o.d"
+  "CMakeFiles/ida_actions.dir/executor.cc.o"
+  "CMakeFiles/ida_actions.dir/executor.cc.o.d"
+  "libida_actions.a"
+  "libida_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

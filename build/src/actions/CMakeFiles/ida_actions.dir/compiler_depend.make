@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ida_actions.
+# This may be replaced when dependencies are built.

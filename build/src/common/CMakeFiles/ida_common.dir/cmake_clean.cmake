@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_common.dir/rng.cc.o"
+  "CMakeFiles/ida_common.dir/rng.cc.o.d"
+  "CMakeFiles/ida_common.dir/status.cc.o"
+  "CMakeFiles/ida_common.dir/status.cc.o.d"
+  "CMakeFiles/ida_common.dir/strings.cc.o"
+  "CMakeFiles/ida_common.dir/strings.cc.o.d"
+  "libida_common.a"
+  "libida_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

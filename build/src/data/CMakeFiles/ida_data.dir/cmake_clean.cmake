@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_data.dir/column.cc.o"
+  "CMakeFiles/ida_data.dir/column.cc.o.d"
+  "CMakeFiles/ida_data.dir/csv.cc.o"
+  "CMakeFiles/ida_data.dir/csv.cc.o.d"
+  "CMakeFiles/ida_data.dir/table.cc.o"
+  "CMakeFiles/ida_data.dir/table.cc.o.d"
+  "CMakeFiles/ida_data.dir/value.cc.o"
+  "CMakeFiles/ida_data.dir/value.cc.o.d"
+  "libida_data.a"
+  "libida_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_distance.dir/ground.cc.o"
+  "CMakeFiles/ida_distance.dir/ground.cc.o.d"
+  "CMakeFiles/ida_distance.dir/ted.cc.o"
+  "CMakeFiles/ida_distance.dir/ted.cc.o.d"
+  "libida_distance.a"
+  "libida_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

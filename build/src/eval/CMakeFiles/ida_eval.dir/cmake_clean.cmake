@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_eval.dir/loocv.cc.o"
+  "CMakeFiles/ida_eval.dir/loocv.cc.o.d"
+  "CMakeFiles/ida_eval.dir/metrics.cc.o"
+  "CMakeFiles/ida_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/ida_eval.dir/skyline.cc.o"
+  "CMakeFiles/ida_eval.dir/skyline.cc.o.d"
+  "libida_eval.a"
+  "libida_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

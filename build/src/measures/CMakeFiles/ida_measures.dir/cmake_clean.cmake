@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_measures.dir/measures.cc.o"
+  "CMakeFiles/ida_measures.dir/measures.cc.o.d"
+  "libida_measures.a"
+  "libida_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

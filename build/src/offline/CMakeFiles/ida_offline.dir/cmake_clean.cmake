@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_offline.dir/comparison.cc.o"
+  "CMakeFiles/ida_offline.dir/comparison.cc.o.d"
+  "CMakeFiles/ida_offline.dir/findings.cc.o"
+  "CMakeFiles/ida_offline.dir/findings.cc.o.d"
+  "CMakeFiles/ida_offline.dir/labeling.cc.o"
+  "CMakeFiles/ida_offline.dir/labeling.cc.o.d"
+  "CMakeFiles/ida_offline.dir/training.cc.o"
+  "CMakeFiles/ida_offline.dir/training.cc.o.d"
+  "libida_offline.a"
+  "libida_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

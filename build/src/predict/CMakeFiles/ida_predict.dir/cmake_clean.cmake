@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_predict.dir/baselines.cc.o"
+  "CMakeFiles/ida_predict.dir/baselines.cc.o.d"
+  "CMakeFiles/ida_predict.dir/knn.cc.o"
+  "CMakeFiles/ida_predict.dir/knn.cc.o.d"
+  "CMakeFiles/ida_predict.dir/svm.cc.o"
+  "CMakeFiles/ida_predict.dir/svm.cc.o.d"
+  "libida_predict.a"
+  "libida_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/session/log.cc" "src/session/CMakeFiles/ida_session.dir/log.cc.o" "gcc" "src/session/CMakeFiles/ida_session.dir/log.cc.o.d"
+  "/root/repo/src/session/ncontext.cc" "src/session/CMakeFiles/ida_session.dir/ncontext.cc.o" "gcc" "src/session/CMakeFiles/ida_session.dir/ncontext.cc.o.d"
+  "/root/repo/src/session/tree.cc" "src/session/CMakeFiles/ida_session.dir/tree.cc.o" "gcc" "src/session/CMakeFiles/ida_session.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/actions/CMakeFiles/ida_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ida_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ida_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_session.dir/log.cc.o"
+  "CMakeFiles/ida_session.dir/log.cc.o.d"
+  "CMakeFiles/ida_session.dir/ncontext.cc.o"
+  "CMakeFiles/ida_session.dir/ncontext.cc.o.d"
+  "CMakeFiles/ida_session.dir/tree.cc.o"
+  "CMakeFiles/ida_session.dir/tree.cc.o.d"
+  "libida_session.a"
+  "libida_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/ida_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/ida_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/significance.cc" "src/stats/CMakeFiles/ida_stats.dir/significance.cc.o" "gcc" "src/stats/CMakeFiles/ida_stats.dir/significance.cc.o.d"
+  "/root/repo/src/stats/transform.cc" "src/stats/CMakeFiles/ida_stats.dir/transform.cc.o" "gcc" "src/stats/CMakeFiles/ida_stats.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ida_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

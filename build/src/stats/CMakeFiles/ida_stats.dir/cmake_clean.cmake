@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ida_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ida_stats.dir/significance.cc.o"
+  "CMakeFiles/ida_stats.dir/significance.cc.o.d"
+  "CMakeFiles/ida_stats.dir/transform.cc.o"
+  "CMakeFiles/ida_stats.dir/transform.cc.o.d"
+  "libida_stats.a"
+  "libida_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

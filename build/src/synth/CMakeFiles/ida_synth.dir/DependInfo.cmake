@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/agent.cc" "src/synth/CMakeFiles/ida_synth.dir/agent.cc.o" "gcc" "src/synth/CMakeFiles/ida_synth.dir/agent.cc.o.d"
+  "/root/repo/src/synth/dataset.cc" "src/synth/CMakeFiles/ida_synth.dir/dataset.cc.o" "gcc" "src/synth/CMakeFiles/ida_synth.dir/dataset.cc.o.d"
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/ida_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/ida_synth.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/session/CMakeFiles/ida_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/measures/CMakeFiles/ida_measures.dir/DependInfo.cmake"
+  "/root/repo/build/src/actions/CMakeFiles/ida_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ida_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ida_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ida_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_synth.dir/agent.cc.o"
+  "CMakeFiles/ida_synth.dir/agent.cc.o.d"
+  "CMakeFiles/ida_synth.dir/dataset.cc.o"
+  "CMakeFiles/ida_synth.dir/dataset.cc.o.d"
+  "CMakeFiles/ida_synth.dir/generator.cc.o"
+  "CMakeFiles/ida_synth.dir/generator.cc.o.d"
+  "libida_synth.a"
+  "libida_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

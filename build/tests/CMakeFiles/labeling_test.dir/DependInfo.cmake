@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/labeling_test.cpp" "tests/CMakeFiles/labeling_test.dir/labeling_test.cpp.o" "gcc" "tests/CMakeFiles/labeling_test.dir/labeling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ida_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/ida_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/ida_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ida_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/ida_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/ida_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/measures/CMakeFiles/ida_measures.dir/DependInfo.cmake"
+  "/root/repo/build/src/actions/CMakeFiles/ida_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ida_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ida_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ida_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loocv_test.dir/loocv_test.cpp.o"
+  "CMakeFiles/loocv_test.dir/loocv_test.cpp.o.d"
+  "loocv_test"
+  "loocv_test.pdb"
+  "loocv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loocv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncontext_test.dir/ncontext_test.cpp.o"
+  "CMakeFiles/ncontext_test.dir/ncontext_test.cpp.o.d"
+  "ncontext_test"
+  "ncontext_test.pdb"
+  "ncontext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncontext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ncontext_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_tree_test.dir/session_tree_test.cpp.o"
+  "CMakeFiles/session_tree_test.dir/session_tree_test.cpp.o.d"
+  "session_tree_test"
+  "session_tree_test.pdb"
+  "session_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ted_test.dir/ted_test.cpp.o"
+  "CMakeFiles/ted_test.dir/ted_test.cpp.o.d"
+  "ted_test"
+  "ted_test.pdb"
+  "ted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
