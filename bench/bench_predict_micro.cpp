@@ -60,6 +60,21 @@ void BM_KnnPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_KnnPredict)->Unit(benchmark::kMillisecond);
 
+void BM_KnnPredictBatch(benchmark::State& state) {
+  // All held-out queries answered in one call, fanned out over the
+  // engine's thread pool (range = worker count; 1 = serial).
+  const Fixture& f = GetFixture();
+  KnnOptions options = DefaultNormalizedConfig().knn;
+  SessionDistanceOptions dopts;
+  dopts.num_threads = static_cast<int>(state.range(0));
+  IKnnClassifier model(f.train, SessionDistance(dopts), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictBatch(f.queries));
+  }
+  state.counters["queries"] = static_cast<double>(f.queries.size());
+}
+BENCHMARK(BM_KnnPredictBatch)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 void BM_KnnVoteOnly(benchmark::State& state) {
   // The vote step alone, with distances precomputed.
   const Fixture& f = GetFixture();

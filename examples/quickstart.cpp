@@ -111,5 +111,20 @@ int main() {
   } else {
     std::printf("\nmodel abstained for the probe state (no close neighbor)\n");
   }
+
+  // 8. Batch prediction: every state of the probe session in one call
+  // (fanned out over the engine's thread pool, same results as step 7).
+  std::vector<NContext> probe_states;
+  for (int step = 0; step <= probe.num_steps(); ++step) {
+    probe_states.push_back(
+        ExtractNContext(probe, step, config.n_context_size));
+  }
+  std::vector<Prediction> batch = model.PredictBatch(probe_states);
+  size_t answered = 0;
+  for (const Prediction& bp : batch) {
+    if (bp.HasPrediction()) ++answered;
+  }
+  std::printf("batch over the probe session: %zu/%zu states predicted\n",
+              answered, batch.size());
   return 0;
 }

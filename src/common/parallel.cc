@@ -1,0 +1,82 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace ida {
+
+int HardwareConcurrency() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int resolved = num_threads <= 0 ? HardwareConcurrency() : num_threads;
+  workers_.reserve(static_cast<size_t>(resolved - 1));
+  for (int w = 1; w < resolved; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(int worker) {
+  for (;;) {
+    size_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= n_) break;
+    size_t end = std::min(n_, begin + chunk_);
+    (*body_)(begin, end, worker);
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    RunChunks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t chunk,
+    const std::function<void(size_t begin, size_t end, int worker)>& body) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    body(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = n;
+    chunk_ = std::max<size_t>(1, chunk);
+    body_ = &body;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  RunChunks(0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    body_ = nullptr;
+  }
+}
+
+}  // namespace ida

@@ -1,0 +1,76 @@
+// Small fork-join thread pool with chunked dynamic scheduling, for
+// parallelizing embarrassingly-parallel loops (distance-matrix rows, batch
+// prediction, LOOCV queries) without per-call thread spawning.
+//
+// Scheduling model: ParallelFor splits [0, n) into fixed-size chunks that
+// workers claim from a shared atomic counter (chunked self-scheduling).
+// Later chunks are claimed by whichever worker drains its share first, so
+// skewed per-index costs — e.g. upper-triangle rows whose length shrinks
+// with the row index — balance automatically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ida {
+
+/// std::thread::hardware_concurrency() clamped to >= 1 (the standard
+/// permits 0 when the value is unknown).
+int HardwareConcurrency();
+
+/// Fixed-size fork-join pool. The constructing thread participates in
+/// every ParallelFor as worker 0, so a pool of size T keeps T - 1
+/// background threads. Pools are cheap enough to create per matrix build
+/// but are reusable across calls; ParallelFor itself allocates nothing.
+///
+/// Thread-safety: ParallelFor may only be issued from the thread that
+/// constructed the pool, one loop at a time (fork-join, not a task queue).
+class ThreadPool {
+ public:
+  /// num_threads <= 0 selects HardwareConcurrency(); 1 runs every loop
+  /// inline on the calling thread with no background workers.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(begin, end, worker) over disjoint chunks covering [0, n),
+  /// blocking until every chunk has finished. `worker` is in
+  /// [0, num_threads()) and is stable within one chunk — use it to index
+  /// per-thread scratch state. `chunk` (clamped to >= 1) trades scheduling
+  /// overhead against load balance.
+  void ParallelFor(size_t n, size_t chunk,
+                   const std::function<void(size_t begin, size_t end,
+                                            int worker)>& body);
+
+ private:
+  void WorkerLoop(int worker);
+  void RunChunks(int worker);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  ///< Bumped once per ParallelFor; guarded by mu_.
+  int active_ = 0;           ///< Workers still draining the current loop.
+  bool shutdown_ = false;
+
+  // Current-loop state, written before the generation bump and read-only
+  // while workers run.
+  std::atomic<size_t> next_{0};
+  size_t n_ = 0;
+  size_t chunk_ = 1;
+  const std::function<void(size_t, size_t, int)>* body_ = nullptr;
+};
+
+}  // namespace ida

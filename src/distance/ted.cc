@@ -2,47 +2,237 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
+#include "common/parallel.h"
 #include "distance/ground.h"
 
 namespace ida {
 
 namespace {
 
-// Postorder flattening of an NContext for Zhang–Shasha: for each postorder
-// position i, node_at[i] is the context node index and leftmost[i] the
-// postorder position of the leftmost leaf descendant of i.
-struct FlatTree {
-  std::vector<int> node_at;
-  std::vector<int> leftmost;
-  std::vector<int> keyroots;
-
-  size_t size() const { return node_at.size(); }
-};
-
-int FlattenVisit(const NContext& ctx, int node, FlatTree* out) {
+// Postorder flattening for Zhang–Shasha: resolves each context node to its
+// display / incoming-action storage and records the postorder position of
+// its leftmost leaf descendant.
+int FlattenVisit(const NContext& ctx, int node, FlatContext* out) {
   const NContextNode& n = ctx.node(node);
   int leftmost_pos = -1;
   for (int child : n.children) {
     int child_leftmost = FlattenVisit(ctx, child, out);
     if (leftmost_pos < 0) leftmost_pos = child_leftmost;
   }
-  int my_pos = static_cast<int>(out->node_at.size());
+  int my_pos = static_cast<int>(out->post.size());
   if (leftmost_pos < 0) leftmost_pos = my_pos;  // leaf
-  out->node_at.push_back(node);
-  out->leftmost.push_back(leftmost_pos);
+  out->post.push_back({n.display.get(), &n.incoming, leftmost_pos});
   return leftmost_pos;
 }
 
-FlatTree Flatten(const NContext& ctx) {
-  FlatTree t;
+// The Zhang–Shasha dynamic program over two non-empty flattened trees,
+// parameterized on the alter-cost functor alter(pi, pj) so the memoized
+// path and the table-driven path share one implementation. Every scratch
+// cell read is written earlier in the same call (keyroot order guarantees
+// subtree distances are filled before they are consumed), so the reused
+// workspace buffers are never cleared.
+template <typename AlterFn>
+double ZhangShashaCompute(const FlatContext& ta, const FlatContext& tb,
+                          double indel, TedWorkspace* ws,
+                          const AlterFn& alter) {
+  const size_t n = ta.size();
+  const size_t m = tb.size();
+  ws->Reserve(n, m);
+  double* const treedist = ws->treedist();  // n x m, stride m
+  double* const fd = ws->fd();              // (n+1) x (m+1), stride m+1
+  const size_t fstride = m + 1;
+  const FlatContext::Node* an = ta.post.data();
+  const FlatContext::Node* bn = tb.post.data();
+
+  for (int ki : ta.keyroots) {
+    const int li = an[ki].leftmost;
+    const int ni = ki - li + 2;  // forest rows: positions li..ki plus empty
+    for (int kj : tb.keyroots) {
+      const int lj = bn[kj].leftmost;
+      const int nj = kj - lj + 2;
+      fd[0] = 0.0;
+      for (int i = 1; i < ni; ++i) {
+        fd[static_cast<size_t>(i) * fstride] =
+            fd[static_cast<size_t>(i - 1) * fstride] + indel;
+      }
+      for (int j = 1; j < nj; ++j) {
+        fd[static_cast<size_t>(j)] = fd[static_cast<size_t>(j - 1)] + indel;
+      }
+      for (int i = 1; i < ni; ++i) {
+        const int pi = li + i - 1;  // postorder position in a
+        const int al = an[pi].leftmost;
+        double* const fdrow = fd + static_cast<size_t>(i) * fstride;
+        const double* const fdprev = fdrow - fstride;
+        double* const trow = treedist + static_cast<size_t>(pi) * m;
+        for (int j = 1; j < nj; ++j) {
+          const int pj = lj + j - 1;
+          const double del = fdprev[j] + indel;
+          const double ins = fdrow[j - 1] + indel;
+          if (al == li && bn[pj].leftmost == lj) {
+            const double alt = fdprev[j - 1] + alter(pi, pj);
+            const double best = std::min({del, ins, alt});
+            fdrow[j] = best;
+            trow[pj] = best;
+          } else {
+            const int fi = al - li;
+            const int fj = bn[pj].leftmost - lj;
+            const double sub =
+                fd[static_cast<size_t>(fi) * fstride +
+                   static_cast<size_t>(fj)] +
+                trow[pj];
+            fdrow[j] = std::min({del, ins, sub});
+          }
+        }
+      }
+    }
+  }
+  return treedist[(n - 1) * m + (m - 1)];
+}
+
+// ------------------------------------------------------------------------
+// Population-level ground tables for BuildDistanceMatrix: unique displays
+// (by pointer) and action syntaxes (by serialized form) are interned into
+// dense ids, and their pairwise ground distances are precomputed serially.
+// The parallel phase then reads the immutable tables — no hashing, no
+// locking, no allocation on the hot path.
+
+constexpr size_t kMaxInternedNodes = 8192;
+
+struct GroundTables {
+  size_t num_nodes = 0;                   ///< unique (display, action) pairs
+  std::vector<double> alter;              ///< row-major num_nodes^2
+  std::vector<std::vector<int>> node_id;  ///< per context, postorder
+  /// False when the population exceeds the interning bounds; callers fall
+  /// back to the memoized per-pair path.
+  bool valid = false;
+};
+
+GroundTables BuildGroundTables(const std::vector<FlatContext>& flat,
+                               const SessionDistance& metric,
+                               TedWorkspace* ws) {
+  GroundTables g;
+  // Intern displays by pointer, action syntaxes by serialized form, and
+  // nodes by (display id, action id) combination.
+  std::unordered_map<const Display*, int> display_ids;
+  std::unordered_map<std::string, int> action_ids;
+  std::unordered_map<int64_t, int> node_ids;
+  std::vector<const Display*> displays;
+  std::vector<const Action*> actions;
+  std::vector<std::pair<int, int>> nodes;  // node id -> (display, action)
+  g.node_id.resize(flat.size());
+  for (size_t c = 0; c < flat.size(); ++c) {
+    g.node_id[c].reserve(flat[c].size());
+    for (const FlatContext::Node& node : flat[c].post) {
+      auto [dit, dnew] =
+          display_ids.try_emplace(node.display,
+                                  static_cast<int>(displays.size()));
+      if (dnew) displays.push_back(node.display);
+      int aid = -1;  // -1 = no incoming action (context root)
+      if (node.incoming->has_value()) {
+        const Action& act = **node.incoming;
+        auto [ait, anew] = action_ids.try_emplace(
+            act.Serialize(), static_cast<int>(actions.size()));
+        if (anew) actions.push_back(&act);
+        aid = ait->second;
+      }
+      const int64_t combo =
+          (static_cast<int64_t>(dit->second) << 32) |
+          static_cast<int64_t>(static_cast<uint32_t>(aid + 1));
+      auto [nit, nnew] =
+          node_ids.try_emplace(combo, static_cast<int>(nodes.size()));
+      if (nnew) nodes.emplace_back(dit->second, aid);
+      g.node_id[c].push_back(nit->second);
+    }
+    if (nodes.size() > kMaxInternedNodes) {
+      return g;  // population too diverse for dense tables
+    }
+  }
+
+  // Pairwise ground tables over the interned uniques. Display distances
+  // flow through the metric's shared cache, so repeated builds against
+  // the same metric skip the expensive recomputation; both tables keep
+  // (row, column) orientation because the action syntax metric's greedy
+  // predicate matching is not guaranteed symmetric.
+  const size_t u = displays.size();
+  std::vector<double> display_table(u * u, 0.0);
+  for (size_t i = 0; i < u; ++i) {
+    for (size_t j = i + 1; j < u; ++j) {
+      const double d =
+          metric.DisplayGroundDistance(displays[i], displays[j], ws);
+      display_table[i * u + j] = d;
+      display_table[j * u + i] = d;
+    }
+  }
+  const size_t v = actions.size();
+  std::vector<double> action_table(v * v);
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = 0; j < v; ++j) {
+      action_table[i * v + j] = ActionSyntaxDistance(*actions[i], *actions[j]);
+    }
+  }
+
+  // Fuse into one alter-cost table over node ids, evaluating exactly the
+  // per-pair path's expression on exactly the same operands (so the DP
+  // stays bitwise identical to the memoized path): one load per alter.
+  const double dw = metric.options().display_weight;
+  g.num_nodes = nodes.size();
+  g.alter.resize(g.num_nodes * g.num_nodes);
+  for (size_t i = 0; i < g.num_nodes; ++i) {
+    const auto [di, ai] = nodes[i];
+    for (size_t j = 0; j < g.num_nodes; ++j) {
+      const auto [dj, aj] = nodes[j];
+      const double dd = display_table[static_cast<size_t>(di) * u +
+                                      static_cast<size_t>(dj)];
+      const double da =
+          ai < 0 ? (aj < 0 ? 0.0 : 1.0)
+                 : (aj < 0 ? 1.0
+                           : action_table[static_cast<size_t>(ai) * v +
+                                          static_cast<size_t>(aj)]);
+      g.alter[i * g.num_nodes + j] = dw * dd + (1.0 - dw) * da;
+    }
+  }
+  g.valid = true;
+  return g;
+}
+
+// Normalized distance between prepared contexts served entirely from the
+// precomputed alter table. Mirrors SessionDistance::Distance.
+double TableDistance(const FlatContext& a, const FlatContext& b,
+                     const int* a_node, const int* b_node,
+                     const GroundTables& g,
+                     const SessionDistanceOptions& options,
+                     TedWorkspace* ws) {
+  const size_t total = a.size() + b.size();
+  if (total == 0) return 0.0;
+  double ted;
+  if (a.empty() || b.empty()) {
+    ted = options.indel_cost * static_cast<double>(a.size() + b.size());
+  } else {
+    const double* alter = g.alter.data();
+    const size_t w = g.num_nodes;
+    ted = ZhangShashaCompute(
+        a, b, options.indel_cost, ws, [&](int pi, int pj) {
+          return alter[static_cast<size_t>(a_node[pi]) * w +
+                       static_cast<size_t>(b_node[pj])];
+        });
+  }
+  return ted / (options.indel_cost * static_cast<double>(total));
+}
+
+}  // namespace
+
+FlatContext SessionDistance::Prepare(const NContext& ctx) {
+  FlatContext t;
   if (ctx.empty()) return t;
+  t.post.reserve(ctx.nodes().size());
   FlattenVisit(ctx, ctx.root(), &t);
   // Keyroots: positions with no left sibling in the postorder sense, i.e.
   // each position that is the highest node with its leftmost-leaf value.
   std::vector<bool> seen(t.size(), false);
   for (int i = static_cast<int>(t.size()) - 1; i >= 0; --i) {
-    int l = t.leftmost[static_cast<size_t>(i)];
+    int l = t.post[static_cast<size_t>(i)].leftmost;
     if (!seen[static_cast<size_t>(l)]) {
       seen[static_cast<size_t>(l)] = true;
       t.keyroots.push_back(i);
@@ -52,117 +242,150 @@ FlatTree Flatten(const NContext& ctx) {
   return t;
 }
 
-}  // namespace
+void TedWorkspace::Reserve(size_t n, size_t m) {
+  if (treedist_.size() < n * m) treedist_.resize(n * m);
+  if (fd_.size() < (n + 1) * (m + 1)) fd_.resize((n + 1) * (m + 1));
+}
+
+double SessionDistance::TreeEditDistance(const FlatContext& ta,
+                                         const FlatContext& tb,
+                                         TedWorkspace* ws) const {
+  if (ta.empty() && tb.empty()) return 0.0;
+  if (ta.empty()) return options_.indel_cost * static_cast<double>(tb.size());
+  if (tb.empty()) return options_.indel_cost * static_cast<double>(ta.size());
+  const double dw = options_.display_weight;
+  const FlatContext::Node* an = ta.post.data();
+  const FlatContext::Node* bn = tb.post.data();
+  return ZhangShashaCompute(
+      ta, tb, options_.indel_cost, ws, [&](int pi, int pj) {
+        const double dd =
+            CachedDisplayDistance(an[pi].display, bn[pj].display, ws);
+        const double da = ActionDistance(*an[pi].incoming, *bn[pj].incoming);
+        return dw * dd + (1.0 - dw) * da;
+      });
+}
 
 double SessionDistance::TreeEditDistance(const NContext& a,
                                          const NContext& b) const {
-  if (a.empty() && b.empty()) return 0.0;
-  if (a.empty()) return options_.indel_cost * static_cast<double>(b.nodes().size());
-  if (b.empty()) return options_.indel_cost * static_cast<double>(a.nodes().size());
-
-  const FlatTree ta = Flatten(a);
-  const FlatTree tb = Flatten(b);
-  const size_t n = ta.size();
-  const size_t m = tb.size();
-  const double kIndel = options_.indel_cost;
-  const double dw = options_.display_weight;
-
-  auto alter_cost = [&](int pa, int pb) {
-    const NContextNode& na = a.node(ta.node_at[static_cast<size_t>(pa)]);
-    const NContextNode& nb = b.node(tb.node_at[static_cast<size_t>(pb)]);
-    double dd = CachedDisplayDistance(na.display.get(), nb.display.get());
-    double da = ActionDistance(na.incoming, nb.incoming);
-    return dw * dd + (1.0 - dw) * da;
-  };
-
-  std::vector<std::vector<double>> treedist(
-      n, std::vector<double>(m, 0.0));
-  // Forest-distance scratch, sized generously once.
-  std::vector<std::vector<double>> fd(n + 1, std::vector<double>(m + 1, 0.0));
-
-  for (int ki : ta.keyroots) {
-    for (int kj : tb.keyroots) {
-      int li = ta.leftmost[static_cast<size_t>(ki)];
-      int lj = tb.leftmost[static_cast<size_t>(kj)];
-      int ni = ki - li + 2;  // forest rows: positions li..ki plus empty
-      int nj = kj - lj + 2;
-      fd[0][0] = 0.0;
-      for (int i = 1; i < ni; ++i) {
-        fd[static_cast<size_t>(i)][0] =
-            fd[static_cast<size_t>(i - 1)][0] + kIndel;
-      }
-      for (int j = 1; j < nj; ++j) {
-        fd[0][static_cast<size_t>(j)] =
-            fd[0][static_cast<size_t>(j - 1)] + kIndel;
-      }
-      for (int i = 1; i < ni; ++i) {
-        int pi = li + i - 1;  // postorder position in a
-        for (int j = 1; j < nj; ++j) {
-          int pj = lj + j - 1;
-          bool both_subtrees =
-              ta.leftmost[static_cast<size_t>(pi)] == li &&
-              tb.leftmost[static_cast<size_t>(pj)] == lj;
-          double del = fd[static_cast<size_t>(i - 1)][static_cast<size_t>(j)] +
-                       kIndel;
-          double ins = fd[static_cast<size_t>(i)][static_cast<size_t>(j - 1)] +
-                       kIndel;
-          if (both_subtrees) {
-            double alt =
-                fd[static_cast<size_t>(i - 1)][static_cast<size_t>(j - 1)] +
-                alter_cost(pi, pj);
-            double best = std::min({del, ins, alt});
-            fd[static_cast<size_t>(i)][static_cast<size_t>(j)] = best;
-            treedist[static_cast<size_t>(pi)][static_cast<size_t>(pj)] = best;
-          } else {
-            int fi = ta.leftmost[static_cast<size_t>(pi)] - li;
-            int fj = tb.leftmost[static_cast<size_t>(pj)] - lj;
-            double sub =
-                fd[static_cast<size_t>(fi)][static_cast<size_t>(fj)] +
-                treedist[static_cast<size_t>(pi)][static_cast<size_t>(pj)];
-            fd[static_cast<size_t>(i)][static_cast<size_t>(j)] =
-                std::min({del, ins, sub});
-          }
-        }
-      }
-    }
-  }
-  return treedist[n - 1][m - 1];
+  thread_local TedWorkspace ws;
+  const FlatContext ta = Prepare(a);
+  const FlatContext tb = Prepare(b);
+  return TreeEditDistance(ta, tb, &ws);
 }
 
 double SessionDistance::CachedDisplayDistance(const Display* a,
-                                              const Display* b) const {
+                                              const Display* b,
+                                              TedWorkspace* ws) const {
   if (a == b) return 0.0;
-  const Display* lo = a < b ? a : b;
-  const Display* hi = a < b ? b : a;
-  // Pointer-pair key; displays are kept alive by the contexts being
-  // compared, so pointer identity is stable for the metric's lifetime
-  // within a training/evaluation pass.
-  uint64_t key = (reinterpret_cast<uint64_t>(lo) * 0x9E3779B97F4A7C15ULL) ^
-                 reinterpret_cast<uint64_t>(hi);
-  auto it = display_cache_.find(key);
-  if (it != display_cache_.end()) return it->second;
-  double d = DisplayContentDistance(*a, *b);
-  display_cache_.emplace(key, d);
+  const internal::DisplayPair key =
+      a < b ? internal::DisplayPair(a, b) : internal::DisplayPair(b, a);
+  // The L1 memo is only valid for the cache it was filled against;
+  // reusing a workspace with a different metric resets it so stale
+  // pointer keys never outlive a display.
+  if (ws->cache_owner_ != cache_.get()) {
+    ws->display_memo_.clear();
+    ws->cache_owner_ = cache_.get();
+  }
+  auto [it, inserted] = ws->display_memo_.try_emplace(key, 0.0);
+  if (!inserted) return it->second;
+
+  DisplayCacheShard& shard =
+      (*cache_)[internal::DisplayPairHash{}(key) % kCacheShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto sit = shard.map.find(key);
+    if (sit != shard.map.end()) {
+      it->second = sit->second;
+      return it->second;
+    }
+  }
+  // Compute outside the lock (a racing thread may duplicate the work but
+  // arrives at the identical value: the arguments are canonically
+  // ordered, so the result never depends on scheduling).
+  const double d = DisplayContentDistance(*key.first, *key.second);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(key, d);
+  }
+  it->second = d;
   return d;
 }
 
-double SessionDistance::Distance(const NContext& a, const NContext& b) const {
-  size_t total = a.nodes().size() + b.nodes().size();
+double SessionDistance::Distance(const FlatContext& a, const FlatContext& b,
+                                 TedWorkspace* ws) const {
+  const size_t total = a.size() + b.size();
   if (total == 0) return 0.0;
-  double ted = TreeEditDistance(a, b);
+  const double ted = TreeEditDistance(a, b, ws);
   return ted / (options_.indel_cost * static_cast<double>(total));
 }
 
+double SessionDistance::Distance(const NContext& a, const NContext& b) const {
+  const size_t total = a.nodes().size() + b.nodes().size();
+  if (total == 0) return 0.0;
+  thread_local TedWorkspace ws;
+  const FlatContext ta = Prepare(a);
+  const FlatContext tb = Prepare(b);
+  const double ted = TreeEditDistance(ta, tb, &ws);
+  return ted / (options_.indel_cost * static_cast<double>(total));
+}
+
+size_t SessionDistance::cache_size() const {
+  size_t total = 0;
+  for (DisplayCacheShard& shard : *cache_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
 std::vector<std::vector<double>> BuildDistanceMatrix(
-    const std::vector<NContext>& contexts, const SessionDistance& metric) {
-  size_t n = contexts.size();
+    const std::vector<NContext>& contexts, const SessionDistance& metric,
+    ThreadPool* pool) {
+  const size_t n = contexts.size();
   std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  if (n < 2) return d;
+
+  // Prepare phase: one flattening per context instead of one per pair,
+  // then the serial ground-table precompute (the parallel phase below
+  // reads the tables immutably).
+  std::vector<FlatContext> flat;
+  flat.reserve(n);
+  for (const NContext& c : contexts) {
+    flat.push_back(SessionDistance::Prepare(c));
+  }
+  TedWorkspace prepare_ws;
+  const GroundTables tables = BuildGroundTables(flat, metric, &prepare_ws);
+
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(metric.options().num_threads);
+    pool = owned.get();
+  }
+  std::vector<TedWorkspace> scratch(static_cast<size_t>(pool->num_threads()));
+  // Upper-triangle rows, dynamically chunked: early rows carry more
+  // pairs, so late chunks rebalance onto whichever worker frees up first.
+  // Each (i, j) cell is written by exactly one worker.
+  pool->ParallelFor(
+      n - 1, /*chunk=*/2, [&](size_t begin, size_t end, int worker) {
+        TedWorkspace& ws = scratch[static_cast<size_t>(worker)];
+        for (size_t i = begin; i < end; ++i) {
+          double* row = d[i].data();
+          if (tables.valid) {
+            const int* a_node = tables.node_id[i].data();
+            for (size_t j = i + 1; j < n; ++j) {
+              row[j] = TableDistance(flat[i], flat[j], a_node,
+                                     tables.node_id[j].data(), tables,
+                                     metric.options(), &ws);
+            }
+          } else {
+            for (size_t j = i + 1; j < n; ++j) {
+              row[j] = metric.Distance(flat[i], flat[j], &ws);
+            }
+          }
+        }
+      });
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      double dist = metric.Distance(contexts[i], contexts[j]);
-      d[i][j] = dist;
-      d[j][i] = dist;
-    }
+    for (size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
   }
   return d;
 }

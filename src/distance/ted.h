@@ -1,14 +1,48 @@
 // Ordered-tree edit distance between n-contexts (Zhang–Shasha algorithm),
 // the session distance metric of paper Sec 4.2 / [25]: unit cost for node
 // insert/delete, alter cost from the action and display ground metrics.
+//
+// The engine is split into a prepare phase and a compute phase (see
+// DESIGN.md §8). Prepare() flattens an n-context into postorder arrays
+// once; the compute phase runs the Zhang–Shasha dynamic program over two
+// flattened contexts using a caller-owned, reusable workspace, so an
+// all-pairs matrix build performs O(n) flattenings and zero steady-state
+// per-pair allocations. BuildDistanceMatrix parallelizes the upper
+// triangle over a thread pool; the output is bit-identical for every
+// thread count.
 #pragma once
 
+#include <array>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "session/ncontext.h"
 
 namespace ida {
+
+class ThreadPool;
+
+namespace internal {
+
+/// Display-pair cache key, ordered lo <= hi by address. Displays are kept
+/// alive by the contexts being compared, so pointer identity is stable
+/// for a metric's lifetime within a training/evaluation pass.
+using DisplayPair = std::pair<const Display*, const Display*>;
+
+struct DisplayPairHash {
+  size_t operator()(const DisplayPair& p) const {
+    uint64_t h =
+        reinterpret_cast<uintptr_t>(p.first) * 0x9E3779B97F4A7C15ULL;
+    h ^= reinterpret_cast<uintptr_t>(p.second) + 0x9E3779B97F4A7C15ULL +
+         (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace internal
 
 /// Cost model for the session tree edit distance.
 struct SessionDistanceOptions {
@@ -19,42 +53,144 @@ struct SessionDistanceOptions {
   /// display_weight * display_dist + (1 - display_weight) * action_dist,
   /// and is therefore <= indel_cost by construction.
   double display_weight = 0.5;
+  /// Worker threads for BuildDistanceMatrix and batch prediction:
+  /// 0 = hardware concurrency, 1 = serial (no background threads).
+  int num_threads = 0;
+};
+
+/// Postorder-flattened view of an NContext, precomputed once and reused
+/// across every pairwise comparison (the prepare phase of the engine).
+///
+/// Nodes borrow the display and incoming-action storage of the source
+/// NContext: the context (or whatever container its nodes were moved
+/// into) must outlive the FlatContext and must not be copied-from or
+/// mutated while the FlatContext is in use.
+struct FlatContext {
+  struct Node {
+    const Display* display = nullptr;
+    /// Action on the edge from the parent node (empty optional at the
+    /// context root); compared with ActionDistance.
+    const std::optional<Action>* incoming = nullptr;
+    /// Postorder position of this node's leftmost leaf descendant.
+    int leftmost = 0;
+  };
+
+  /// Nodes in postorder.
+  std::vector<Node> post;
+  /// Keyroot positions (ascending): highest node per leftmost-leaf value.
+  std::vector<int> keyroots;
+
+  size_t size() const { return post.size(); }
+  bool empty() const { return post.empty(); }
+};
+
+/// Reusable per-thread scratch for the compute phase: flat row-major
+/// tree-distance and forest-distance tables (grow-only, recycled across
+/// pairs) plus a lock-free L1 memo of display-pair distances in front of
+/// the metric's shared cache. Not thread-safe — one workspace per thread.
+class TedWorkspace {
+ public:
+  /// Ensures capacity for an (n x m) tree table and an (n+1) x (m+1)
+  /// forest table.
+  void Reserve(size_t n, size_t m);
+
+  double* treedist() { return treedist_.data(); }
+  double* fd() { return fd_.data(); }
+
+ private:
+  friend class SessionDistance;
+
+  std::vector<double> treedist_;
+  std::vector<double> fd_;
+  /// L1 display-distance memo, valid only for the metric cache identified
+  /// by `cache_owner_` (reset when the workspace is reused with another
+  /// metric, so stale pointer keys can never leak across lifetimes).
+  std::unordered_map<internal::DisplayPair, double,
+                     internal::DisplayPairHash>
+      display_memo_;
+  const void* cache_owner_ = nullptr;
 };
 
 /// Session distance metric over n-contexts.
 ///
 /// Instances memoize display-pair ground distances (displays are immutable
 /// and widely shared between overlapping n-contexts, and the display
-/// ground metric dominates the edit-distance cost). The cache makes
-/// instances non-thread-safe; use one instance per thread.
+/// ground metric dominates the edit-distance cost). The shared cache is
+/// sharded with per-shard mutexes, so one instance may be used
+/// concurrently from many threads; copies share the same cache.
 class SessionDistance {
  public:
   explicit SessionDistance(SessionDistanceOptions options = {})
-      : options_(options) {}
+      : options_(options), cache_(std::make_shared<DisplayCache>()) {}
 
-  /// Raw Zhang–Shasha tree edit distance (>= 0, unbounded).
+  /// Prepare phase: flattens a context into postorder arrays. The result
+  /// borrows storage from `ctx` (see FlatContext).
+  static FlatContext Prepare(const NContext& ctx);
+
+  /// Raw Zhang–Shasha tree edit distance (>= 0, unbounded). Convenience
+  /// one-shot form: flattens both contexts, then computes.
   double TreeEditDistance(const NContext& a, const NContext& b) const;
 
+  /// Compute phase over prepared contexts; `ws` supplies all scratch
+  /// memory (one workspace per thread).
+  double TreeEditDistance(const FlatContext& a, const FlatContext& b,
+                          TedWorkspace* ws) const;
+
   /// Normalized distance in [0, 1]: TED / (|a| + |b|) node counts (the
-  /// maximum possible TED under unit indel costs). Two empty contexts have
-  /// distance 0.
+  /// maximum possible TED under unit indel costs). Two empty contexts
+  /// have distance 0.
   double Distance(const NContext& a, const NContext& b) const;
+
+  /// Normalized distance over prepared contexts.
+  double Distance(const FlatContext& a, const FlatContext& b,
+                  TedWorkspace* ws) const;
 
   const SessionDistanceOptions& options() const { return options_; }
 
-  /// Number of memoized display pairs (introspection for tests).
-  size_t cache_size() const { return display_cache_.size(); }
+  /// Memoized display ground distance (workspace L1 memo in front of the
+  /// shared sharded cache). Exposed so the matrix builder's serial table
+  /// precompute warms — and is served by — the same cache as the per-pair
+  /// path.
+  double DisplayGroundDistance(const Display* a, const Display* b,
+                               TedWorkspace* ws) const {
+    return CachedDisplayDistance(a, b, ws);
+  }
+
+  /// Number of memoized display pairs in the shared cache (introspection
+  /// for tests).
+  size_t cache_size() const;
 
  private:
-  double CachedDisplayDistance(const Display* a, const Display* b) const;
+  struct DisplayCacheShard {
+    std::mutex mu;
+    std::unordered_map<internal::DisplayPair, double,
+                       internal::DisplayPairHash>
+        map;
+  };
+
+  static constexpr size_t kCacheShards = 16;
+  using DisplayCache = std::array<DisplayCacheShard, kCacheShards>;
+
+  /// Memoized display ground distance, via the workspace's L1 memo and
+  /// the shared sharded cache. Always computed in canonical (lo, hi)
+  /// argument order, so the value is independent of call order and of
+  /// thread scheduling.
+  double CachedDisplayDistance(const Display* a, const Display* b,
+                               TedWorkspace* ws) const;
 
   SessionDistanceOptions options_;
-  mutable std::unordered_map<uint64_t, double> display_cache_;
+  /// Shared across copies (pure-function memo), sharded for concurrency.
+  std::shared_ptr<DisplayCache> cache_;
 };
 
 /// Pairwise distance matrix over a set of contexts (symmetric, zero
-/// diagonal).
+/// diagonal). Each context is flattened exactly once; the upper triangle
+/// is computed over `metric.options().num_threads` workers (one reusable
+/// workspace per worker) and mirrored. Output is independent of the
+/// thread count. When `pool` is given it is used instead of creating one
+/// (its size then overrides the options knob).
 std::vector<std::vector<double>> BuildDistanceMatrix(
-    const std::vector<NContext>& contexts, const SessionDistance& metric);
+    const std::vector<NContext>& contexts, const SessionDistance& metric,
+    ThreadPool* pool = nullptr);
 
 }  // namespace ida

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "predict/baselines.h"
 
@@ -25,20 +26,34 @@ std::vector<size_t> FilterByTheta(const std::vector<TrainingSample>& samples,
 EvalMetrics EvaluateKnnLoocv(const std::vector<TrainingSample>& samples,
                              const std::vector<std::vector<double>>& dist,
                              const std::vector<size_t>& subset,
-                             const KnnOptions& options, int num_classes) {
+                             const KnnOptions& options, int num_classes,
+                             int num_threads) {
   MetricsAccumulator acc(num_classes);
   // View of the training set restricted to `subset`.
   std::vector<TrainingSample> train;
   train.reserve(subset.size());
   for (size_t i : subset) train.push_back(samples[i]);
 
-  std::vector<double> row(subset.size());
+  // Each leave-one-out query is independent; fan them out with one
+  // distance row per worker, then accumulate in query order so the result
+  // does not depend on the thread count.
+  std::vector<Prediction> predictions(subset.size());
+  ThreadPool pool(num_threads);
+  std::vector<std::vector<double>> rows(
+      static_cast<size_t>(pool.num_threads()),
+      std::vector<double>(subset.size()));
+  pool.ParallelFor(
+      subset.size(), /*chunk=*/8, [&](size_t begin, size_t end, int worker) {
+        std::vector<double>& row = rows[static_cast<size_t>(worker)];
+        for (size_t qi = begin; qi < end; ++qi) {
+          for (size_t tj = 0; tj < subset.size(); ++tj) {
+            row[tj] = dist[subset[qi]][subset[tj]];
+          }
+          predictions[qi] = KnnVote(row, train, options, static_cast<int>(qi));
+        }
+      });
   for (size_t qi = 0; qi < subset.size(); ++qi) {
-    for (size_t tj = 0; tj < subset.size(); ++tj) {
-      row[tj] = dist[subset[qi]][subset[tj]];
-    }
-    Prediction p = KnnVote(row, train, options, static_cast<int>(qi));
-    acc.Add(p, train[qi]);
+    acc.Add(predictions[qi], train[qi]);
   }
   return acc.Finish();
 }

@@ -26,11 +26,15 @@ std::vector<size_t> FilterByTheta(const std::vector<TrainingSample>& samples,
                                   double theta);
 
 /// Leave-one-out evaluation of the kNN model over `subset`. `dist` is the
-/// full pairwise matrix over `samples`.
+/// full pairwise matrix over `samples`. Queries are independent, so they
+/// are evaluated over `num_threads` workers (0 = hardware concurrency,
+/// 1 = serial); predictions are accumulated in query order afterwards, so
+/// the metrics are identical for every thread count.
 EvalMetrics EvaluateKnnLoocv(const std::vector<TrainingSample>& samples,
                              const std::vector<std::vector<double>>& dist,
                              const std::vector<size_t>& subset,
-                             const KnnOptions& options, int num_classes);
+                             const KnnOptions& options, int num_classes,
+                             int num_threads = 0);
 
 /// Leave-one-out evaluation of the Best-SM baseline.
 EvalMetrics EvaluateBestSmLoocv(const std::vector<TrainingSample>& samples,

@@ -1,7 +1,9 @@
 #include "predict/knn.h"
 
 #include <algorithm>
-#include <map>
+#include <limits>
+
+#include "common/parallel.h"
 
 namespace ida {
 
@@ -24,36 +26,62 @@ Prediction KnnVote(const std::vector<double>& distances,
   std::partial_sort(
       order.begin(), order.begin() + static_cast<long>(k), order.end());
 
-  // Admit only neighbors within theta_delta.
-  constexpr double kWeightEpsilon = 1e-3;
-  std::map<int, double> votes;            // label -> vote mass
-  std::map<int, double> nearest_of_label; // label -> closest distance
+  // Admit only neighbors within theta_delta (order is sorted, so the first
+  // too-far neighbor ends the admission). Labels are small dense ints, so
+  // the tallies live in flat label-indexed arrays — stack-allocated below
+  // the kStackLabels bound — instead of per-call node-based maps.
   size_t admitted = 0;
-  double total_votes = 0.0;
+  int max_label = -1;
   for (size_t i = 0; i < k; ++i) {
-    if (order[i].first > options.distance_threshold) break;  // sorted
+    if (order[i].first > options.distance_threshold) break;
+    max_label = std::max(max_label, train[order[i].second].label);
+    ++admitted;
+  }
+  if (admitted == 0 || max_label < 0) return out;  // abstain
+
+  constexpr double kWeightEpsilon = 1e-3;
+  constexpr int kStackLabels = 32;
+  constexpr double kNoNeighbor = std::numeric_limits<double>::infinity();
+  const int num_labels = max_label + 1;
+  double votes_stack[kStackLabels];
+  double nearest_stack[kStackLabels];
+  std::vector<double> votes_heap, nearest_heap;
+  double* votes = votes_stack;           // label -> vote mass
+  double* nearest = nearest_stack;       // label -> closest distance
+  if (num_labels > kStackLabels) {
+    votes_heap.assign(static_cast<size_t>(num_labels), 0.0);
+    nearest_heap.assign(static_cast<size_t>(num_labels), kNoNeighbor);
+    votes = votes_heap.data();
+    nearest = nearest_heap.data();
+  } else {
+    std::fill(votes, votes + num_labels, 0.0);
+    std::fill(nearest, nearest + num_labels, kNoNeighbor);
+  }
+
+  double total_votes = 0.0;
+  for (size_t i = 0; i < admitted; ++i) {
     const TrainingSample& s = train[order[i].second];
+    if (s.label < 0) continue;  // defensive: unlabeled samples cannot vote
     double w = options.distance_weighted
                    ? 1.0 / (order[i].first + kWeightEpsilon)
                    : 1.0;
     votes[s.label] += w;
     total_votes += w;
-    auto it = nearest_of_label.find(s.label);
-    if (it == nearest_of_label.end() || order[i].first < it->second) {
-      nearest_of_label[s.label] = order[i].first;
-    }
-    ++admitted;
+    nearest[s.label] = std::min(nearest[s.label], order[i].first);
   }
-  if (admitted == 0) return out;  // abstain
 
   double best_votes = 0.0;
-  for (const auto& [label, count] : votes) best_votes = std::max(best_votes, count);
-  // Tie-break by closest tied neighbor.
+  for (int label = 0; label < num_labels; ++label) {
+    best_votes = std::max(best_votes, votes[label]);
+  }
+  if (best_votes <= 0.0) return out;  // only unlabeled neighbors admitted
+  // Tie-break by closest tied neighbor (ascending label order, matching
+  // the ordered-map iteration this replaces).
   int best_label = -1;
   double best_dist = 2.0;
-  for (const auto& [label, count] : votes) {
-    if (count == best_votes && nearest_of_label[label] < best_dist) {
-      best_dist = nearest_of_label[label];
+  for (int label = 0; label < num_labels; ++label) {
+    if (votes[label] == best_votes && nearest[label] < best_dist) {
+      best_dist = nearest[label];
       best_label = label;
     }
   }
@@ -62,13 +90,57 @@ Prediction KnnVote(const std::vector<double>& distances,
   return out;
 }
 
-Prediction IKnnClassifier::Predict(const NContext& query) const {
-  std::vector<double> distances;
-  distances.reserve(train_.size());
-  for (const TrainingSample& s : train_) {
-    distances.push_back(metric_.Distance(query, s.context));
+IKnnClassifier::IKnnClassifier(std::vector<TrainingSample> train,
+                               SessionDistance metric, KnnOptions options)
+    : train_(std::make_shared<const std::vector<TrainingSample>>(
+          std::move(train))),
+      metric_(std::move(metric)),
+      options_(options) {
+  prepared_.reserve(train_->size());
+  for (const TrainingSample& s : *train_) {
+    prepared_.push_back(SessionDistance::Prepare(s.context));
   }
-  return KnnVote(distances, train_, options_);
+}
+
+Prediction IKnnClassifier::Predict(const NContext& query) const {
+  thread_local TedWorkspace ws;
+  const FlatContext q = SessionDistance::Prepare(query);
+  std::vector<double> distances(train_->size());
+  for (size_t i = 0; i < prepared_.size(); ++i) {
+    distances[i] = metric_.Distance(q, prepared_[i], &ws);
+  }
+  return KnnVote(distances, *train_, options_);
+}
+
+std::vector<Prediction> IKnnClassifier::PredictBatch(
+    const std::vector<NContext>& queries) const {
+  std::vector<Prediction> out(queries.size());
+  if (queries.empty() || train_->empty()) return out;
+
+  // Prepare phase for the queries (cheap, serial), then fan the distance
+  // computations out with one workspace and one distance row per worker.
+  std::vector<FlatContext> flat;
+  flat.reserve(queries.size());
+  for (const NContext& q : queries) {
+    flat.push_back(SessionDistance::Prepare(q));
+  }
+  ThreadPool pool(metric_.options().num_threads);
+  std::vector<TedWorkspace> scratch(static_cast<size_t>(pool.num_threads()));
+  std::vector<std::vector<double>> rows(
+      static_cast<size_t>(pool.num_threads()),
+      std::vector<double>(train_->size()));
+  pool.ParallelFor(
+      queries.size(), /*chunk=*/1, [&](size_t begin, size_t end, int worker) {
+        TedWorkspace& ws = scratch[static_cast<size_t>(worker)];
+        std::vector<double>& distances = rows[static_cast<size_t>(worker)];
+        for (size_t qi = begin; qi < end; ++qi) {
+          for (size_t i = 0; i < prepared_.size(); ++i) {
+            distances[i] = metric_.Distance(flat[qi], prepared_[i], &ws);
+          }
+          out[qi] = KnnVote(distances, *train_, options_);
+        }
+      });
+  return out;
 }
 
 }  // namespace ida

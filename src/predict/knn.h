@@ -3,8 +3,14 @@
 // distance, discard neighbors farther than theta_delta, and majority-vote
 // the remaining labels. With no close-enough neighbor the model abstains
 // (this is what the coverage rate measures).
+//
+// The classifier flattens its training contexts once at construction (the
+// engine's prepare phase), so each query pays one flattening plus
+// allocation-free distance computations; PredictBatch additionally fans
+// queries out over the thread pool.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "distance/ted.h"
@@ -42,22 +48,32 @@ Prediction KnnVote(const std::vector<double>& distances,
                    const KnnOptions& options, int exclude = -1);
 
 /// The full model: owns the training set and the distance metric.
+///
+/// The training set is held behind a shared_ptr and its contexts are
+/// flattened once at construction, so copies of the classifier share both
+/// and stay cheap and safe.
 class IKnnClassifier {
  public:
   IKnnClassifier(std::vector<TrainingSample> train, SessionDistance metric,
-                 KnnOptions options)
-      : train_(std::move(train)),
-        metric_(std::move(metric)),
-        options_(options) {}
+                 KnnOptions options);
 
   /// Predicts the dominant-measure label for a query n-context.
   Prediction Predict(const NContext& query) const;
 
-  const std::vector<TrainingSample>& train() const { return train_; }
+  /// Batch prediction: one result per query, in query order, computed over
+  /// `metric.options().num_threads` workers. Output is identical to
+  /// calling Predict per query.
+  std::vector<Prediction> PredictBatch(
+      const std::vector<NContext>& queries) const;
+
+  const std::vector<TrainingSample>& train() const { return *train_; }
   const KnnOptions& options() const { return options_; }
 
  private:
-  std::vector<TrainingSample> train_;
+  std::shared_ptr<const std::vector<TrainingSample>> train_;
+  /// Prepared (flattened) view of each training context; borrows storage
+  /// from *train_.
+  std::vector<FlatContext> prepared_;
   SessionDistance metric_;
   KnnOptions options_;
 };

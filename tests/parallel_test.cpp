@@ -1,0 +1,86 @@
+// Tests for the fork-join thread pool: exact index coverage (every index
+// visited exactly once regardless of thread count or chunk size), worker-id
+// bounds, pool reuse across dispatches, and the serial fast path.
+#include "common/parallel.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ida {
+namespace {
+
+TEST(HardwareConcurrencyTest, AtLeastOne) {
+  EXPECT_GE(HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, NumThreadsMatchesRequest) {
+  EXPECT_EQ(ThreadPool(1).num_threads(), 1);
+  EXPECT_EQ(ThreadPool(3).num_threads(), 3);
+  EXPECT_EQ(ThreadPool(0).num_threads(), HardwareConcurrency());
+  EXPECT_EQ(ThreadPool(-5).num_threads(), HardwareConcurrency());
+}
+
+// Every index in [0, n) must be claimed by exactly one chunk, with a valid
+// worker id, for serial and parallel pools and for chunk sizes that do and
+// do not divide n.
+TEST(ThreadPoolTest, ParallelForCoversEachIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                     size_t{1000}}) {
+      for (size_t chunk : {size_t{1}, size_t{3}, size_t{16}}) {
+        std::vector<std::atomic<int>> hits(n);
+        for (auto& h : hits) h.store(0);
+        pool.ParallelFor(n, chunk,
+                         [&](size_t begin, size_t end, int worker) {
+                           ASSERT_GE(worker, 0);
+                           ASSERT_LT(worker, pool.num_threads());
+                           ASSERT_LE(begin, end);
+                           ASSERT_LE(end, n);
+                           // Serial pools dispatch the whole range as one
+                           // chunk; real pools never exceed the chunk size.
+                           if (pool.num_threads() > 1) {
+                             ASSERT_LE(end - begin, chunk);
+                           }
+                           for (size_t i = begin; i < end; ++i) {
+                             hits[i].fetch_add(1);
+                           }
+                         });
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "threads=" << threads << " n=" << n << " chunk=" << chunk
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossDispatches) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(100, 7, [&](size_t begin, size_t end, int) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 2000u);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.ParallelFor(10, 4, [&](size_t begin, size_t end, int worker) {
+    EXPECT_EQ(worker, 0);
+    (void)begin;
+    (void)end;
+    ++calls;
+  });
+  // Serial fast path dispatches the whole range as one chunk.
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ida
