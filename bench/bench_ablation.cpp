@@ -29,10 +29,8 @@ AblationResult RunKnn(World& world, int n, double theta, bool merge,
   Status st = labeler.Preprocess(*world.repo);
   if (!st.ok()) std::exit(1);
   TrainingSetOptions ts;
-  ts.n_context_size = n;
-  ts.theta_interest = theta;
   ts.merge_identical = merge;
-  auto train = BuildTrainingSet(*world.repo, &labeler, ts);
+  auto train = BuildTrainingSet(*world.repo, &labeler, n, theta, ts);
   if (!train.ok()) std::exit(1);
 
   SessionDistanceOptions metric_options;

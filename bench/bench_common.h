@@ -15,7 +15,7 @@
 #include "offline/findings.h"
 #include "offline/labeling.h"
 #include "offline/training.h"
-#include "predict/config.h"
+#include "engine/config.h"
 #include "synth/generator.h"
 
 namespace ida::bench {

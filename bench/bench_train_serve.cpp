@@ -1,0 +1,97 @@
+// Macro-benchmark of the engine train/serve split: times each phase of
+// the model lifecycle separately — Fit (replay + label + training set),
+// Save/Load of the versioned artifact, single-query Predict (the paper
+// reports ~6.04 ms per prediction) and batched Predict over the serving
+// thread pool. One JSON line per phase (the BENCH_*.json trajectory
+// format: flat objects, one per line).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/parallel.h"
+#include "engine/engine.h"
+#include "synth/generator.h"
+
+namespace ida {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void Emit(const char* phase, double seconds, size_t items,
+          const char* items_key) {
+  std::printf(
+      "{\"bench\":\"train_serve\",\"phase\":\"%s\",\"seconds\":%.6f,"
+      "\"%s\":%zu,\"per_item_ms\":%.3f}\n",
+      phase, seconds, items_key, items,
+      items > 0 ? seconds * 1e3 / static_cast<double>(items) : 0.0);
+  std::fflush(stdout);
+}
+
+void Run() {
+  GeneratorOptions options;
+  options.num_users = 12;
+  options.num_sessions = 120;
+  options.rows_per_dataset = 1200;
+  options.seed = 99;
+  auto bench = GenerateBenchmark(options);
+  if (!bench.ok()) std::exit(1);
+
+  ModelConfig config = DefaultNormalizedConfig();
+  config.n_context_size = 3;
+  config.theta_interest = -1e300;  // keep every state: serving-scale model
+  engine::Trainer trainer(config);
+
+  // --- Fit: the whole offline phase (replay + label + training set).
+  auto fit_start = Clock::now();
+  auto model = trainer.Fit(bench->log, bench->registry);
+  double fit_secs = SecondsSince(fit_start);
+  if (!model.ok()) std::exit(1);
+  Emit("fit", fit_secs, model->size(), "samples");
+
+  // --- Save / Load of the versioned artifact.
+  const std::string path = "/tmp/ida_bench_train_serve.idamodel";
+  auto save_start = Clock::now();
+  if (!model->SaveToFile(path).ok()) std::exit(1);
+  Emit("save", SecondsSince(save_start), model->Serialize().size(), "bytes");
+
+  auto load_start = Clock::now();
+  auto served = engine::Predictor::LoadFromFile(path);
+  double load_secs = SecondsSince(load_start);
+  if (!served.ok()) std::exit(1);
+  Emit("load", load_secs, served->train_size(), "samples");
+
+  // --- Serving: hold out a few contexts as queries.
+  std::vector<NContext> queries;
+  for (size_t i = 0; i < 8 && i < model->size(); ++i) {
+    queries.push_back(model->samples()[i * 7 % model->size()].context);
+  }
+
+  // Single-query latency (warm one round first so the display cache is in
+  // steady state, as it would be in a long-lived serving process).
+  for (const NContext& q : queries) served->Predict(q);
+  const size_t kRounds = 4;
+  auto predict_start = Clock::now();
+  for (size_t r = 0; r < kRounds; ++r) {
+    for (const NContext& q : queries) served->Predict(q);
+  }
+  Emit("predict", SecondsSince(predict_start), kRounds * queries.size(),
+       "queries");
+
+  // Batched prediction over the serving thread pool.
+  auto batch_start = Clock::now();
+  for (size_t r = 0; r < kRounds; ++r) served->PredictBatch(queries);
+  Emit("predict_batch", SecondsSince(batch_start), kRounds * queries.size(),
+       "queries");
+}
+
+}  // namespace
+}  // namespace ida
+
+int main() {
+  ida::Run();
+  return 0;
+}

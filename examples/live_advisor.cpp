@@ -1,16 +1,18 @@
 // Live interestingness advisor — the "meta task" the paper motivates:
-// plugging the predictor into an analysis assistant. Trains I-kNN on the
-// log of other analysts, then replays a held-out session step by step; at
-// every state it predicts which interestingness measure captures the
-// user's current interest and shows the top candidate next actions under
-// that measure (what a recommender would surface).
+// plugging the predictor into an analysis assistant. The train/serve
+// split is demonstrated end to end: a Trainer fits a model on the logs of
+// other analysts and saves it to an artifact; the advisor then loads that
+// artifact (as a separate serving process would) and replays a held-out
+// session step by step. At every state it predicts which interestingness
+// measure captures the user's current interest and shows the top
+// candidate next actions under that measure (what a recommender would
+// surface).
 #include <algorithm>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
-#include "offline/labeling.h"
-#include "offline/training.h"
-#include "predict/config.h"
-#include "predict/knn.h"
+#include "engine/engine.h"
 #include "synth/generator.h"
 
 using namespace ida;  // NOLINT — example code
@@ -55,28 +57,27 @@ int main() {
   options.seed = 11;
   auto bench = GenerateBenchmark(options);
   if (!bench.ok()) return 1;
+
+  // --- Offline: train on everyone else's sessions and save the model.
+  engine::Trainer trainer(DefaultNormalizedConfig());
+  auto model = trainer.Fit(bench->log, bench->registry);
+  if (!model.ok() || model->empty()) return 1;
+  const std::string artifact = "/tmp/ida_live_advisor.idamodel";
+  if (!model->SaveToFile(artifact).ok()) return 1;
+  std::printf("advisor model: %zu labeled session states -> %s\n",
+              model->size(), artifact.c_str());
+
+  // --- Online: a serving process loads the artifact. The Predictor is
+  // immutable and thread-safe; here one advisor thread suffices.
+  auto advisor = engine::Predictor::LoadFromFile(artifact);
+  if (!advisor.ok()) {
+    std::fprintf(stderr, "load: %s\n", advisor.status().ToString().c_str());
+    return 1;
+  }
+  const MeasureSet& I = advisor->measures();
+
+  // The held-out analyst's session (never part of the training log).
   ActionExecutor exec;
-  auto repo = ReplayedRepository::Build(bench->log, bench->registry, exec);
-  if (!repo.ok()) return 1;
-
-  MeasureSet I = {CreateMeasure("variance"), CreateMeasure("schutz"),
-                  CreateMeasure("osf"), CreateMeasure("compaction_gain")};
-
-  // Train on everything, then advise on a fresh session the model has
-  // never seen (generated with a different seed).
-  ModelConfig config = DefaultNormalizedConfig();
-  NormalizedLabeler labeler(I);
-  if (!labeler.Preprocess(*repo).ok()) return 1;
-  TrainingSetOptions ts;
-  ts.n_context_size = config.n_context_size;
-  ts.theta_interest = config.theta_interest;
-  auto train = BuildTrainingSet(*repo, &labeler, ts);
-  if (!train.ok() || train->empty()) return 1;
-  std::printf("advisor trained on %zu labeled session states\n",
-              train->size());
-  IKnnClassifier model(*train, SessionDistance(), config.knn);
-
-  // The held-out analyst's session.
   const SynthDataset* dataset = bench->DatasetById("data_exfil");
   if (dataset == nullptr) return 1;
   AgentProfile profile;
@@ -94,8 +95,7 @@ int main() {
     const Display& here = *session->NodeOfStep(t).display;
     std::printf("state S%d: %s\n", t, here.Describe().c_str());
 
-    NContext context = ExtractNContext(*session, t, config.n_context_size);
-    Prediction p = model.Predict(context);
+    Prediction p = advisor->PredictState(*session, t);
     if (!p.HasPrediction()) {
       std::printf("  advisor: no sufficiently similar past context — no "
                   "advice\n");

@@ -1,12 +1,15 @@
-// Offline mining of a session log (paper Sec 3.1 / 4.1): generate a
-// REACT-IDA-shaped repository, replay it, label every recorded action with
-// both comparison methods, and report what the log says about
-// interestingness in IDA — label distributions, the within-session
-// switching rate, and the agreement between the methods.
+// Offline mining of a session log (paper Sec 3.1 / 4.1) through the
+// engine facade: generate a REACT-IDA-shaped repository, replay it with
+// engine::Replay, build both comparison methods' labelers with
+// engine::MakeLabeler, and report what the log says about interestingness
+// in IDA — label distributions, the within-session switching rate, and
+// the agreement between the methods.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
+#include "engine/engine.h"
 #include "offline/findings.h"
-#include "offline/labeling.h"
 #include "synth/generator.h"
 
 using namespace ida;  // NOLINT — example code
@@ -27,38 +30,42 @@ int main() {
               bench->log.size(), bench->log.total_actions(),
               bench->datasets.size(), bench->log.successful_sessions());
 
-  ActionExecutor exec;
-  auto repo = ReplayedRepository::Build(bench->log, bench->registry, exec);
+  auto repo = engine::Replay(bench->log, bench->registry);
   if (!repo.ok()) return 1;
 
-  MeasureSet I = {CreateMeasure("simpson"), CreateMeasure("macarthur"),
-                  CreateMeasure("deviation"), CreateMeasure("log_length")};
+  // Both labelers share one measure set I, configured by name — the same
+  // config shape the Trainer consumes.
+  ModelConfig config;
+  config.measures = {"simpson", "macarthur", "deviation", "log_length"};
   std::printf("\nmeasure set I: ");
-  for (const MeasurePtr& m : I) std::printf("%s ", m->name().c_str());
+  for (const std::string& m : config.measures) std::printf("%s ", m.c_str());
   std::printf("\n");
 
   // --- Normalized comparison (Algorithm 2).
-  NormalizedLabeler norm(I);
-  if (!norm.Preprocess(*repo).ok()) return 1;
-  auto norm_labels = LabelRepository(*repo, &norm);
+  config.method = ComparisonMethod::kNormalized;
+  auto norm = engine::MakeLabeler(config, *repo);
+  if (!norm.ok()) return 1;
+  auto norm_labels = LabelRepository(*repo, norm->get());
   if (!norm_labels.ok()) return 1;
 
   // --- Reference-Based comparison (Algorithm 1).
-  ReferenceBasedLabelerOptions rb_options;
-  rb_options.max_reference_actions = 60;
-  ReferenceBasedLabeler rb(I, &*repo, rb_options);
-  auto rb_labels = LabelRepository(*repo, &rb);
+  config.method = ComparisonMethod::kReferenceBased;
+  config.reference.max_reference_actions = 60;
+  auto rb = engine::MakeLabeler(config, *repo);
+  if (!rb.ok()) return 1;
+  auto rb_labels = LabelRepository(*repo, rb->get());
   if (!rb_labels.ok()) return 1;
 
+  const size_t num_measures = config.measures.size();
   for (const auto& [name, labels] :
        {std::pair<const char*, const std::vector<LabeledStep>*>{
             "normalized", &*norm_labels},
         {"reference-based", &*rb_labels}}) {
     std::printf("\n--- %s labeling ---\n", name);
-    auto share = DominantShare(*labels, I.size());
-    for (size_t m = 0; m < I.size(); ++m) {
+    auto share = DominantShare(*labels, num_measures);
+    for (size_t m = 0; m < num_measures; ++m) {
       std::printf("  %-12s dominant for %4.1f%% of actions\n",
-                  I[m]->name().c_str(), share[m] * 100.0);
+                  config.measures[m].c_str(), share[m] * 100.0);
     }
     double rate = AverageStepsPerDominantChange(*labels);
     if (rate > 0) {
@@ -67,7 +74,7 @@ int main() {
     }
   }
 
-  auto agreement = CompareLabelings(*norm_labels, *rb_labels, I.size());
+  auto agreement = CompareLabelings(*norm_labels, *rb_labels, num_measures);
   if (!agreement.ok()) return 1;
   std::printf("\n--- method agreement ---\n");
   std::printf("  co-labeled actions: %zu (reference-based could not rank "
@@ -75,7 +82,7 @@ int main() {
               agreement->co_labeled, agreement->only_a);
   std::printf("  same dominant measure: %.1f%%  (chance level would be "
               "%.0f%%)\n",
-              agreement->primary_agreement * 100.0, 100.0 / I.size());
+              agreement->primary_agreement * 100.0, 100.0 / num_measures);
   std::printf("  chi-square independence: stat=%.1f p=%.2e -> the methods "
               "are %s\n",
               agreement->chi_square.statistic, agreement->chi_square.p_value,

@@ -1,17 +1,13 @@
-// Quickstart: the full IDA-Interest pipeline on a small synthetic
-// benchmark — generate a session log, mine it offline (both comparison
-// methods), train the I-kNN predictor, and predict the adequate
-// interestingness measure for a fresh session state.
+// Quickstart: the full IDA-Interest pipeline through the engine facade —
+// generate a session log, Fit a model offline, evaluate it with LOOCV,
+// save it to a versioned artifact, load it back as a serving Predictor,
+// and predict the adequate interestingness measure for fresh session
+// states (single and batch).
 #include <cstdio>
-#include <memory>
+#include <vector>
 
-#include "eval/loocv.h"
-#include "measures/measure.h"
+#include "engine/engine.h"
 #include "offline/findings.h"
-#include "offline/labeling.h"
-#include "offline/training.h"
-#include "predict/config.h"
-#include "predict/knn.h"
 #include "synth/generator.h"
 
 using namespace ida;  // NOLINT — example code
@@ -32,94 +28,79 @@ int main() {
               bench->log.size(), bench->log.total_actions(),
               bench->log.successful_sessions());
 
-  // 2. Replay the log so every display is materialized.
-  ActionExecutor exec;
-  Result<ReplayedRepository> repo =
-      ReplayedRepository::Build(bench->log, bench->registry, exec);
-  if (!repo.ok()) {
-    std::fprintf(stderr, "replay: %s\n", repo.status().ToString().c_str());
-    return 1;
-  }
-
-  // 3. One configuration of I: one measure per facet.
-  MeasureSet I = {CreateMeasure("variance"), CreateMeasure("schutz"),
-                  CreateMeasure("osf"), CreateMeasure("compaction_gain")};
-
-  // 4. Offline analysis with the Normalized comparison (Algorithm 2).
-  NormalizedLabeler labeler(I);
-  if (Status st = labeler.Preprocess(*repo); !st.ok()) {
-    std::fprintf(stderr, "preprocess: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  Result<std::vector<LabeledStep>> labeled = LabelRepository(*repo, &labeler);
-  if (!labeled.ok()) {
-    std::fprintf(stderr, "label: %s\n", labeled.status().ToString().c_str());
-    return 1;
-  }
-  std::vector<double> share = DominantShare(*labeled, I.size());
-  std::printf("\ndominant-measure shares over the log:\n");
-  for (size_t m = 0; m < I.size(); ++m) {
-    std::printf("  %-16s (%s): %.3f\n", I[m]->name().c_str(),
-                MeasureFacetName(I[m]->facet()), share[m]);
-  }
-  std::printf("dominant measure changes every %.2f steps on average\n",
-              AverageStepsPerDominantChange(*labeled));
-
-  // 5. Training set of <n-context, dominant measure> pairs.
+  // 2. Train. The config is the single owner of every hyper-parameter:
+  // n, theta_I, k, theta_delta, comparison method and the measure set I.
   ModelConfig config = DefaultNormalizedConfig();
   // The default theta_I is tuned for the paper-scale log; relax it a bit
   // for this small demo so the training set keeps more samples.
   config.theta_interest = 1.0;
   config.knn.distance_threshold = 0.2;
-  TrainingSetOptions ts_options;
-  ts_options.n_context_size = config.n_context_size;
-  ts_options.theta_interest = config.theta_interest;
-  TrainingSetStats stats;
-  Result<std::vector<TrainingSample>> train =
-      BuildTrainingSetFromLabels(*repo, *labeled, ts_options, &stats);
-  if (!train.ok() || train->empty()) {
-    std::fprintf(stderr, "training set construction failed\n");
+  engine::Trainer trainer(config);
+  engine::TrainReport report;
+  Result<engine::TrainedModel> model =
+      trainer.Fit(bench->log, bench->registry, &report);
+  if (!model.ok()) {
+    std::fprintf(stderr, "fit: %s\n", model.status().ToString().c_str());
     return 1;
   }
-  std::printf("\ntraining set: %zu samples (of %zu states; %zu filtered by "
-              "theta_I)\n",
-              train->size(), stats.states_considered, stats.filtered_by_theta);
+  std::printf("\ntrained on %zu samples (of %zu states; %zu filtered by "
+              "theta_I) in %.2fs\n",
+              model->size(), report.training.states_considered,
+              report.training.filtered_by_theta, report.total_seconds);
 
-  // 6. Leave-one-out evaluation of the I-kNN model.
-  SessionDistance metric;
-  std::vector<NContext> contexts;
-  contexts.reserve(train->size());
-  for (const TrainingSample& s : *train) contexts.push_back(s.context);
-  auto dist = BuildDistanceMatrix(contexts, metric);
-  EvalMetrics knn = EvaluateKnnLoocv(*train, dist, AllIndices(train->size()),
-                                     config.knn, static_cast<int>(I.size()));
-  EvalMetrics best_sm = EvaluateBestSmLoocv(
-      *train, AllIndices(train->size()), static_cast<int>(I.size()));
-  std::printf("I-kNN  : %s\n", knn.ToString().c_str());
-  std::printf("Best-SM: %s\n", best_sm.ToString().c_str());
+  // 3. Leave-one-out evaluation of the trained model.
+  Result<engine::EvaluationReport> eval = engine::EvaluateLoocv(*model);
+  if (!eval.ok()) {
+    std::fprintf(stderr, "eval: %s\n", eval.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("I-kNN  : %s\n", eval->knn.ToString().c_str());
+  std::printf("Best-SM: %s\n", eval->best_sm.ToString().c_str());
 
-  // 7. Predict for a brand-new session state.
-  IKnnClassifier model(*train, metric, config.knn);
+  // 4. Save the model to a versioned artifact, then load it back the way
+  // a serving process would. A loaded Predictor reproduces the in-memory
+  // model's predictions bitwise.
+  const std::string path = "/tmp/ida_quickstart.idamodel";
+  if (Status st = model->SaveToFile(path); !st.ok()) {
+    std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Result<engine::Predictor> served = engine::Predictor::LoadFromFile(path);
+  if (!served.ok()) {
+    std::fprintf(stderr, "load: %s\n", served.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nsaved + reloaded artifact: %zu samples, measures:",
+              served->train_size());
+  for (const MeasurePtr& m : served->measures()) {
+    std::printf(" %s", m->name().c_str());
+  }
+  std::printf("\n");
+
+  // 5. Predict for a brand-new session state.
+  ActionExecutor exec;
+  auto repo = ReplayedRepository::Build(bench->log, bench->registry, exec);
+  if (!repo.ok()) return 1;
   const SessionTree& probe = repo->trees().front();
   int t = probe.num_steps() - 1;
-  NContext query = ExtractNContext(probe, t, config.n_context_size);
-  Prediction p = model.Predict(query);
+  Prediction p = served->PredictState(probe, t);
   if (p.HasPrediction()) {
     std::printf("\npredicted measure for a fresh state: %s (confidence "
                 "%.2f)\n",
-                I[static_cast<size_t>(p.label)]->name().c_str(), p.confidence);
+                served->measures()[static_cast<size_t>(p.label)]->name().c_str(),
+                p.confidence);
   } else {
     std::printf("\nmodel abstained for the probe state (no close neighbor)\n");
   }
 
-  // 8. Batch prediction: every state of the probe session in one call
-  // (fanned out over the engine's thread pool, same results as step 7).
+  // 6. Batch prediction: every state of the probe session in one call
+  // (fanned out over the serving thread pool, same results as step 5).
   std::vector<NContext> probe_states;
   for (int step = 0; step <= probe.num_steps(); ++step) {
     probe_states.push_back(
-        ExtractNContext(probe, step, config.n_context_size));
+        ExtractNContext(probe, step, served->config().n_context_size));
   }
-  std::vector<Prediction> batch = model.PredictBatch(probe_states);
+  std::vector<Prediction> batch = served->PredictBatch(probe_states);
   size_t answered = 0;
   for (const Prediction& bp : batch) {
     if (bp.HasPrediction()) ++answered;

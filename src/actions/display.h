@@ -45,12 +45,23 @@ struct InterestProfile {
   std::vector<double> Probabilities() const;
 };
 
-/// An immutable result screen. Created by ActionExecutor (or as the root).
+/// An immutable result screen. Created by ActionExecutor (or as the root),
+/// or reconstructed table-less from a model artifact (MakeDetached).
 class Display {
  public:
   /// Builds the root display of a dataset.
   static std::shared_ptr<const Display> MakeRoot(
       std::shared_ptr<const DataTable> table);
+
+  /// Builds a detached display: profile + row count without the backing
+  /// table. Everything the ground metrics, fingerprints and measures
+  /// consume is present, so detached displays are interchangeable with
+  /// full ones for distance computation and prediction (used by loaded
+  /// model artifacts, engine/model.h). table() is null.
+  static std::shared_ptr<const Display> MakeDetached(DisplayKind kind,
+                                                     InterestProfile profile,
+                                                     size_t num_rows,
+                                                     size_t dataset_size);
 
   Display(DisplayKind kind, std::shared_ptr<const DataTable> table,
           InterestProfile profile, size_t dataset_size)
@@ -61,8 +72,8 @@ class Display {
 
   DisplayKind kind() const { return kind_; }
   const std::shared_ptr<const DataTable>& table() const { return table_; }
-  /// Rows visible on screen.
-  size_t num_rows() const { return table_ ? table_->num_rows() : 0; }
+  /// Rows visible on screen (stored explicitly for detached displays).
+  size_t num_rows() const { return table_ ? table_->num_rows() : num_rows_; }
   const InterestProfile& profile() const { return profile_; }
   /// O — the size (row count) of the original, root dataset.
   size_t dataset_size() const { return dataset_size_; }
@@ -76,6 +87,8 @@ class Display {
   std::shared_ptr<const DataTable> table_;
   InterestProfile profile_;
   size_t dataset_size_;
+  /// Row count of a detached (table-less) display; unused when table_ set.
+  size_t num_rows_ = 0;
 };
 
 using DisplayPtr = std::shared_ptr<const Display>;

@@ -1,0 +1,165 @@
+#include "engine/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "distance/ted.h"
+#include "eval/loocv.h"
+#include "offline/training.h"
+
+namespace ida::engine {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Result<MeasureSet> ResolveMeasures(const std::vector<std::string>& names) {
+  MeasureSet set;
+  set.reserve(names.size());
+  for (const std::string& name : names) {
+    MeasurePtr m = CreateMeasure(name);
+    if (m == nullptr) {
+      return Status::InvalidArgument("unknown interestingness measure '" +
+                                     name + "'");
+    }
+    set.push_back(std::move(m));
+  }
+  return set;
+}
+
+Status ValidateConfig(const ModelConfig& config) {
+  if (config.n_context_size < 1) {
+    return Status::InvalidArgument("n_context_size must be >= 1");
+  }
+  if (config.knn.k < 1) {
+    return Status::InvalidArgument("knn.k must be >= 1");
+  }
+  if (config.measures.empty()) {
+    return Status::InvalidArgument("measure set must not be empty");
+  }
+  if (config.distance.display_weight < 0.0 ||
+      config.distance.display_weight > 1.0) {
+    return Status::InvalidArgument("distance.display_weight must be in [0, 1]");
+  }
+  return ResolveMeasures(config.measures).status();
+}
+
+Result<ReplayedRepository> Replay(const SessionLog& log,
+                                  const DatasetRegistry& datasets) {
+  ActionExecutor exec;
+  return ReplayedRepository::Build(log, datasets, exec);
+}
+
+Result<std::unique_ptr<ActionLabeler>> MakeLabeler(
+    const ModelConfig& config, const ReplayedRepository& repo) {
+  IDA_ASSIGN_OR_RETURN(MeasureSet measures, ResolveMeasures(config.measures));
+  if (config.method == ComparisonMethod::kReferenceBased) {
+    return std::unique_ptr<ActionLabeler>(std::make_unique<ReferenceBasedLabeler>(
+        std::move(measures), &repo, config.reference));
+  }
+  auto labeler = std::make_unique<NormalizedLabeler>(std::move(measures));
+  IDA_RETURN_NOT_OK(labeler->Preprocess(repo));
+  return std::unique_ptr<ActionLabeler>(std::move(labeler));
+}
+
+Result<TrainedModel> Trainer::Fit(const SessionLog& log,
+                                  const DatasetRegistry& datasets,
+                                  TrainReport* report) const {
+  IDA_ASSIGN_OR_RETURN(ReplayedRepository repo, Replay(log, datasets));
+  return Fit(repo, report);
+}
+
+Result<TrainedModel> Trainer::Fit(const ReplayedRepository& repo,
+                                  TrainReport* report) const {
+  auto start = std::chrono::steady_clock::now();
+  IDA_RETURN_NOT_OK(ValidateConfig(config_));
+  TrainReport local;
+  local.sessions_replayed = repo.trees().size();
+  local.failed_replays = repo.failed_replays();
+
+  IDA_ASSIGN_OR_RETURN(std::unique_ptr<ActionLabeler> labeler,
+                       MakeLabeler(config_, repo));
+  auto label_start = std::chrono::steady_clock::now();
+  IDA_ASSIGN_OR_RETURN(std::vector<LabeledStep> labeled,
+                       LabelRepository(repo, labeler.get()));
+  local.label_seconds = SecondsSince(label_start);
+  local.steps_labeled = labeled.size();
+
+  IDA_ASSIGN_OR_RETURN(
+      std::vector<TrainingSample> samples,
+      BuildTrainingSetFromLabels(repo, labeled, config_.n_context_size,
+                                 config_.theta_interest, config_.training,
+                                 &local.training));
+  local.total_seconds = SecondsSince(start);
+  if (report != nullptr) *report = local;
+  return TrainedModel(config_, std::move(samples));
+}
+
+Result<Predictor> Predictor::Load(TrainedModel model) {
+  IDA_RETURN_NOT_OK(ValidateConfig(model.config()));
+  IDA_ASSIGN_OR_RETURN(MeasureSet measures,
+                       ResolveMeasures(model.config().measures));
+  const int num_classes = static_cast<int>(measures.size());
+  for (const TrainingSample& s : model.samples()) {
+    if (s.label < 0 || s.label >= num_classes) {
+      return Status::FailedPrecondition(
+          "trained model has a sample label outside the measure set (" +
+          std::to_string(s.label) + " of " + std::to_string(num_classes) +
+          " measures)");
+    }
+  }
+  ModelConfig config = model.config();
+  auto knn = std::make_shared<const IKnnClassifier>(
+      std::vector<TrainingSample>(model.samples()),
+      SessionDistance(config.distance), config.knn);
+  return Predictor(std::move(config), std::move(measures), std::move(knn));
+}
+
+Result<Predictor> Predictor::LoadFromFile(const std::string& path) {
+  IDA_ASSIGN_OR_RETURN(TrainedModel model, TrainedModel::LoadFromFile(path));
+  return Load(std::move(model));
+}
+
+Prediction Predictor::Predict(const NContext& query) const {
+  return knn_->Predict(query);
+}
+
+std::vector<Prediction> Predictor::PredictBatch(
+    const std::vector<NContext>& queries) const {
+  return knn_->PredictBatch(queries);
+}
+
+Prediction Predictor::PredictState(const SessionTree& tree, int t) const {
+  return Predict(ExtractNContext(tree, t, config_.n_context_size));
+}
+
+Result<EvaluationReport> EvaluateLoocv(const TrainedModel& model,
+                                       uint64_t random_seed) {
+  IDA_RETURN_NOT_OK(ValidateConfig(model.config()));
+  const ModelConfig& config = model.config();
+  const std::vector<TrainingSample>& samples = model.samples();
+  const int num_classes = static_cast<int>(config.measures.size());
+
+  std::vector<NContext> contexts;
+  contexts.reserve(samples.size());
+  for (const TrainingSample& s : samples) contexts.push_back(s.context);
+  SessionDistance metric(config.distance);
+  std::vector<std::vector<double>> dist = BuildDistanceMatrix(contexts, metric);
+
+  EvaluationReport report;
+  report.samples = samples.size();
+  std::vector<size_t> subset = AllIndices(samples.size());
+  report.knn = EvaluateKnnLoocv(samples, dist, subset, config.knn, num_classes,
+                                config.distance.num_threads);
+  report.best_sm = EvaluateBestSmLoocv(samples, subset, num_classes);
+  report.random = EvaluateRandom(samples, subset, num_classes, random_seed);
+  return report;
+}
+
+}  // namespace ida::engine

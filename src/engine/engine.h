@@ -1,0 +1,134 @@
+// The ida::engine train/serve facade (DESIGN.md §9). The paper's pipeline
+// is two-phase — offline analysis over session logs (Sec 3, Algorithms
+// 1–2) feeding an online kNN predictor (Sec 4) — and this layer makes the
+// split first-class:
+//
+//   Trainer trainer(config);
+//   auto model = trainer.Fit(log, datasets);          // offline, once
+//   model->SaveToFile("advisor.idamodel");
+//   ...
+//   auto served = Predictor::LoadFromFile("advisor.idamodel");  // anywhere
+//   Prediction p = served->Predict(context);          // thread-safe
+//
+// A loaded Predictor reproduces the in-memory model's predictions bitwise
+// (see engine/model.h for the artifact format). Predict/PredictBatch are
+// safe to call concurrently from many threads: the classifier is immutable
+// and its shared display cache is internally synchronized.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/model.h"
+#include "eval/metrics.h"
+#include "measures/measure.h"
+#include "offline/labeling.h"
+#include "predict/knn.h"
+#include "session/log.h"
+
+namespace ida::engine {
+
+/// Resolves a config's measure names into a MeasureSet; unknown names are
+/// an InvalidArgument.
+Result<MeasureSet> ResolveMeasures(const std::vector<std::string>& names);
+
+/// Validates a ModelConfig (n >= 1, k >= 1, known measures, sane weights).
+Status ValidateConfig(const ModelConfig& config);
+
+/// Replays a session log against its datasets (facade over
+/// ReplayedRepository::Build with a default executor).
+Result<ReplayedRepository> Replay(const SessionLog& log,
+                                  const DatasetRegistry& datasets);
+
+/// Builds the offline labeler the config asks for, ready to label `repo`
+/// (the Normalized labeler is preprocessed here). The repository must
+/// outlive the labeler.
+Result<std::unique_ptr<ActionLabeler>> MakeLabeler(
+    const ModelConfig& config, const ReplayedRepository& repo);
+
+/// What Fit did, for logging/monitoring.
+struct TrainReport {
+  size_t sessions_replayed = 0;
+  size_t failed_replays = 0;
+  size_t steps_labeled = 0;
+  TrainingSetStats training;
+  double label_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// The offline phase: log -> replay -> label -> training set, under one
+/// configuration. Stateless apart from the config; Fit may be called
+/// repeatedly.
+class Trainer {
+ public:
+  explicit Trainer(ModelConfig config) : config_(std::move(config)) {}
+
+  /// Full offline pass over a session log.
+  Result<TrainedModel> Fit(const SessionLog& log,
+                           const DatasetRegistry& datasets,
+                           TrainReport* report = nullptr) const;
+
+  /// Same from an already-replayed repository (lets callers reuse one
+  /// expensive replay across configurations).
+  Result<TrainedModel> Fit(const ReplayedRepository& repo,
+                           TrainReport* report = nullptr) const;
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  ModelConfig config_;
+};
+
+/// The online phase: an immutable serving handle over a trained model.
+/// Cheap to copy (copies share the training set and display cache); all
+/// prediction entry points are const and thread-safe.
+class Predictor {
+ public:
+  /// Builds a serving handle from a trained model (in-memory or loaded).
+  static Result<Predictor> Load(TrainedModel model);
+  /// Loads the artifact at `path` and builds a serving handle.
+  static Result<Predictor> LoadFromFile(const std::string& path);
+
+  /// Predicts the dominant-measure label for a query n-context. The label
+  /// indexes into measures(); -1 = abstained.
+  Prediction Predict(const NContext& query) const;
+  /// Batch prediction over the model's thread pool; output is identical
+  /// to calling Predict per query.
+  std::vector<Prediction> PredictBatch(
+      const std::vector<NContext>& queries) const;
+  /// Extracts the n-context of session state S_t (with the model's n) and
+  /// predicts — the "live advisor" entry point.
+  Prediction PredictState(const SessionTree& tree, int t) const;
+
+  const ModelConfig& config() const { return config_; }
+  /// The resolved measure set I the labels index into.
+  const MeasureSet& measures() const { return measures_; }
+  size_t train_size() const { return knn_->train().size(); }
+
+ private:
+  Predictor(ModelConfig config, MeasureSet measures,
+            std::shared_ptr<const IKnnClassifier> knn)
+      : config_(std::move(config)),
+        measures_(std::move(measures)),
+        knn_(std::move(knn)) {}
+
+  ModelConfig config_;
+  MeasureSet measures_;
+  std::shared_ptr<const IKnnClassifier> knn_;
+};
+
+/// Leave-one-out evaluation of a trained model (paper Sec 4.2), through
+/// the same engine configuration serving uses: I-kNN versus the Best-SM
+/// and RANDOM baselines over the model's training set.
+struct EvaluationReport {
+  EvalMetrics knn;
+  EvalMetrics best_sm;
+  EvalMetrics random;
+  size_t samples = 0;
+};
+
+Result<EvaluationReport> EvaluateLoocv(const TrainedModel& model,
+                                       uint64_t random_seed = 17);
+
+}  // namespace ida::engine

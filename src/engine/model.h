@@ -1,0 +1,64 @@
+// TrainedModel — the serializable output of the offline phase (engine
+// train/serve split, DESIGN.md §9). A trained model is an immutable value:
+// the full ModelConfig plus the labeled training samples with their
+// n-contexts. It serializes to a versioned binary artifact, so a model can
+// be trained once and served from many processes:
+//
+//   magic "IDAMODEL" | u32 format version | payload | u64 FNV-1a checksum
+//
+// The payload interns the unique displays and action syntaxes of the
+// sample contexts (displays are shared between overlapping n-contexts of
+// the same session, exactly as the distance engine's dense ground tables
+// intern them), stores display *profiles* rather than full data tables
+// (the ground metrics and context fingerprints consume only kind, profile,
+// row count and dataset size — see distance/ground.cc), and encodes every
+// double as its raw IEEE-754 bits, so a loaded model reproduces in-memory
+// predictions bitwise. Corrupt, truncated or version-mismatched inputs are
+// rejected with a descriptive Status; loading never crashes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/config.h"
+#include "offline/training.h"
+
+namespace ida::engine {
+
+/// First bytes of every model artifact.
+inline constexpr char kArtifactMagic[8] = {'I', 'D', 'A', 'M',
+                                           'O', 'D', 'E', 'L'};
+/// Current artifact format version. Bump on any layout change; readers
+/// reject other versions with an explicit message.
+inline constexpr uint32_t kArtifactVersion = 1;
+
+/// An immutable trained model: configuration + labeled samples.
+class TrainedModel {
+ public:
+  TrainedModel() = default;
+  TrainedModel(ModelConfig config, std::vector<TrainingSample> samples)
+      : config_(std::move(config)), samples_(std::move(samples)) {}
+
+  const ModelConfig& config() const { return config_; }
+  const std::vector<TrainingSample>& samples() const { return samples_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Serializes to the versioned artifact format described above.
+  std::string Serialize() const;
+  /// Inverse of Serialize. Rejects bad magic, unsupported versions,
+  /// truncation and checksum mismatches with a descriptive Status.
+  static Result<TrainedModel> Deserialize(const std::string& bytes);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<TrainedModel> LoadFromFile(const std::string& path);
+
+ private:
+  ModelConfig config_;
+  std::vector<TrainingSample> samples_;
+};
+
+}  // namespace ida::engine

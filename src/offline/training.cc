@@ -39,13 +39,12 @@ void MergeIdenticalContexts(std::vector<TrainingSample>* samples,
 // Creates one sample from a labeled consecutive action, or returns false
 // when the theta_I filter discards it.
 bool MakeSample(const SessionTree& tree, int tree_index, int state_step,
-                const ComparisonResult& result,
-                const TrainingSetOptions& options, TrainingSample* out) {
-  if (result.dominant.empty() ||
-      result.max_relative < options.theta_interest) {
+                const ComparisonResult& result, int n_context_size,
+                double theta_interest, TrainingSample* out) {
+  if (result.dominant.empty() || result.max_relative < theta_interest) {
     return false;
   }
-  out->context = ExtractNContext(tree, state_step, options.n_context_size);
+  out->context = ExtractNContext(tree, state_step, n_context_size);
   out->label = result.primary();
   out->labels = result.dominant;
   out->max_relative = result.max_relative;
@@ -58,8 +57,9 @@ bool MakeSample(const SessionTree& tree, int tree_index, int state_step,
 
 Result<std::vector<TrainingSample>> BuildTrainingSet(
     const ReplayedRepository& repo, ActionLabeler* labeler,
+    int n_context_size, double theta_interest,
     const TrainingSetOptions& options, TrainingSetStats* stats) {
-  if (options.n_context_size < 1) {
+  if (n_context_size < 1) {
     return Status::InvalidArgument("n_context_size must be >= 1");
   }
   TrainingSetStats local_stats;
@@ -74,8 +74,8 @@ Result<std::vector<TrainingSample>> BuildTrainingSet(
       IDA_ASSIGN_OR_RETURN(ComparisonResult result,
                            labeler->LabelStep(tree, t + 1));
       TrainingSample sample;
-      if (!MakeSample(tree, static_cast<int>(ti), t, result, options,
-                      &sample)) {
+      if (!MakeSample(tree, static_cast<int>(ti), t, result, n_context_size,
+                      theta_interest, &sample)) {
         ++local_stats.filtered_by_theta;
         continue;
       }
@@ -90,8 +90,9 @@ Result<std::vector<TrainingSample>> BuildTrainingSet(
 
 Result<std::vector<TrainingSample>> BuildTrainingSetFromLabels(
     const ReplayedRepository& repo, const std::vector<LabeledStep>& labeled,
+    int n_context_size, double theta_interest,
     const TrainingSetOptions& options, TrainingSetStats* stats) {
-  if (options.n_context_size < 1) {
+  if (n_context_size < 1) {
     return Status::InvalidArgument("n_context_size must be >= 1");
   }
   TrainingSetStats local_stats;
@@ -110,7 +111,7 @@ Result<std::vector<TrainingSample>> BuildTrainingSetFromLabels(
     ++local_stats.states_considered;
     TrainingSample sample;
     if (!MakeSample(tree, step.tree_index, step.step - 1, step.result,
-                    options, &sample)) {
+                    n_context_size, theta_interest, &sample)) {
       ++local_stats.filtered_by_theta;
       continue;
     }

@@ -27,14 +27,11 @@ struct TrainingSample {
   int step = 0;  ///< The session state S_t this sample describes (t).
 };
 
+/// Training-set construction policy. The two model hyper-parameters —
+/// n-context size and theta_I — are owned by the engine's ModelConfig
+/// (src/engine/config.h) and passed to BuildTrainingSet explicitly, so
+/// there is exactly one place a configuration lives.
 struct TrainingSetOptions {
-  /// n — context size in elements (nodes + edges), paper range [1, 11].
-  int n_context_size = 3;
-  /// theta_I — minimal max-relative interestingness for a sample to be
-  /// kept. Scale depends on the comparison method: percentile in [0, 1]
-  /// for Reference-Based, standard deviations (about [-2.5, 2.5]) for
-  /// Normalized.
-  double theta_interest = 0.0;
   /// Use only sessions marked successful (as the paper does for the
   /// predictive evaluation).
   bool successful_only = true;
@@ -50,15 +47,21 @@ struct TrainingSetStats {
 };
 
 /// Builds the training set from a replayed repository and a labeler.
+/// `n_context_size` is n, the context size in elements (paper range
+/// [1, 11]); `theta_interest` is theta_I, the minimal max-relative
+/// interestingness for a sample to be kept (percentile in [0, 1] for
+/// Reference-Based labels, standard deviations for Normalized ones).
 Result<std::vector<TrainingSample>> BuildTrainingSet(
     const ReplayedRepository& repo, ActionLabeler* labeler,
-    const TrainingSetOptions& options, TrainingSetStats* stats = nullptr);
+    int n_context_size, double theta_interest,
+    const TrainingSetOptions& options = {}, TrainingSetStats* stats = nullptr);
 
 /// Same construction from precomputed per-step labels (as produced by
 /// LabelRepository) — lets hyper-parameter sweeps reuse one expensive
 /// labeling pass across many (n, theta_I) settings.
 Result<std::vector<TrainingSample>> BuildTrainingSetFromLabels(
     const ReplayedRepository& repo, const std::vector<LabeledStep>& labeled,
-    const TrainingSetOptions& options, TrainingSetStats* stats = nullptr);
+    int n_context_size, double theta_interest,
+    const TrainingSetOptions& options = {}, TrainingSetStats* stats = nullptr);
 
 }  // namespace ida

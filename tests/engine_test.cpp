@@ -1,0 +1,316 @@
+// Tests of the engine train/serve facade and the versioned model
+// artifact: Fit equivalence with the manual pipeline, bitwise-identical
+// predictions after a serialize/deserialize round trip, rejection of
+// truncated/corrupt/mismatched artifacts, and thread-safe serving.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "synth/generator.h"
+
+namespace ida {
+namespace {
+
+ModelConfig TestConfig() {
+  ModelConfig config = DefaultNormalizedConfig();
+  config.n_context_size = 3;
+  config.theta_interest = -100.0;  // keep every state: bigger round trip
+  config.knn.distance_threshold = 0.25;
+  return config;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bench_ = new SynthBenchmark(std::move(*GenerateBenchmark(
+        SmallGeneratorOptions(33))));
+    engine::Trainer trainer(TestConfig());
+    auto model = trainer.Fit(bench_->log, bench_->registry, &report_);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    ASSERT_GT(model->size(), 20u);
+    model_ = new engine::TrainedModel(std::move(*model));
+
+    // A query workload: the n-context of every state of a few sessions.
+    auto repo = engine::Replay(bench_->log, bench_->registry);
+    ASSERT_TRUE(repo.ok());
+    queries_ = new std::vector<NContext>;
+    for (size_t ti = 0; ti < 3 && ti < repo->trees().size(); ++ti) {
+      const SessionTree& tree = repo->trees()[ti];
+      for (int t = 0; t <= tree.num_steps(); ++t) {
+        queries_->push_back(
+            ExtractNContext(tree, t, TestConfig().n_context_size));
+      }
+    }
+    ASSERT_FALSE(queries_->empty());
+  }
+  static void TearDownTestSuite() {
+    delete queries_;
+    delete model_;
+    delete bench_;
+  }
+
+  static SynthBenchmark* bench_;
+  static engine::TrainedModel* model_;
+  static engine::TrainReport report_;
+  static std::vector<NContext>* queries_;
+};
+
+SynthBenchmark* EngineTest::bench_ = nullptr;
+engine::TrainedModel* EngineTest::model_ = nullptr;
+engine::TrainReport EngineTest::report_;
+std::vector<NContext>* EngineTest::queries_ = nullptr;
+
+TEST_F(EngineTest, FitMatchesManualPipeline) {
+  // The facade must produce exactly the training set of the hand-wired
+  // replay -> label -> BuildTrainingSet flow it refactored.
+  ModelConfig config = TestConfig();
+  auto repo = engine::Replay(bench_->log, bench_->registry);
+  ASSERT_TRUE(repo.ok());
+  auto labeler = engine::MakeLabeler(config, *repo);
+  ASSERT_TRUE(labeler.ok());
+  auto labeled = LabelRepository(*repo, labeler->get());
+  ASSERT_TRUE(labeled.ok());
+  auto manual = BuildTrainingSetFromLabels(*repo, *labeled,
+                                           config.n_context_size,
+                                           config.theta_interest,
+                                           config.training);
+  ASSERT_TRUE(manual.ok());
+  ASSERT_EQ(manual->size(), model_->size());
+  for (size_t i = 0; i < manual->size(); ++i) {
+    EXPECT_EQ((*manual)[i].label, model_->samples()[i].label);
+    EXPECT_EQ((*manual)[i].context.Fingerprint(),
+              model_->samples()[i].context.Fingerprint());
+  }
+}
+
+TEST_F(EngineTest, TrainReportIsFilled) {
+  EXPECT_EQ(report_.sessions_replayed, bench_->log.size());
+  EXPECT_GT(report_.steps_labeled, 0u);
+  EXPECT_GT(report_.training.states_considered, 0u);
+  EXPECT_GT(report_.total_seconds, 0.0);
+}
+
+TEST_F(EngineTest, RoundTripPreservesModel) {
+  std::string bytes = model_->Serialize();
+  auto loaded = engine::TrainedModel::Deserialize(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const ModelConfig& a = model_->config();
+  const ModelConfig& b = loaded->config();
+  EXPECT_EQ(a.n_context_size, b.n_context_size);
+  EXPECT_EQ(a.theta_interest, b.theta_interest);
+  EXPECT_EQ(a.knn.k, b.knn.k);
+  EXPECT_EQ(a.knn.distance_threshold, b.knn.distance_threshold);
+  EXPECT_EQ(a.knn.distance_weighted, b.knn.distance_weighted);
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.measures, b.measures);
+  EXPECT_EQ(a.distance.display_weight, b.distance.display_weight);
+  EXPECT_EQ(a.training.successful_only, b.training.successful_only);
+
+  ASSERT_EQ(loaded->size(), model_->size());
+  for (size_t i = 0; i < model_->size(); ++i) {
+    const TrainingSample& s = model_->samples()[i];
+    const TrainingSample& t = loaded->samples()[i];
+    EXPECT_EQ(s.label, t.label);
+    EXPECT_EQ(s.labels, t.labels);
+    EXPECT_EQ(s.max_relative, t.max_relative);  // bitwise (raw IEEE bits)
+    EXPECT_EQ(s.tree_index, t.tree_index);
+    EXPECT_EQ(s.step, t.step);
+    EXPECT_EQ(s.context.Fingerprint(), t.context.Fingerprint());
+  }
+  // A second serialization of the loaded model is byte-identical: the
+  // format is canonical.
+  EXPECT_EQ(loaded->Serialize(), bytes);
+}
+
+TEST_F(EngineTest, RoundTripPredictionsBitwiseIdentical) {
+  auto in_memory = engine::Predictor::Load(*model_);
+  ASSERT_TRUE(in_memory.ok()) << in_memory.status().ToString();
+  auto loaded_model = engine::TrainedModel::Deserialize(model_->Serialize());
+  ASSERT_TRUE(loaded_model.ok());
+  auto loaded = engine::Predictor::Load(std::move(*loaded_model));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  size_t answered = 0;
+  for (const NContext& q : *queries_) {
+    Prediction a = in_memory->Predict(q);
+    Prediction b = loaded->Predict(q);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.confidence, b.confidence);  // bitwise, not approximate
+    if (a.HasPrediction()) ++answered;
+  }
+  EXPECT_GT(answered, 0u);
+
+  // Batch serving agrees with single-query serving.
+  std::vector<Prediction> batch = loaded->PredictBatch(*queries_);
+  ASSERT_EQ(batch.size(), queries_->size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Prediction single = in_memory->Predict((*queries_)[i]);
+    EXPECT_EQ(batch[i].label, single.label);
+    EXPECT_EQ(batch[i].confidence, single.confidence);
+  }
+}
+
+TEST_F(EngineTest, LoocvMetricsUnchangedAfterRoundTrip) {
+  auto loaded = engine::TrainedModel::Deserialize(model_->Serialize());
+  ASSERT_TRUE(loaded.ok());
+  auto before = engine::EvaluateLoocv(*model_);
+  auto after = engine::EvaluateLoocv(*loaded);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->samples, after->samples);
+  EXPECT_EQ(before->knn.accuracy, after->knn.accuracy);
+  EXPECT_EQ(before->knn.coverage, after->knn.coverage);
+  EXPECT_EQ(before->knn.macro_f1, after->knn.macro_f1);
+  EXPECT_EQ(before->best_sm.accuracy, after->best_sm.accuracy);
+  EXPECT_EQ(before->random.accuracy, after->random.accuracy);
+}
+
+TEST_F(EngineTest, SaveThenLoadFromFileServes) {
+  const std::string path =
+      ::testing::TempDir() + "/engine_test_model.idamodel";
+  ASSERT_TRUE(model_->SaveToFile(path).ok());
+  auto served = engine::Predictor::LoadFromFile(path);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->train_size(), model_->size());
+  EXPECT_EQ(served->measures().size(), model_->config().measures.size());
+
+  auto in_memory = engine::Predictor::Load(*model_);
+  ASSERT_TRUE(in_memory.ok());
+  for (const NContext& q : *queries_) {
+    Prediction a = in_memory->Predict(q);
+    Prediction b = served->Predict(q);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.confidence, b.confidence);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(EngineTest, LoadFromMissingFileIsIoError) {
+  auto missing = engine::Predictor::LoadFromFile("/nonexistent/model.bin");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(EngineTest, TruncatedArtifactsRejectedWithoutCrash) {
+  std::string bytes = model_->Serialize();
+  // Every short-header prefix plus a spread of longer truncation points.
+  std::vector<size_t> cuts;
+  for (size_t n = 0; n < 64 && n < bytes.size(); ++n) cuts.push_back(n);
+  for (size_t i = 1; i <= 100; ++i) {
+    cuts.push_back(bytes.size() * i / 101);
+  }
+  cuts.push_back(bytes.size() - 1);
+  for (size_t n : cuts) {
+    auto truncated =
+        engine::TrainedModel::Deserialize(bytes.substr(0, n));
+    EXPECT_FALSE(truncated.ok()) << "prefix of " << n << " bytes accepted";
+  }
+  // Trailing garbage is also rejected (the checksum no longer matches).
+  auto extended = engine::TrainedModel::Deserialize(bytes + "xyz");
+  EXPECT_FALSE(extended.ok());
+}
+
+TEST_F(EngineTest, CorruptPayloadFailsChecksum) {
+  std::string bytes = model_->Serialize();
+  bytes[bytes.size() / 2] ^= 0x5A;  // flip bits mid-payload
+  auto corrupt = engine::TrainedModel::Deserialize(bytes);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find("checksum"), std::string::npos)
+      << corrupt.status().ToString();
+}
+
+TEST_F(EngineTest, BadMagicRejected) {
+  std::string bytes = model_->Serialize();
+  bytes[0] = 'X';
+  auto bad = engine::TrainedModel::Deserialize(bytes);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(EngineTest, FormatVersionMismatchRejected) {
+  std::string bytes = model_->Serialize();
+  // The version u32 sits right after the 8 magic bytes, outside the
+  // checksummed payload.
+  uint32_t future = engine::kArtifactVersion + 1;
+  std::memcpy(&bytes[8], &future, sizeof(future));
+  auto mismatched = engine::TrainedModel::Deserialize(bytes);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_NE(mismatched.status().message().find(
+                "unsupported model artifact format version"),
+            std::string::npos)
+      << mismatched.status().ToString();
+}
+
+TEST_F(EngineTest, ConcurrentPredictIsThreadSafe) {
+  auto loaded = engine::TrainedModel::Deserialize(model_->Serialize());
+  ASSERT_TRUE(loaded.ok());
+  auto served = engine::Predictor::Load(std::move(*loaded));
+  ASSERT_TRUE(served.ok());
+  std::vector<Prediction> expected;
+  for (const NContext& q : *queries_) expected.push_back(served->Predict(q));
+
+  constexpr int kThreads = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (size_t i = 0; i < queries_->size(); ++i) {
+        Prediction p = served->Predict((*queries_)[i]);
+        if (p.label != expected[i].label ||
+            p.confidence != expected[i].confidence) {
+          ++mismatches[w];
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int w = 0; w < kThreads; ++w) EXPECT_EQ(mismatches[w], 0);
+}
+
+TEST_F(EngineTest, ValidateConfigRejectsBadSettings) {
+  ModelConfig config = TestConfig();
+  config.n_context_size = 0;
+  EXPECT_FALSE(engine::ValidateConfig(config).ok());
+  config = TestConfig();
+  config.knn.k = 0;
+  EXPECT_FALSE(engine::ValidateConfig(config).ok());
+  config = TestConfig();
+  config.measures = {"no_such_measure"};
+  EXPECT_FALSE(engine::ValidateConfig(config).ok());
+  config = TestConfig();
+  config.measures.clear();
+  EXPECT_FALSE(engine::ValidateConfig(config).ok());
+  config = TestConfig();
+  config.distance.display_weight = 1.5;
+  EXPECT_FALSE(engine::ValidateConfig(config).ok());
+  EXPECT_TRUE(engine::ValidateConfig(TestConfig()).ok());
+}
+
+TEST_F(EngineTest, PredictorRejectsOutOfRangeLabels) {
+  std::vector<TrainingSample> samples = model_->samples();
+  samples[0].label = 99;  // outside the 4-measure label space
+  engine::TrainedModel broken(model_->config(), std::move(samples));
+  auto served = engine::Predictor::Load(std::move(broken));
+  EXPECT_FALSE(served.ok());
+}
+
+TEST_F(EngineTest, EmptyModelRoundTripsAndAbstains) {
+  engine::TrainedModel empty(TestConfig(), {});
+  auto loaded = engine::TrainedModel::Deserialize(empty.Serialize());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->empty());
+  auto served = engine::Predictor::Load(std::move(*loaded));
+  ASSERT_TRUE(served.ok());
+  Prediction p = served->Predict(queries_->front());
+  EXPECT_FALSE(p.HasPrediction());
+}
+
+}  // namespace
+}  // namespace ida

@@ -10,7 +10,7 @@
 #include "offline/findings.h"
 #include "offline/labeling.h"
 #include "offline/training.h"
-#include "predict/config.h"
+#include "engine/config.h"
 #include "synth/generator.h"
 
 namespace ida {
@@ -40,10 +40,7 @@ class IntegrationTest : public ::testing::Test {
     ASSERT_TRUE(labeled.ok());
     labeled_ = new std::vector<LabeledStep>(std::move(*labeled));
 
-    TrainingSetOptions ts;
-    ts.n_context_size = 3;
-    ts.theta_interest = -100.0;
-    auto train = BuildTrainingSetFromLabels(*repo_, *labeled_, ts);
+    auto train = BuildTrainingSetFromLabels(*repo_, *labeled_, 3, -100.0);
     ASSERT_TRUE(train.ok());
     ASSERT_GT(train->size(), 50u);
     train_ = new std::vector<TrainingSample>(std::move(*train));

@@ -42,11 +42,9 @@ NormalizedLabeler* TrainingTest::labeler_ = nullptr;
 std::vector<LabeledStep>* TrainingTest::labeled_ = nullptr;
 
 TEST_F(TrainingTest, BuildsSamplesForSuccessfulSessions) {
-  TrainingSetOptions options;
-  options.n_context_size = 3;
-  options.theta_interest = -100.0;  // keep everything
   TrainingSetStats stats;
-  auto samples = BuildTrainingSet(*repo_, labeler_, options, &stats);
+  // n = 3, theta_I = -100 (keep everything).
+  auto samples = BuildTrainingSet(*repo_, labeler_, 3, -100.0, {}, &stats);
   ASSERT_TRUE(samples.ok());
   size_t successful_states = 0;
   for (const auto& tree : repo_->trees()) {
@@ -66,11 +64,8 @@ TEST_F(TrainingTest, BuildsSamplesForSuccessfulSessions) {
 }
 
 TEST_F(TrainingTest, ThetaFilterDropsWeakSamples) {
-  TrainingSetOptions loose, strict;
-  loose.theta_interest = -100.0;
-  strict.theta_interest = 1.5;  // standard deviations
-  auto all = BuildTrainingSet(*repo_, labeler_, loose);
-  auto filtered = BuildTrainingSet(*repo_, labeler_, strict);
+  auto all = BuildTrainingSet(*repo_, labeler_, 3, -100.0);
+  auto filtered = BuildTrainingSet(*repo_, labeler_, 3, 1.5);  // std devs
   ASSERT_TRUE(all.ok());
   ASSERT_TRUE(filtered.ok());
   EXPECT_LT(filtered->size(), all->size());
@@ -81,11 +76,10 @@ TEST_F(TrainingTest, ThetaFilterDropsWeakSamples) {
 
 TEST_F(TrainingTest, SuccessfulOnlyToggle) {
   TrainingSetOptions options;
-  options.theta_interest = -100.0;
   options.successful_only = false;
-  auto all_sessions = BuildTrainingSet(*repo_, labeler_, options);
+  auto all_sessions = BuildTrainingSet(*repo_, labeler_, 3, -100.0, options);
   options.successful_only = true;
-  auto successful = BuildTrainingSet(*repo_, labeler_, options);
+  auto successful = BuildTrainingSet(*repo_, labeler_, 3, -100.0, options);
   ASSERT_TRUE(all_sessions.ok());
   ASSERT_TRUE(successful.ok());
   EXPECT_GE(all_sessions->size(), successful->size());
@@ -93,12 +87,8 @@ TEST_F(TrainingTest, SuccessfulOnlyToggle) {
 }
 
 TEST_F(TrainingTest, FromLabelsMatchesDirectConstruction) {
-  TrainingSetOptions options;
-  options.n_context_size = 2;
-  options.theta_interest = 0.3;
-  auto direct = BuildTrainingSet(*repo_, labeler_, options);
-  auto from_labels =
-      BuildTrainingSetFromLabels(*repo_, *labeled_, options);
+  auto direct = BuildTrainingSet(*repo_, labeler_, 2, 0.3);
+  auto from_labels = BuildTrainingSetFromLabels(*repo_, *labeled_, 2, 0.3);
   ASSERT_TRUE(direct.ok());
   ASSERT_TRUE(from_labels.ok());
   ASSERT_EQ(direct->size(), from_labels->size());
@@ -112,10 +102,9 @@ TEST_F(TrainingTest, FromLabelsMatchesDirectConstruction) {
 
 TEST_F(TrainingTest, MergeIdenticalUnanimity) {
   TrainingSetOptions options;
-  options.n_context_size = 1;  // single-display contexts collide often
-  options.theta_interest = -100.0;
   options.merge_identical = true;
-  auto merged = BuildTrainingSet(*repo_, labeler_, options);
+  // n = 1: single-display contexts collide often.
+  auto merged = BuildTrainingSet(*repo_, labeler_, 1, -100.0, options);
   ASSERT_TRUE(merged.ok());
   // After merging, identical fingerprints carry identical labels.
   std::map<std::string, int> label_of;
@@ -131,24 +120,24 @@ TEST_F(TrainingTest, MergeIdenticalUnanimity) {
 }
 
 TEST_F(TrainingTest, RejectsBadContextSize) {
-  TrainingSetOptions options;
-  options.n_context_size = 0;
-  EXPECT_FALSE(BuildTrainingSet(*repo_, labeler_, options).ok());
-  EXPECT_FALSE(BuildTrainingSetFromLabels(*repo_, *labeled_, options).ok());
+  EXPECT_FALSE(BuildTrainingSet(*repo_, labeler_, 0, 0.0).ok());
+  EXPECT_FALSE(BuildTrainingSetFromLabels(*repo_, *labeled_, 0, 0.0).ok());
 }
 
 TEST_F(TrainingTest, FromLabelsValidatesProvenance) {
   TrainingSetOptions options;
   std::vector<LabeledStep> bogus = *labeled_;
   bogus[0].tree_index = 10000;
-  EXPECT_FALSE(BuildTrainingSetFromLabels(*repo_, bogus, options).ok());
+  EXPECT_FALSE(
+      BuildTrainingSetFromLabels(*repo_, bogus, 3, 0.0, options).ok());
   bogus = *labeled_;
   bogus[0].step = 10000;
   // Step out of range on a successful tree errors; on a skipped
   // (unsuccessful) tree it is ignored. Force successful_only=false to
   // exercise the check deterministically.
   options.successful_only = false;
-  EXPECT_FALSE(BuildTrainingSetFromLabels(*repo_, bogus, options).ok());
+  EXPECT_FALSE(
+      BuildTrainingSetFromLabels(*repo_, bogus, 3, 0.0, options).ok());
 }
 
 }  // namespace
