@@ -1,0 +1,114 @@
+// Measures the serving-path cost of the observability layer (DESIGN.md
+// §10's < 2% budget): the same trained model is served by two Predictors —
+// one with observability disabled, one recording into a private
+// MetricsRegistry — and the single-query Predict loop is timed for both,
+// interleaved across several trials (min-of-trials per config, so OS
+// scheduling noise inflates neither side). One JSON line per config plus a
+// final verdict line with the measured overhead against the 2% budget.
+//
+// Under an IDA_OBS=OFF build both configs run the uninstrumented path and
+// the overhead is ~0 by construction.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/obs.h"
+#include "synth/generator.h"
+
+namespace ida {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kTrials = 7;
+constexpr size_t kRoundsPerTrial = 4;
+constexpr double kBudgetPct = 2.0;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// One timed pass: every query once, `rounds` times.
+double TimePass(const engine::Predictor& served,
+                const std::vector<NContext>& queries, size_t rounds) {
+  auto start = Clock::now();
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const NContext& q : queries) served.Predict(q);
+  }
+  return SecondsSince(start);
+}
+
+void Emit(const char* config, double seconds, size_t queries) {
+  std::printf(
+      "{\"bench\":\"obs_overhead\",\"config\":\"%s\",\"seconds\":%.6f,"
+      "\"queries\":%zu,\"per_query_us\":%.2f}\n",
+      config, seconds, queries,
+      queries > 0 ? seconds * 1e6 / static_cast<double>(queries) : 0.0);
+  std::fflush(stdout);
+}
+
+void Run() {
+  GeneratorOptions options;
+  options.num_users = 12;
+  options.num_sessions = 120;
+  options.rows_per_dataset = 1200;
+  options.seed = 99;
+  auto bench = GenerateBenchmark(options);
+  if (!bench.ok()) std::exit(1);
+
+  ModelConfig config = DefaultNormalizedConfig();
+  config.n_context_size = 3;
+  config.theta_interest = -1e300;  // keep every state: serving-scale model
+  engine::Trainer trainer(config, obs::DisabledObsConfig());
+  auto model = trainer.Fit(bench->log, bench->registry);
+  if (!model.ok()) std::exit(1);
+
+  // The two serving handles under test share the trained model.
+  auto off = engine::Predictor::Load(*model, obs::DisabledObsConfig());
+  if (!off.ok()) std::exit(1);
+  obs::MetricsRegistry registry;  // private, so the cost of real atomics
+  obs::ObsConfig obs_on;          // is measured without polluting Default()
+  obs_on.registry = &registry;
+  auto on = engine::Predictor::Load(*model, obs_on);
+  if (!on.ok()) std::exit(1);
+
+  std::vector<NContext> queries;
+  for (size_t i = 0; i < 16 && i < model->size(); ++i) {
+    queries.push_back(model->samples()[i * 7 % model->size()].context);
+  }
+  const size_t queries_per_pass = kRoundsPerTrial * queries.size();
+
+  // Warm both handles so the display caches reach steady state (as in a
+  // long-lived serving process), then interleave timed passes.
+  TimePass(*off, queries, 1);
+  TimePass(*on, queries, 1);
+  double best_off = std::numeric_limits<double>::infinity();
+  double best_on = std::numeric_limits<double>::infinity();
+  for (size_t trial = 0; trial < kTrials; ++trial) {
+    best_off = std::min(best_off, TimePass(*off, queries, kRoundsPerTrial));
+    best_on = std::min(best_on, TimePass(*on, queries, kRoundsPerTrial));
+  }
+  Emit("obs_disabled", best_off, queries_per_pass);
+  Emit("obs_enabled", best_on, queries_per_pass);
+
+  const double overhead_pct = (best_on / best_off - 1.0) * 100.0;
+  const uint64_t recorded =
+      registry.GetCounter("ida.engine.predict.count")->value();
+  std::printf(
+      "{\"bench\":\"obs_overhead\",\"config\":\"verdict\","
+      "\"overhead_pct\":%.3f,\"budget_pct\":%.1f,\"within_budget\":%s,"
+      "\"predictions_recorded\":%llu}\n",
+      overhead_pct, kBudgetPct, overhead_pct < kBudgetPct ? "true" : "false",
+      static_cast<unsigned long long>(recorded));
+}
+
+}  // namespace
+}  // namespace ida
+
+int main() {
+  ida::Run();
+  return 0;
+}

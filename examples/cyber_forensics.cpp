@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "actions/executor.h"
+#include "example_util.h"
 #include "measures/measure.h"
 #include "offline/comparison.h"
 #include "session/tree.h"
@@ -30,7 +31,9 @@ void ShowScores(const MeasureSet& measures, const Display& d,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      examples::ParseMetricsJsonFlag(argc, argv);
   // The network log hiding a malware beacon (two rare C2 addresses
   // receiving tiny periodic HTTP packets after business hours).
   SynthDataset dataset =
@@ -102,5 +105,6 @@ int main() {
   }
   std::printf("\nNo single measure crowns every step — exactly the "
               "phenomenon the predictive model exploits.\n");
+  if (!examples::MaybeWriteMetricsJson(metrics_path)) return 1;
   return 0;
 }

@@ -1,0 +1,55 @@
+// Shared flag handling for the example binaries. Every example accepts
+//
+//   --metrics-json <path>   (or --metrics-json=<path>)
+//
+// and, when given, writes a JSON snapshot of the process-wide metrics
+// registry to that path just before exiting — the smallest end-to-end
+// demonstration of the observability layer (DESIGN.md §10). Under an
+// IDA_OBS=OFF build the flag still parses but the snapshot is empty.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace ida::examples {
+
+/// Parses `--metrics-json <path>` (or `--metrics-json=<path>`) out of
+/// argv. Returns the path, or an empty string when the flag is absent.
+/// Prints usage and exits with status 2 on a malformed flag.
+inline std::string ParseMetricsJsonFlag(int argc, char** argv) {
+  constexpr const char kPrefix[] = "--metrics-json=";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--metrics-json <path>]\n", argv[0]);
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+    if (std::strncmp(arg, kPrefix, sizeof(kPrefix) - 1) == 0) {
+      return arg + (sizeof(kPrefix) - 1);
+    }
+  }
+  return {};
+}
+
+/// Writes the Default() registry's JSON snapshot to `path`; no-op on an
+/// empty path (flag absent). Returns false and prints the status when the
+/// write fails.
+inline bool MaybeWriteMetricsJson(const std::string& path) {
+  if (path.empty()) return true;
+  Status st = obs::WriteMetricsJson(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "metrics-json: %s\n", st.ToString().c_str());
+    return false;
+  }
+  std::printf("\nwrote metrics snapshot to %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace ida::examples

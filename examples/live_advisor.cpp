@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "example_util.h"
 #include "synth/generator.h"
 
 using namespace ida;  // NOLINT — example code
@@ -49,7 +50,9 @@ std::vector<Action> CandidateActions(const Display& d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      examples::ParseMetricsJsonFlag(argc, argv);
   GeneratorOptions options;
   options.num_users = 16;
   options.num_sessions = 140;
@@ -125,5 +128,6 @@ int main() {
   }
   std::printf("session %s the planted exfiltration event.\n",
               session->successful() ? "revealed" : "did not reveal");
+  if (!examples::MaybeWriteMetricsJson(metrics_path)) return 1;
   return 0;
 }

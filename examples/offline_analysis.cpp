@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "example_util.h"
 #include "offline/findings.h"
 #include "synth/generator.h"
 
 using namespace ida;  // NOLINT — example code
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      examples::ParseMetricsJsonFlag(argc, argv);
   GeneratorOptions options;
   options.num_users = 16;
   options.num_sessions = 120;
@@ -88,5 +91,6 @@ int main() {
               agreement->chi_square.statistic, agreement->chi_square.p_value,
               agreement->chi_square.p_value < 0.01 ? "highly correlated"
                                                    : "independent");
+  if (!examples::MaybeWriteMetricsJson(metrics_path)) return 1;
   return 0;
 }

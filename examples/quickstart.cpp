@@ -7,12 +7,15 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "example_util.h"
 #include "offline/findings.h"
 #include "synth/generator.h"
 
 using namespace ida;  // NOLINT — example code
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      examples::ParseMetricsJsonFlag(argc, argv);
   // 1. Generate a REACT-IDA-shaped benchmark (small preset for speed).
   GeneratorOptions gen_options;
   gen_options.num_users = 16;
@@ -107,5 +110,6 @@ int main() {
   }
   std::printf("batch over the probe session: %zu/%zu states predicted\n",
               answered, batch.size());
+  if (!examples::MaybeWriteMetricsJson(metrics_path)) return 1;
   return 0;
 }

@@ -210,6 +210,7 @@ double TableDistance(const FlatContext& a, const FlatContext& b,
   if (a.empty() || b.empty()) {
     ted = options.indel_cost * static_cast<double>(a.size() + b.size());
   } else {
+    IDA_OBS_TALLY(++ws->tally.ted_calls);
     const double* alter = g.alter.data();
     const size_t w = g.num_nodes;
     ted = ZhangShashaCompute(
@@ -243,8 +244,12 @@ FlatContext SessionDistance::Prepare(const NContext& ctx) {
 }
 
 void TedWorkspace::Reserve(size_t n, size_t m) {
+  const bool grew =
+      treedist_.size() < n * m || fd_.size() < (n + 1) * (m + 1);
   if (treedist_.size() < n * m) treedist_.resize(n * m);
   if (fd_.size() < (n + 1) * (m + 1)) fd_.resize((n + 1) * (m + 1));
+  IDA_OBS_TALLY(grew ? ++tally.workspace_grows : ++tally.workspace_reuses);
+  (void)grew;
 }
 
 double SessionDistance::TreeEditDistance(const FlatContext& ta,
@@ -253,6 +258,7 @@ double SessionDistance::TreeEditDistance(const FlatContext& ta,
   if (ta.empty() && tb.empty()) return 0.0;
   if (ta.empty()) return options_.indel_cost * static_cast<double>(tb.size());
   if (tb.empty()) return options_.indel_cost * static_cast<double>(ta.size());
+  IDA_OBS_TALLY(++ws->tally.ted_calls);
   const double dw = options_.display_weight;
   const FlatContext::Node* an = ta.post.data();
   const FlatContext::Node* bn = tb.post.data();
@@ -287,7 +293,10 @@ double SessionDistance::CachedDisplayDistance(const Display* a,
     ws->cache_owner_ = cache_.get();
   }
   auto [it, inserted] = ws->display_memo_.try_emplace(key, 0.0);
-  if (!inserted) return it->second;
+  if (!inserted) {
+    IDA_OBS_TALLY(++ws->tally.display_l1_hits);
+    return it->second;
+  }
 
   DisplayCacheShard& shard =
       (*cache_)[internal::DisplayPairHash{}(key) % kCacheShards];
@@ -295,10 +304,12 @@ double SessionDistance::CachedDisplayDistance(const Display* a,
     std::lock_guard<std::mutex> lock(shard.mu);
     auto sit = shard.map.find(key);
     if (sit != shard.map.end()) {
+      IDA_OBS_TALLY(++ws->tally.display_shared_hits);
       it->second = sit->second;
       return it->second;
     }
   }
+  IDA_OBS_TALLY(++ws->tally.display_computes);
   // Compute outside the lock (a racing thread may duplicate the work but
   // arrives at the identical value: the arguments are canonically
   // ordered, so the result never depends on scheduling).
@@ -338,9 +349,37 @@ size_t SessionDistance::cache_size() const {
   return total;
 }
 
+void FlushTedTally(const TedTally& tally, const obs::ObsConfig& obs) {
+  if (!obs.metrics_on()) return;
+  obs::MetricsRegistry& reg = obs.reg();
+  if (tally.ted_calls > 0) {
+    reg.GetCounter("ida.distance.ted.calls")->Add(tally.ted_calls);
+  }
+  if (tally.display_l1_hits > 0) {
+    reg.GetCounter("ida.distance.display_cache.l1_hits")
+        ->Add(tally.display_l1_hits);
+  }
+  if (tally.display_shared_hits > 0) {
+    reg.GetCounter("ida.distance.display_cache.shared_hits")
+        ->Add(tally.display_shared_hits);
+  }
+  if (tally.display_computes > 0) {
+    reg.GetCounter("ida.distance.display_cache.computes")
+        ->Add(tally.display_computes);
+  }
+  if (tally.workspace_grows > 0) {
+    reg.GetCounter("ida.distance.workspace.grows")
+        ->Add(tally.workspace_grows);
+  }
+  if (tally.workspace_reuses > 0) {
+    reg.GetCounter("ida.distance.workspace.reuses")
+        ->Add(tally.workspace_reuses);
+  }
+}
+
 std::vector<std::vector<double>> BuildDistanceMatrix(
     const std::vector<NContext>& contexts, const SessionDistance& metric,
-    ThreadPool* pool) {
+    ThreadPool* pool, const obs::ObsConfig& obs) {
   const size_t n = contexts.size();
   std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
   if (n < 2) return d;
@@ -362,12 +401,19 @@ std::vector<std::vector<double>> BuildDistanceMatrix(
     pool = owned.get();
   }
   std::vector<TedWorkspace> scratch(static_cast<size_t>(pool->num_threads()));
+  // Per-worker wall time for the `ida.distance.matrix.worker_seconds`
+  // histogram: each slot is written only by its worker (the clock reads
+  // are skipped entirely when metrics are off).
+  const bool timed = obs.metrics_on();
+  std::vector<double> worker_seconds(scratch.size(), 0.0);
   // Upper-triangle rows, dynamically chunked: early rows carry more
   // pairs, so late chunks rebalance onto whichever worker frees up first.
   // Each (i, j) cell is written by exactly one worker.
   pool->ParallelFor(
       n - 1, /*chunk=*/2, [&](size_t begin, size_t end, int worker) {
         TedWorkspace& ws = scratch[static_cast<size_t>(worker)];
+        const obs::TracePoint chunk_start =
+            timed ? obs::TraceNow() : obs::TracePoint();
         for (size_t i = begin; i < end; ++i) {
           double* row = d[i].data();
           if (tables.valid) {
@@ -383,9 +429,30 @@ std::vector<std::vector<double>> BuildDistanceMatrix(
             }
           }
         }
+        if (timed) {
+          worker_seconds[static_cast<size_t>(worker)] +=
+              obs::SecondsSince(chunk_start);
+        }
       });
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
+  }
+
+  if (timed) {
+    obs::MetricsRegistry& reg = obs.reg();
+    reg.GetCounter("ida.distance.matrix.builds")->Increment();
+    reg.GetCounter("ida.distance.matrix.contexts")->Add(n);
+    reg.GetCounter("ida.distance.matrix.pairs")->Add(n * (n - 1) / 2);
+    reg.GetCounter(tables.valid ? "ida.distance.matrix.dense_builds"
+                                : "ida.distance.matrix.fallback_builds")
+        ->Increment();
+    obs::Histogram* shard_hist =
+        reg.GetHistogram("ida.distance.matrix.worker_seconds");
+    for (size_t w = 0; w < worker_seconds.size(); ++w) {
+      if (worker_seconds[w] > 0.0) shard_hist->Observe(worker_seconds[w]);
+    }
+    FlushTedTally(prepare_ws.tally, obs);
+    for (const TedWorkspace& ws : scratch) FlushTedTally(ws.tally, obs);
   }
   return d;
 }

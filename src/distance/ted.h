@@ -13,12 +13,14 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "session/ncontext.h"
 
 namespace ida {
@@ -84,6 +86,37 @@ struct FlatContext {
   bool empty() const { return post.empty(); }
 };
 
+/// Plain (non-atomic) per-workspace event tallies for the observability
+/// layer (DESIGN.md §10): the distance engine's hot loops bump these
+/// thread-local integers for free, and batch-level callers
+/// (BuildDistanceMatrix, IKnnClassifier via PredictStats) flush the deltas
+/// into atomic `ida.distance.*` counters once per batch. All increments
+/// compile away under IDA_OBS=OFF; the struct itself always exists so the
+/// API is mode-independent.
+struct TedTally {
+  uint64_t ted_calls = 0;            ///< Zhang–Shasha DP executions
+  uint64_t display_l1_hits = 0;      ///< display pairs served by the L1 memo
+  uint64_t display_shared_hits = 0;  ///< ... by the shared sharded cache
+  uint64_t display_computes = 0;     ///< ... computed from scratch
+  uint64_t workspace_grows = 0;      ///< Reserve calls that reallocated
+  uint64_t workspace_reuses = 0;     ///< Reserve calls served from capacity
+
+  void Clear() { *this = TedTally(); }
+
+  /// Field-wise difference against an earlier snapshot of the same
+  /// workspace's tally (for flushing per-query deltas).
+  TedTally Since(const TedTally& earlier) const {
+    TedTally d;
+    d.ted_calls = ted_calls - earlier.ted_calls;
+    d.display_l1_hits = display_l1_hits - earlier.display_l1_hits;
+    d.display_shared_hits = display_shared_hits - earlier.display_shared_hits;
+    d.display_computes = display_computes - earlier.display_computes;
+    d.workspace_grows = workspace_grows - earlier.workspace_grows;
+    d.workspace_reuses = workspace_reuses - earlier.workspace_reuses;
+    return d;
+  }
+};
+
 /// Reusable per-thread scratch for the compute phase: flat row-major
 /// tree-distance and forest-distance tables (grow-only, recycled across
 /// pairs) plus a lock-free L1 memo of display-pair distances in front of
@@ -96,6 +129,9 @@ class TedWorkspace {
 
   double* treedist() { return treedist_.data(); }
   double* fd() { return fd_.data(); }
+
+  /// Event tallies since the last Clear (observability; see TedTally).
+  TedTally tally;
 
  private:
   friend class SessionDistance;
@@ -189,8 +225,19 @@ class SessionDistance {
 /// workspace per worker) and mirrored. Output is independent of the
 /// thread count. When `pool` is given it is used instead of creating one
 /// (its size then overrides the options knob).
+///
+/// Observability: when `obs` is active, records `ida.distance.matrix.*`
+/// counters (builds, pairs, dense-table vs fallback mode), per-worker wall
+/// times into the `ida.distance.matrix.worker_seconds` histogram, and
+/// flushes the workers' TedTally deltas into `ida.distance.*`.
 std::vector<std::vector<double>> BuildDistanceMatrix(
     const std::vector<NContext>& contexts, const SessionDistance& metric,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, const obs::ObsConfig& obs = {});
+
+/// Adds a tally delta onto the `ida.distance.*` counters of `obs`'s
+/// registry (ted.calls, display_cache.{l1_hits,shared_hits,computes},
+/// workspace.{grows,reuses}). No-op when `obs` has metrics off or the
+/// tally is all zeros. Thread-safe (counter adds are atomic).
+void FlushTedTally(const TedTally& tally, const obs::ObsConfig& obs);
 
 }  // namespace ida

@@ -71,7 +71,13 @@ Result<std::unique_ptr<ActionLabeler>> MakeLabeler(
 Result<TrainedModel> Trainer::Fit(const SessionLog& log,
                                   const DatasetRegistry& datasets,
                                   TrainReport* report) const {
+  obs::ScopedTimer replay_timer(
+      obs_, "fit.replay",
+      obs_.metrics_on()
+          ? obs_.reg().GetHistogram("ida.engine.fit.replay_seconds")
+          : nullptr);
   IDA_ASSIGN_OR_RETURN(ReplayedRepository repo, Replay(log, datasets));
+  replay_timer.Stop();
   return Fit(repo, report);
 }
 
@@ -85,23 +91,76 @@ Result<TrainedModel> Trainer::Fit(const ReplayedRepository& repo,
 
   IDA_ASSIGN_OR_RETURN(std::unique_ptr<ActionLabeler> labeler,
                        MakeLabeler(config_, repo));
+  obs::ScopedTimer label_timer(
+      obs_, "fit.label",
+      obs_.metrics_on()
+          ? obs_.reg().GetHistogram("ida.engine.fit.label_seconds")
+          : nullptr);
   auto label_start = std::chrono::steady_clock::now();
   IDA_ASSIGN_OR_RETURN(std::vector<LabeledStep> labeled,
                        LabelRepository(repo, labeler.get()));
+  label_timer.Stop();
   local.label_seconds = SecondsSince(label_start);
   local.steps_labeled = labeled.size();
 
+  obs::ScopedTimer build_timer(
+      obs_, "fit.build_training_set",
+      obs_.metrics_on()
+          ? obs_.reg().GetHistogram("ida.engine.fit.build_seconds")
+          : nullptr);
   IDA_ASSIGN_OR_RETURN(
       std::vector<TrainingSample> samples,
       BuildTrainingSetFromLabels(repo, labeled, config_.n_context_size,
                                  config_.theta_interest, config_.training,
                                  &local.training));
+  build_timer.Stop();
   local.total_seconds = SecondsSince(start);
   if (report != nullptr) *report = local;
+
+  if (obs_.metrics_on()) {
+    obs::MetricsRegistry& reg = obs_.reg();
+    reg.GetCounter("ida.engine.fit.count")->Increment();
+    reg.GetCounter("ida.engine.fit.sessions_replayed")
+        ->Add(local.sessions_replayed);
+    reg.GetCounter("ida.engine.fit.failed_replays")
+        ->Add(local.failed_replays);
+    reg.GetCounter("ida.engine.fit.steps_labeled")->Add(local.steps_labeled);
+    reg.GetCounter("ida.engine.fit.samples")->Add(samples.size());
+    reg.GetCounter("ida.engine.fit.filtered_by_theta")
+        ->Add(local.training.filtered_by_theta);
+    reg.GetHistogram("ida.engine.fit.seconds")->Observe(local.total_seconds);
+  }
   return TrainedModel(config_, std::move(samples));
 }
 
-Result<Predictor> Predictor::Load(TrainedModel model) {
+Predictor::Predictor(ModelConfig config, MeasureSet measures,
+                     std::shared_ptr<const IKnnClassifier> knn,
+                     obs::ObsConfig obs)
+    : config_(std::move(config)),
+      measures_(std::move(measures)),
+      knn_(std::move(knn)),
+      obs_(obs) {
+  if (obs_.metrics_on()) {
+    obs::MetricsRegistry& reg = obs_.reg();
+    metrics_.predictions = reg.GetCounter("ida.engine.predict.count");
+    metrics_.abstentions = reg.GetCounter("ida.engine.predict.abstentions");
+    metrics_.batch_calls = reg.GetCounter("ida.engine.predict.batch_calls");
+    metrics_.distance_evals =
+        reg.GetCounter("ida.engine.predict.distance_evals");
+    metrics_.latency = reg.GetHistogram("ida.engine.predict.seconds");
+    metrics_.prepare_seconds =
+        reg.GetHistogram("ida.engine.predict.prepare_seconds");
+    metrics_.distance_seconds =
+        reg.GetHistogram("ida.engine.predict.distance_seconds");
+    metrics_.vote_seconds =
+        reg.GetHistogram("ida.engine.predict.vote_seconds");
+    metrics_.nearest_distance = reg.GetHistogram(
+        "ida.engine.predict.nearest_distance",
+        obs::LinearBuckets(0.05, 0.05, 20));
+  }
+}
+
+Result<Predictor> Predictor::Load(TrainedModel model, obs::ObsConfig obs) {
   IDA_RETURN_NOT_OK(ValidateConfig(model.config()));
   IDA_ASSIGN_OR_RETURN(MeasureSet measures,
                        ResolveMeasures(model.config().measures));
@@ -118,47 +177,145 @@ Result<Predictor> Predictor::Load(TrainedModel model) {
   auto knn = std::make_shared<const IKnnClassifier>(
       std::vector<TrainingSample>(model.samples()),
       SessionDistance(config.distance), config.knn);
-  return Predictor(std::move(config), std::move(measures), std::move(knn));
+  return Predictor(std::move(config), std::move(measures), std::move(knn),
+                   obs);
 }
 
-Result<Predictor> Predictor::LoadFromFile(const std::string& path) {
+Result<Predictor> Predictor::LoadFromFile(const std::string& path,
+                                          obs::ObsConfig obs) {
+  obs::ScopedTimer timer(
+      obs, "model.load",
+      obs.metrics_on()
+          ? obs.reg().GetHistogram("ida.engine.model.load_seconds")
+          : nullptr);
   IDA_ASSIGN_OR_RETURN(TrainedModel model, TrainedModel::LoadFromFile(path));
-  return Load(std::move(model));
+  if (obs.metrics_on()) {
+    obs.reg().GetCounter("ida.engine.model.loads")->Increment();
+    obs.reg().GetCounter("ida.engine.model.load_samples")
+        ->Add(model.size());
+  }
+  return Load(std::move(model), obs);
+}
+
+void Predictor::RecordPredict(const Prediction& p, const PredictStats& stats,
+                              double start, double total_seconds) const {
+  if (obs_.metrics_on()) {
+    metrics_.predictions->Increment();
+    if (!p.HasPrediction()) metrics_.abstentions->Increment();
+    metrics_.distance_evals->Add(stats.distance_evals);
+    metrics_.latency->Observe(total_seconds);
+    metrics_.prepare_seconds->Observe(stats.prepare_seconds);
+    metrics_.distance_seconds->Observe(stats.distance_seconds);
+    metrics_.vote_seconds->Observe(stats.vote_seconds);
+    if (stats.nearest_distance >= 0.0) {
+      metrics_.nearest_distance->Observe(stats.nearest_distance);
+    }
+    FlushTedTally(stats.ted, obs_);
+  }
+  if (obs_.trace_on()) {
+    double at = start;
+    obs_.EmitSpan("predict.prepare", at, stats.prepare_seconds);
+    at += stats.prepare_seconds;
+    obs_.EmitSpan("predict.distance", at, stats.distance_seconds,
+                  std::to_string(stats.distance_evals) + " evals");
+    at += stats.distance_seconds;
+    obs_.EmitSpan(
+        "predict.vote", at, stats.vote_seconds,
+        p.HasPrediction()
+            ? "label=" + std::to_string(p.label) +
+                  " admitted=" + std::to_string(stats.admitted_neighbors)
+            : "abstained: nearest " +
+                  std::to_string(stats.nearest_distance) + " > theta_delta " +
+                  std::to_string(config_.knn.distance_threshold));
+  }
 }
 
 Prediction Predictor::Predict(const NContext& query) const {
-  return knn_->Predict(query);
+  if (!obs_.metrics_on() && !obs_.trace_on()) return knn_->Predict(query);
+  const double start = obs::ProcessSeconds();
+  const obs::TracePoint t0 = obs::TraceNow();
+  PredictStats stats;
+  Prediction p = knn_->Predict(query, &stats);
+  RecordPredict(p, stats, start, obs::SecondsSince(t0));
+  return p;
 }
 
 std::vector<Prediction> Predictor::PredictBatch(
     const std::vector<NContext>& queries) const {
-  return knn_->PredictBatch(queries);
+  if (!obs_.metrics_on() && !obs_.trace_on()) {
+    return knn_->PredictBatch(queries);
+  }
+  const double start = obs::ProcessSeconds();
+  const obs::TracePoint t0 = obs::TraceNow();
+  std::vector<PredictStats> stats;
+  std::vector<Prediction> out = knn_->PredictBatch(queries, &stats);
+  const double seconds = obs::SecondsSince(t0);
+  if (obs_.metrics_on()) {
+    metrics_.batch_calls->Increment();
+    metrics_.predictions->Add(out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (!out[i].HasPrediction()) metrics_.abstentions->Increment();
+      metrics_.distance_evals->Add(stats[i].distance_evals);
+      metrics_.distance_seconds->Observe(stats[i].distance_seconds);
+      metrics_.vote_seconds->Observe(stats[i].vote_seconds);
+      if (stats[i].nearest_distance >= 0.0) {
+        metrics_.nearest_distance->Observe(stats[i].nearest_distance);
+      }
+      FlushTedTally(stats[i].ted, obs_);
+    }
+  }
+  obs_.EmitSpan("predict.batch", start, seconds,
+                std::to_string(queries.size()) + " queries");
+  return out;
 }
 
 Prediction Predictor::PredictState(const SessionTree& tree, int t) const {
-  return Predict(ExtractNContext(tree, t, config_.n_context_size));
+  if (!obs_.trace_on()) {
+    return Predict(ExtractNContext(tree, t, config_.n_context_size));
+  }
+  obs::ScopedTimer extract_timer(obs_, "predict.extract");
+  NContext context = ExtractNContext(tree, t, config_.n_context_size);
+  extract_timer.Stop();
+  return Predict(context);
 }
 
 Result<EvaluationReport> EvaluateLoocv(const TrainedModel& model,
-                                       uint64_t random_seed) {
+                                       uint64_t random_seed,
+                                       const obs::ObsConfig& obs) {
   IDA_RETURN_NOT_OK(ValidateConfig(model.config()));
   const ModelConfig& config = model.config();
   const std::vector<TrainingSample>& samples = model.samples();
   const int num_classes = static_cast<int>(config.measures.size());
+  obs::ScopedTimer total_timer(
+      obs, nullptr,
+      obs.metrics_on() ? obs.reg().GetHistogram("ida.engine.loocv.seconds")
+                       : nullptr);
 
   std::vector<NContext> contexts;
   contexts.reserve(samples.size());
   for (const TrainingSample& s : samples) contexts.push_back(s.context);
   SessionDistance metric(config.distance);
-  std::vector<std::vector<double>> dist = BuildDistanceMatrix(contexts, metric);
+  obs::ScopedTimer matrix_timer(obs, "loocv.distance_matrix");
+  std::vector<std::vector<double>> dist =
+      BuildDistanceMatrix(contexts, metric, nullptr, obs);
+  matrix_timer.Stop();
 
   EvaluationReport report;
   report.samples = samples.size();
   std::vector<size_t> subset = AllIndices(samples.size());
+  obs::ScopedTimer knn_timer(obs, "loocv.knn");
   report.knn = EvaluateKnnLoocv(samples, dist, subset, config.knn, num_classes,
                                 config.distance.num_threads);
+  knn_timer.Stop();
+  obs::ScopedTimer baseline_timer(obs, "loocv.baselines");
   report.best_sm = EvaluateBestSmLoocv(samples, subset, num_classes);
   report.random = EvaluateRandom(samples, subset, num_classes, random_seed);
+  baseline_timer.Stop();
+
+  if (obs.metrics_on()) {
+    obs.reg().GetCounter("ida.engine.loocv.runs")->Increment();
+    obs.reg().GetCounter("ida.engine.loocv.samples")->Add(samples.size());
+  }
   return report;
 }
 

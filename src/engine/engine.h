@@ -23,6 +23,7 @@
 #include "engine/model.h"
 #include "eval/metrics.h"
 #include "measures/measure.h"
+#include "obs/obs.h"
 #include "offline/labeling.h"
 #include "predict/knn.h"
 #include "session/log.h"
@@ -60,9 +61,16 @@ struct TrainReport {
 /// The offline phase: log -> replay -> label -> training set, under one
 /// configuration. Stateless apart from the config; Fit may be called
 /// repeatedly.
+///
+/// Observability (`obs`, optional): when metrics are on, each Fit records
+/// the `ida.engine.fit.*` counters and timing histograms; when a trace
+/// sink is attached, each Fit emits one span per offline phase
+/// ("fit.replay", "fit.label", "fit.build_training_set"). The configured
+/// registry/sink must outlive the Trainer.
 class Trainer {
  public:
-  explicit Trainer(ModelConfig config) : config_(std::move(config)) {}
+  explicit Trainer(ModelConfig config, obs::ObsConfig obs = {})
+      : config_(std::move(config)), obs_(obs) {}
 
   /// Full offline pass over a session log.
   Result<TrainedModel> Fit(const SessionLog& log,
@@ -78,17 +86,32 @@ class Trainer {
 
  private:
   ModelConfig config_;
+  obs::ObsConfig obs_;
 };
 
 /// The online phase: an immutable serving handle over a trained model.
-/// Cheap to copy (copies share the training set and display cache); all
-/// prediction entry points are const and thread-safe.
+/// Cheap to copy (copies share the training set, display cache and metric
+/// handles); all prediction entry points are const and thread-safe.
+///
+/// Observability (`obs`, optional, resolved once at Load): when metrics
+/// are on, every prediction records the `ida.engine.predict.*` counters
+/// and histograms (latency, per-phase times, nearest-neighbor distance,
+/// abstentions) plus the `ida.distance.*` deltas it caused; when a trace
+/// sink is attached, each Predict emits its phase breakdown as spans
+/// ("predict.prepare" → "predict.distance" → "predict.vote", and
+/// "predict.extract" from PredictState). With observability disabled the
+/// predict path is byte-identical to the uninstrumented one — no clock
+/// reads, no atomics (bench/bench_obs_overhead.cpp enforces < 2% when
+/// enabled). The configured registry/sink must outlive the Predictor and
+/// all its copies.
 class Predictor {
  public:
   /// Builds a serving handle from a trained model (in-memory or loaded).
-  static Result<Predictor> Load(TrainedModel model);
-  /// Loads the artifact at `path` and builds a serving handle.
-  static Result<Predictor> LoadFromFile(const std::string& path);
+  static Result<Predictor> Load(TrainedModel model, obs::ObsConfig obs = {});
+  /// Loads the artifact at `path` and builds a serving handle. Records
+  /// `ida.engine.model.loads` / `load_seconds` when metrics are on.
+  static Result<Predictor> LoadFromFile(const std::string& path,
+                                        obs::ObsConfig obs = {});
 
   /// Predicts the dominant-measure label for a query n-context. The label
   /// indexes into measures(); -1 = abstained.
@@ -105,17 +128,37 @@ class Predictor {
   /// The resolved measure set I the labels index into.
   const MeasureSet& measures() const { return measures_; }
   size_t train_size() const { return knn_->train().size(); }
+  /// The observability configuration this handle serves under.
+  const obs::ObsConfig& obs() const { return obs_; }
 
  private:
+  /// Metric handles resolved once at Load (stable registry pointers;
+  /// nullptr when metrics are off).
+  struct ServeMetrics {
+    obs::Counter* predictions = nullptr;
+    obs::Counter* abstentions = nullptr;
+    obs::Counter* batch_calls = nullptr;
+    obs::Counter* distance_evals = nullptr;
+    obs::Histogram* latency = nullptr;
+    obs::Histogram* prepare_seconds = nullptr;
+    obs::Histogram* distance_seconds = nullptr;
+    obs::Histogram* vote_seconds = nullptr;
+    obs::Histogram* nearest_distance = nullptr;
+  };
+
   Predictor(ModelConfig config, MeasureSet measures,
-            std::shared_ptr<const IKnnClassifier> knn)
-      : config_(std::move(config)),
-        measures_(std::move(measures)),
-        knn_(std::move(knn)) {}
+            std::shared_ptr<const IKnnClassifier> knn, obs::ObsConfig obs);
+
+  /// Records one query's stats into metrics and, optionally, trace spans
+  /// starting at process-relative time `start` (seconds).
+  void RecordPredict(const Prediction& p, const PredictStats& stats,
+                     double start, double total_seconds) const;
 
   ModelConfig config_;
   MeasureSet measures_;
   std::shared_ptr<const IKnnClassifier> knn_;
+  obs::ObsConfig obs_;
+  ServeMetrics metrics_;
 };
 
 /// Leave-one-out evaluation of a trained model (paper Sec 4.2), through
@@ -128,7 +171,12 @@ struct EvaluationReport {
   size_t samples = 0;
 };
 
+/// Observability: when `obs` metrics are on, records `ida.engine.loocv.*`
+/// (runs, samples, seconds) and the distance-matrix build's
+/// `ida.distance.*` metrics; a trace sink receives one span per phase
+/// ("loocv.distance_matrix", "loocv.knn", "loocv.baselines").
 Result<EvaluationReport> EvaluateLoocv(const TrainedModel& model,
-                                       uint64_t random_seed = 17);
+                                       uint64_t random_seed = 17,
+                                       const obs::ObsConfig& obs = {});
 
 }  // namespace ida::engine

@@ -1,0 +1,256 @@
+// Process-wide metrics for the train/serve engine (DESIGN.md §10): named
+// counters, gauges and fixed-bucket histograms behind a MetricsRegistry,
+// with deterministic snapshot/export to JSON and Prometheus text format.
+//
+// Hot-path cost model: instrument handles are resolved once (a mutex-
+// guarded name lookup) and then updated with lock-free relaxed atomics —
+// one fetch_add per counter increment, one bucket fetch_add plus a CAS sum
+// update per histogram observation. When the CMake option IDA_OBS is OFF,
+// IDA_OBS_ENABLED is 0 and every instrument below compiles to an empty
+// inline stub, so instrumented call sites cost nothing at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ida::obs {
+
+#ifndef IDA_OBS_ENABLED
+#define IDA_OBS_ENABLED 1
+#endif
+
+// Statement-level tally hook for non-atomic, thread-local counting deep in
+// compute kernels (e.g. the TED workspace tallies): expands to nothing
+// when observability is compiled out.
+#if IDA_OBS_ENABLED
+#define IDA_OBS_TALLY(stmt) stmt
+#else
+#define IDA_OBS_TALLY(stmt) \
+  do {                      \
+  } while (false)
+#endif
+
+/// Point-in-time value of one counter.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// Point-in-time value of one gauge.
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Point-in-time state of one histogram. `counts` has one entry per bucket
+/// upper bound plus a final overflow bucket (observations above the last
+/// bound), so counts.size() == bounds.size() + 1.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;  ///< total observations (== sum of counts)
+  double sum = 0.0;    ///< sum of observed values
+};
+
+/// A deterministic snapshot of a registry: every section is sorted by
+/// metric name, so two snapshots of identical state render identically.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Renders the snapshot as one JSON object with "counters", "gauges" and
+  /// "histograms" sections (the `--metrics-json` output of the examples).
+  std::string ToJson() const;
+  /// Renders the snapshot in the Prometheus text exposition format
+  /// (metric names have '.' and '-' mapped to '_'; histograms emit
+  /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`).
+  std::string ToPrometheus() const;
+};
+
+/// Exponentially spaced histogram bucket upper bounds: `count` bounds
+/// starting at `start`, each `factor` times the previous. Suitable for
+/// latencies spanning orders of magnitude.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+
+/// Linearly spaced histogram bucket upper bounds: start, start + width, ...
+/// Suitable for bounded quantities like normalized distances in [0, 1].
+std::vector<double> LinearBuckets(double start, double width, int count);
+
+/// Default latency layout: 1 µs to ~4 s, doubling per bucket (23 buckets).
+std::vector<double> DefaultLatencyBuckets();
+
+#if IDA_OBS_ENABLED
+
+/// A monotonically increasing counter. Thread-safe: Add/Increment are
+/// single relaxed atomic adds. Instances are owned by a MetricsRegistry
+/// and live as long as it does; handles are stable raw pointers.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  /// Zeroes the counter (test/benchmark warmup use).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-value-wins gauge. Thread-safe: Set/value are relaxed atomic
+/// store/load; concurrent setters race benignly (one value survives).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  /// Zeroes the gauge (test/benchmark warmup use).
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram. Bucket upper bounds are set at registration
+/// and immutable afterwards; Observe is thread-safe (one relaxed bucket
+/// fetch_add, one relaxed count fetch_add and a CAS loop on the sum) and
+/// allocation-free. Not movable: handles are stable raw pointers owned by
+/// the registry.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; values above the last bound
+  /// land in an implicit overflow bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation.
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Point-in-time copy of the bucket state (name left empty).
+  HistogramSnapshot Snapshot() const;
+
+  /// Zeroes every bucket, the count and the sum, keeping the bounds
+  /// (test/benchmark warmup use; not atomic w.r.t. concurrent Observe).
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// A named collection of instruments. Get* registers the metric on first
+/// use and returns a stable handle (the same pointer for every caller of
+/// the same name); registration takes a mutex, updates through the
+/// returned handles are lock-free. Snapshot may run concurrently with
+/// updates and sees a value that was current at some point during the
+/// call. The registry must outlive every handle it handed out; metrics
+/// are never unregistered.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (never destroyed before exit).
+  static MetricsRegistry& Default();
+
+  /// Finds or creates the counter `name`.
+  Counter* GetCounter(const std::string& name);
+  /// Finds or creates the gauge `name`.
+  Gauge* GetGauge(const std::string& name);
+  /// Finds or creates the histogram `name`. `bounds` applies on first
+  /// registration only (empty selects DefaultLatencyBuckets()); later
+  /// calls return the existing histogram regardless of `bounds`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Deterministic point-in-time snapshot (sections sorted by name).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric in place. Handles stay valid (for
+  /// tests and benchmark warmup, not for concurrent production use).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+#else  // !IDA_OBS_ENABLED — compile-time no-op stubs with the same API.
+
+/// No-op stand-in for the counter when IDA_OBS=OFF; see the enabled
+/// definition above for the contract.
+class Counter {
+ public:
+  void Add(uint64_t) {}
+  void Increment() {}
+  uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
+/// No-op stand-in for the gauge when IDA_OBS=OFF.
+class Gauge {
+ public:
+  void Set(double) {}
+  double value() const { return 0.0; }
+  void Reset() {}
+};
+
+/// No-op stand-in for the histogram when IDA_OBS=OFF.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> = {}) {}
+  void Observe(double) {}
+  void Reset() {}
+  uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  HistogramSnapshot Snapshot() const { return {}; }
+};
+
+/// No-op stand-in for the registry when IDA_OBS=OFF: hands out shared
+/// dummy instruments and empty snapshots.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Default() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  Counter* GetCounter(const std::string&) {
+    static Counter counter;
+    return &counter;
+  }
+  Gauge* GetGauge(const std::string&) {
+    static Gauge gauge;
+    return &gauge;
+  }
+  Histogram* GetHistogram(const std::string&, std::vector<double> = {}) {
+    static Histogram histogram;
+    return &histogram;
+  }
+  MetricsSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+};
+
+#endif  // IDA_OBS_ENABLED
+
+}  // namespace ida::obs

@@ -1,0 +1,24 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+
+namespace ida::obs {
+
+Status WriteMetricsJson(const std::string& path, MetricsRegistry* registry) {
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Default();
+  const std::string json = reg.Snapshot().ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open metrics output file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to metrics output file '" + path +
+                           "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace ida::obs

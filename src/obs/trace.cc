@@ -1,0 +1,10 @@
+#include "obs/trace.h"
+
+namespace ida::obs {
+
+double ProcessSeconds() {
+  static const TracePoint epoch = TraceNow();
+  return SecondsSince(epoch);
+}
+
+}  // namespace ida::obs

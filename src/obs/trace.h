@@ -1,0 +1,82 @@
+// Per-session tracing for the train/serve engine (DESIGN.md §10): a span
+// is one named, timed phase of a higher-level operation (e.g. the
+// "predict.distance" phase of one Predictor::Predict call). Spans are
+// pushed into a caller-provided TraceSink, so an operator can attach a
+// sink per serving session and reconstruct exactly where each call's time
+// went — the same kind of interaction trace the source paper mines.
+//
+// The sink interface is compiled in every build (it is plain virtual
+// dispatch owned by the caller); whether the engine *emits* spans is
+// governed by ObsConfig (obs/obs.h) and costs nothing when no sink is
+// configured.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ida::obs {
+
+/// One completed, named phase of an engine operation. Times are seconds;
+/// `start_seconds` is relative to the process-wide monotonic epoch
+/// (ProcessSeconds), so spans from different threads order consistently.
+struct TraceSpan {
+  std::string name;          ///< dotted phase name, e.g. "predict.vote"
+  double start_seconds = 0;  ///< monotonic start, process-relative
+  double duration_seconds = 0;
+  std::string detail;        ///< optional human-readable annotation
+};
+
+/// Receives completed spans. Implementations MUST be thread-safe: a sink
+/// attached to a shared Predictor sees concurrent OnSpan calls from every
+/// serving thread. The sink is borrowed, never owned — it must outlive
+/// every ObsConfig that references it.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSpan(const TraceSpan& span) = 0;
+};
+
+/// A TraceSink that appends every span to an in-memory vector under a
+/// mutex. Intended for tests, examples and short diagnostic sessions, not
+/// for unbounded production use (it grows without limit).
+class VectorTraceSink : public TraceSink {
+ public:
+  void OnSpan(const TraceSpan& span) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(span);
+  }
+
+  /// Copy of the spans recorded so far, in arrival order.
+  std::vector<TraceSpan> spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// Monotonic clock reading used for all span timestamps.
+using TracePoint = std::chrono::steady_clock::time_point;
+
+/// Current monotonic time.
+inline TracePoint TraceNow() { return std::chrono::steady_clock::now(); }
+
+/// Seconds elapsed since `start`.
+inline double SecondsSince(TracePoint start) {
+  return std::chrono::duration<double>(TraceNow() - start).count();
+}
+
+/// Seconds since the process-wide monotonic epoch (first call wins as the
+/// epoch; thread-safe via static initialization).
+double ProcessSeconds();
+
+}  // namespace ida::obs

@@ -9,8 +9,9 @@ namespace ida {
 
 Prediction KnnVote(const std::vector<double>& distances,
                    const std::vector<TrainingSample>& train,
-                   const KnnOptions& options, int exclude) {
+                   const KnnOptions& options, int exclude, VoteStats* stats) {
   Prediction out;
+  if (stats != nullptr) *stats = VoteStats();
   if (train.empty() || distances.size() != train.size() || options.k < 1) {
     return out;
   }
@@ -25,6 +26,7 @@ Prediction KnnVote(const std::vector<double>& distances,
   if (k == 0) return out;
   std::partial_sort(
       order.begin(), order.begin() + static_cast<long>(k), order.end());
+  if (stats != nullptr) stats->nearest_distance = order[0].first;
 
   // Admit only neighbors within theta_delta (order is sorted, so the first
   // too-far neighbor ends the admission). Labels are small dense ints, so
@@ -37,6 +39,7 @@ Prediction KnnVote(const std::vector<double>& distances,
     max_label = std::max(max_label, train[order[i].second].label);
     ++admitted;
   }
+  if (stats != nullptr) stats->admitted_neighbors = admitted;
   if (admitted == 0 || max_label < 0) return out;  // abstain
 
   constexpr double kWeightEpsilon = 1e-3;
@@ -102,19 +105,67 @@ IKnnClassifier::IKnnClassifier(std::vector<TrainingSample> train,
   }
 }
 
-Prediction IKnnClassifier::Predict(const NContext& query) const {
-  thread_local TedWorkspace ws;
-  const FlatContext q = SessionDistance::Prepare(query);
-  std::vector<double> distances(train_->size());
-  for (size_t i = 0; i < prepared_.size(); ++i) {
-    distances[i] = metric_.Distance(q, prepared_[i], &ws);
+namespace {
+
+// One query against the prepared training set, optionally collecting
+// per-phase wall times and distance-engine tallies. The stats == nullptr
+// path performs no clock reads and no tally bookkeeping beyond the plain
+// workspace increments.
+Prediction PredictOne(const FlatContext& q,
+                      const std::vector<FlatContext>& prepared,
+                      const std::vector<TrainingSample>& train,
+                      const SessionDistance& metric,
+                      const KnnOptions& options, TedWorkspace& ws,
+                      std::vector<double>& distances, PredictStats* stats) {
+  if (stats == nullptr) {
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      distances[i] = metric.Distance(q, prepared[i], &ws);
+    }
+    return KnnVote(distances, train, options);
   }
-  return KnnVote(distances, *train_, options_);
+
+  const TedTally before = ws.tally;
+  const auto distance_start = obs::TraceNow();
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    distances[i] = metric.Distance(q, prepared[i], &ws);
+  }
+  const auto vote_start = obs::TraceNow();
+  VoteStats vote;
+  Prediction out = KnnVote(distances, train, options, -1, &vote);
+  stats->distance_seconds =
+      std::chrono::duration<double>(vote_start - distance_start).count();
+  stats->vote_seconds = obs::SecondsSince(vote_start);
+  stats->distance_evals = prepared.size();
+  stats->nearest_distance = vote.nearest_distance;
+  stats->admitted_neighbors = vote.admitted_neighbors;
+  stats->ted = ws.tally.Since(before);
+  return out;
+}
+
+}  // namespace
+
+Prediction IKnnClassifier::Predict(const NContext& query,
+                                   PredictStats* stats) const {
+  thread_local TedWorkspace ws;
+  std::vector<double> distances(train_->size());
+  if (stats == nullptr) {
+    const FlatContext q = SessionDistance::Prepare(query);
+    return PredictOne(q, prepared_, *train_, metric_, options_, ws,
+                      distances, nullptr);
+  }
+  *stats = PredictStats();
+  const auto prepare_start = obs::TraceNow();
+  const FlatContext q = SessionDistance::Prepare(query);
+  stats->prepare_seconds = obs::SecondsSince(prepare_start);
+  return PredictOne(q, prepared_, *train_, metric_, options_, ws, distances,
+                    stats);
 }
 
 std::vector<Prediction> IKnnClassifier::PredictBatch(
-    const std::vector<NContext>& queries) const {
+    const std::vector<NContext>& queries,
+    std::vector<PredictStats>* stats) const {
   std::vector<Prediction> out(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), PredictStats());
   if (queries.empty() || train_->empty()) return out;
 
   // Prepare phase for the queries (cheap, serial), then fan the distance
@@ -134,10 +185,10 @@ std::vector<Prediction> IKnnClassifier::PredictBatch(
         TedWorkspace& ws = scratch[static_cast<size_t>(worker)];
         std::vector<double>& distances = rows[static_cast<size_t>(worker)];
         for (size_t qi = begin; qi < end; ++qi) {
-          for (size_t i = 0; i < prepared_.size(); ++i) {
-            distances[i] = metric_.Distance(flat[qi], prepared_[i], &ws);
-          }
-          out[qi] = KnnVote(distances, *train_, options_);
+          // Each stats slot has exactly one writer (this worker).
+          out[qi] = PredictOne(flat[qi], prepared_, *train_, metric_,
+                               options_, ws, distances,
+                               stats != nullptr ? &(*stats)[qi] : nullptr);
         }
       });
   return out;

@@ -39,13 +39,44 @@ struct KnnOptions {
   bool distance_weighted = false;
 };
 
+/// Per-query observability detail, filled on request by Predict /
+/// PredictBatch (see the observability layer, DESIGN.md §10). Collecting
+/// it costs a few clock reads per query, so callers only pass a stats
+/// out-param when metrics or tracing are active.
+struct PredictStats {
+  /// Distance to the nearest candidate neighbor (-1 with an empty
+  /// training set). A value above theta_delta explains an abstention.
+  double nearest_distance = -1.0;
+  /// Neighbors within theta_delta among the k nearest (0 = abstained).
+  size_t admitted_neighbors = 0;
+  /// Distance evaluations performed (== training-set size).
+  size_t distance_evals = 0;
+  /// Phase wall times of the query: query flattening, the distance loop,
+  /// and the vote.
+  double prepare_seconds = 0.0;
+  double distance_seconds = 0.0;
+  double vote_seconds = 0.0;
+  /// Distance-engine event deltas for this query (ted.h); zero when the
+  /// build compiled observability out.
+  TedTally ted;
+};
+
+/// Vote-level observability detail (subset of PredictStats available to
+/// matrix-based callers like LOOCV).
+struct VoteStats {
+  double nearest_distance = -1.0;  ///< -1 when no candidate neighbor
+  size_t admitted_neighbors = 0;
+};
+
 /// Low-level vote given precomputed distances to every training sample.
 /// `exclude` (>= 0) removes one training index — used by leave-one-out
 /// evaluation. Ties between labels are broken in favor of the label of the
-/// nearest tied neighbor.
+/// nearest tied neighbor. `stats`, when non-null, receives the nearest
+/// candidate distance and the admitted-neighbor count.
 Prediction KnnVote(const std::vector<double>& distances,
                    const std::vector<TrainingSample>& train,
-                   const KnnOptions& options, int exclude = -1);
+                   const KnnOptions& options, int exclude = -1,
+                   VoteStats* stats = nullptr);
 
 /// The full model: owns the training set and the distance metric.
 ///
@@ -57,14 +88,20 @@ class IKnnClassifier {
   IKnnClassifier(std::vector<TrainingSample> train, SessionDistance metric,
                  KnnOptions options);
 
-  /// Predicts the dominant-measure label for a query n-context.
-  Prediction Predict(const NContext& query) const;
+  /// Predicts the dominant-measure label for a query n-context. `stats`,
+  /// when non-null, receives the query's observability detail (phase
+  /// times, nearest distance, distance-engine tallies); passing nullptr
+  /// (the default) skips all stats collection including its clock reads.
+  Prediction Predict(const NContext& query,
+                     PredictStats* stats = nullptr) const;
 
   /// Batch prediction: one result per query, in query order, computed over
   /// `metric.options().num_threads` workers. Output is identical to
-  /// calling Predict per query.
+  /// calling Predict per query. `stats`, when non-null, is resized to the
+  /// query count and slot i receives query i's detail.
   std::vector<Prediction> PredictBatch(
-      const std::vector<NContext>& queries) const;
+      const std::vector<NContext>& queries,
+      std::vector<PredictStats>* stats = nullptr) const;
 
   const std::vector<TrainingSample>& train() const { return *train_; }
   const KnnOptions& options() const { return options_; }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Documentation lint for the repo (runs in CI's docs job and locally):
+#
+#   1. Markdown link check — every relative link target in the tracked
+#      *.md files must exist on disk (external http(s) links are skipped:
+#      no network in CI).
+#   2. Header doc-comment lint — every public header under src/engine/
+#      and src/obs/ must open with a file-level comment, and every
+#      top-level class/struct declaration in it must be directly preceded
+#      by a /// doc comment.
+#
+# Usage: tools/docs_lint.sh [repo-root]   (defaults to the script's repo)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+failures=0
+
+note() { printf '%s\n' "$*" >&2; }
+
+# --- 1. Relative markdown links -------------------------------------------
+# Matches [text](target) and extracts target; ignores http(s), mailto and
+# pure #anchors. Anchors on local targets (FILE.md#section) are stripped
+# before the existence check.
+while IFS=: read -r file target; do
+  case "$target" in
+    http://*|https://*|mailto:*|"#"*) continue ;;
+  esac
+  path="${target%%#*}"
+  [ -z "$path" ] && continue
+  # Links are resolved relative to the file that contains them.
+  base="$(dirname "$file")"
+  if [ ! -e "$base/$path" ] && [ ! -e "$path" ]; then
+    note "docs_lint: $file: broken link -> $target"
+    failures=$((failures + 1))
+  fi
+done < <(grep -oHE '\[[^]]*\]\([^) ]+\)' ./*.md docs/*.md 2>/dev/null |
+  sed -E 's/^([^:]+):\[[^]]*\]\(([^)]+)\)$/\1:\2/')
+
+# --- 2. Header doc comments -----------------------------------------------
+for header in src/engine/*.h src/obs/*.h; do
+  [ -e "$header" ] || continue
+  # File-level comment: the first line must start a // comment block.
+  if ! head -n 1 "$header" | grep -qE '^//'; then
+    note "docs_lint: $header: missing file-level comment on line 1"
+    failures=$((failures + 1))
+  fi
+  # Top-level type declarations need a /// doc comment directly above.
+  # (Column-0 declarations only, so nested/member types are exempt.)
+  while IFS=: read -r lineno _; do
+    prev=$((lineno - 1))
+    if ! sed -n "${prev}p" "$header" | grep -qE '^(///|//)'; then
+      note "docs_lint: $header:$lineno: type declaration without a" \
+           "preceding doc comment"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -nE '^(class|struct) [A-Za-z_]+( final)?( :[^:]| \{|;)' \
+    "$header")
+done
+
+if [ "$failures" -gt 0 ]; then
+  note "docs_lint: $failures problem(s) found"
+  exit 1
+fi
+note "docs_lint: OK"
