@@ -6,6 +6,16 @@
 // registry to that path just before exiting — the smallest end-to-end
 // demonstration of the observability layer (DESIGN.md §10). Under an
 // IDA_OBS=OFF build the flag still parses but the snapshot is empty.
+//
+// The serving examples additionally accept
+//
+//   --no-index
+//
+// which sets ModelConfig::use_index = false: the model is trained without
+// the VP-tree serving index and every prediction falls back to the
+// brute-force scan (DESIGN.md §11). Predictions are bitwise identical
+// either way; the flag exists to demonstrate — and let users time — the
+// escape hatch.
 #pragma once
 
 #include <cstdio>
@@ -36,6 +46,14 @@ inline std::string ParseMetricsJsonFlag(int argc, char** argv) {
     }
   }
   return {};
+}
+
+/// Parses `--no-index` out of argv. Returns true when present.
+inline bool ParseNoIndexFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-index") == 0) return true;
+  }
+  return false;
 }
 
 /// Writes the Default() registry's JSON snapshot to `path`; no-op on an

@@ -62,7 +62,11 @@ int main(int argc, char** argv) {
   if (!bench.ok()) return 1;
 
   // --- Offline: train on everyone else's sessions and save the model.
-  engine::Trainer trainer(DefaultNormalizedConfig());
+  // --no-index disables the VP-tree serving index (brute-force fallback);
+  // the advisor's predictions are bitwise identical either way.
+  ModelConfig config = DefaultNormalizedConfig();
+  config.use_index = !examples::ParseNoIndexFlag(argc, argv);
+  engine::Trainer trainer(config);
   auto model = trainer.Fit(bench->log, bench->registry);
   if (!model.ok() || model->empty()) return 1;
   const std::string artifact = "/tmp/ida_live_advisor.idamodel";

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   // for this small demo so the training set keeps more samples.
   config.theta_interest = 1.0;
   config.knn.distance_threshold = 0.2;
+  // --no-index trains without the VP-tree serving index; predictions stay
+  // bitwise identical, only the per-query scan cost changes.
+  config.use_index = !examples::ParseNoIndexFlag(argc, argv);
   engine::Trainer trainer(config);
   engine::TrainReport report;
   Result<engine::TrainedModel> model =

@@ -1,0 +1,137 @@
+// Little bounds-checked binary IO layer shared by the serializable
+// artifacts (the model artifact in engine/model.cc and the kNN index
+// section in index/vptree.cc): an append-only Writer, a Reader whose every
+// accessor reports truncation through one sticky Status (a corrupt input
+// degrades into an error, never a crash or an over-allocation), and the
+// FNV-1a payload checksum.
+//
+// All multi-byte values are encoded in host byte order with doubles as raw
+// IEEE-754 bits — artifacts are bitwise-faithful but not portable across
+// endianness (every supported target is little-endian).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+
+namespace ida::binio {
+
+static_assert(sizeof(double) == 8, "artifact format assumes IEEE-754 doubles");
+
+/// Append-only artifact encoder.
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    out_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+/// Decoder: every accessor bounds-checks and reports truncation through a
+/// sticky Status, so callers may read a whole section and check once.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status status() const { return status_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (!status_.ok()) return "";
+    if (n > remaining()) {
+      Fail("string of " + std::to_string(n) + " bytes");
+      return "";
+    }
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  /// Reads an element count whose elements occupy at least
+  /// `min_element_bytes` each — bounds the count by the remaining bytes so
+  /// a corrupt length cannot trigger a huge allocation.
+  uint32_t Count(size_t min_element_bytes) {
+    uint32_t n = U32();
+    if (!status_.ok()) return 0;
+    if (static_cast<uint64_t>(n) * min_element_bytes > remaining()) {
+      Fail("count " + std::to_string(n) + " exceeds remaining bytes");
+      return 0;
+    }
+    return n;
+  }
+
+  void Fail(const std::string& what) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument(
+          "model artifact truncated or corrupt: cannot read " + what +
+          " at byte " + std::to_string(pos_) + " of " + std::to_string(size_));
+    }
+  }
+
+ private:
+  void Raw(void* p, size_t n) {
+    if (!status_.ok()) return;
+    if (n > remaining()) {
+      Fail(std::to_string(n) + " bytes");
+      return;
+    }
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+/// FNV-1a over a byte range (the artifact payload checksum).
+inline uint64_t Fnv1a(const char* data, size_t size) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace ida::binio

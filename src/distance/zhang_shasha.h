@@ -1,0 +1,86 @@
+// The Zhang–Shasha ordered-tree-edit-distance dynamic program, shared by
+// every alter-cost model of the distance layer: the memoized per-pair path
+// and the dense-table path of SessionDistance (distance/ted.cc), and the
+// metric-core lower bound of the kNN index (index/vptree.cc). Callers
+// parameterize the alter cost; the DP structure — and therefore the exact
+// floating-point operation order — is identical across them, which is what
+// makes cross-path bitwise-identity arguments possible (DESIGN.md §8, §11).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "distance/ted.h"
+
+namespace ida::internal {
+
+// The Zhang–Shasha dynamic program over two non-empty flattened trees,
+// parameterized on the alter-cost functor alter(pi, pj) over postorder
+// positions. Every scratch cell read is written earlier in the same call
+// (keyroot order guarantees subtree distances are filled before they are
+// consumed), so the reused workspace buffers are never cleared.
+//
+// Monotonicity note (the index relies on this): the result is built from
+// the alter values exclusively through additions and mins, both of which
+// are monotone non-decreasing per operand even in floating point, so a
+// pointwise-smaller alter functor yields a smaller-or-equal result — not
+// just mathematically but for the computed doubles.
+template <typename AlterFn>
+double ZhangShashaCompute(const FlatContext& ta, const FlatContext& tb,
+                          double indel, TedWorkspace* ws,
+                          const AlterFn& alter) {
+  const size_t n = ta.size();
+  const size_t m = tb.size();
+  ws->Reserve(n, m);
+  double* const treedist = ws->treedist();  // n x m, stride m
+  double* const fd = ws->fd();              // (n+1) x (m+1), stride m+1
+  const size_t fstride = m + 1;
+  const FlatContext::Node* an = ta.post.data();
+  const FlatContext::Node* bn = tb.post.data();
+
+  for (int ki : ta.keyroots) {
+    const int li = an[ki].leftmost;
+    const int ni = ki - li + 2;  // forest rows: positions li..ki plus empty
+    for (int kj : tb.keyroots) {
+      const int lj = bn[kj].leftmost;
+      const int nj = kj - lj + 2;
+      fd[0] = 0.0;
+      for (int i = 1; i < ni; ++i) {
+        fd[static_cast<size_t>(i) * fstride] =
+            fd[static_cast<size_t>(i - 1) * fstride] + indel;
+      }
+      for (int j = 1; j < nj; ++j) {
+        fd[static_cast<size_t>(j)] = fd[static_cast<size_t>(j - 1)] + indel;
+      }
+      for (int i = 1; i < ni; ++i) {
+        const int pi = li + i - 1;  // postorder position in a
+        const int al = an[pi].leftmost;
+        double* const fdrow = fd + static_cast<size_t>(i) * fstride;
+        const double* const fdprev = fdrow - fstride;
+        double* const trow = treedist + static_cast<size_t>(pi) * m;
+        for (int j = 1; j < nj; ++j) {
+          const int pj = lj + j - 1;
+          const double del = fdprev[j] + indel;
+          const double ins = fdrow[j - 1] + indel;
+          if (al == li && bn[pj].leftmost == lj) {
+            const double alt = fdprev[j - 1] + alter(pi, pj);
+            const double best = std::min({del, ins, alt});
+            fdrow[j] = best;
+            trow[pj] = best;
+          } else {
+            const int fi = al - li;
+            const int fj = bn[pj].leftmost - lj;
+            const double sub =
+                fd[static_cast<size_t>(fi) * fstride +
+                   static_cast<size_t>(fj)] +
+                trow[pj];
+            fdrow[j] = std::min({del, ins, sub});
+          }
+        }
+      }
+    }
+  }
+  return treedist[(n - 1) * m + (m - 1)];
+}
+
+}  // namespace ida::internal

@@ -33,6 +33,11 @@ struct ModelConfig {
   double theta_interest = 0.0;
   /// kNN hyper-parameters (k, theta_delta, vote weighting).
   KnnOptions knn;
+  /// Build and serve through the metric-space kNN index (index/vptree.h):
+  /// Trainer::Fit embeds a VP-tree in the model and Predictor/LOOCV prune
+  /// distance evaluations with it. Predictions are bitwise identical
+  /// either way; this is the escape hatch back to the brute-force scan.
+  bool use_index = true;
   /// Which offline comparison labels the training set.
   ComparisonMethod method = ComparisonMethod::kNormalized;
   /// The measure set I, by registry name (see CreateMeasure) — the label

@@ -114,6 +114,25 @@ Result<TrainedModel> Trainer::Fit(const ReplayedRepository& repo,
                                  config_.theta_interest, config_.training,
                                  &local.training));
   build_timer.Stop();
+
+  // Serving index over the finished training set (DESIGN.md §11): built
+  // here so every serving process — and the artifact — gets the same
+  // deterministic tree for free.
+  std::shared_ptr<const index::VpTree> vptree;
+  if (config_.use_index && !samples.empty()) {
+    obs::ScopedTimer index_timer(
+        obs_, "fit.build_index",
+        obs_.metrics_on()
+            ? obs_.reg().GetHistogram("ida.engine.fit.index_build_seconds")
+            : nullptr);
+    std::vector<FlatContext> prepared;
+    prepared.reserve(samples.size());
+    for (const TrainingSample& s : samples) {
+      prepared.push_back(SessionDistance::Prepare(s.context));
+    }
+    vptree = std::make_shared<const index::VpTree>(
+        index::VpTree::Build(prepared, SessionDistance(config_.distance)));
+  }
   local.total_seconds = SecondsSince(start);
   if (report != nullptr) *report = local;
 
@@ -129,8 +148,12 @@ Result<TrainedModel> Trainer::Fit(const ReplayedRepository& repo,
     reg.GetCounter("ida.engine.fit.filtered_by_theta")
         ->Add(local.training.filtered_by_theta);
     reg.GetHistogram("ida.engine.fit.seconds")->Observe(local.total_seconds);
+    if (vptree != nullptr) {
+      reg.GetCounter("ida.engine.fit.index_builds")->Increment();
+      reg.GetCounter("ida.engine.fit.index_nodes")->Add(vptree->num_nodes());
+    }
   }
-  return TrainedModel(config_, std::move(samples));
+  return TrainedModel(config_, std::move(samples), std::move(vptree));
 }
 
 Predictor::Predictor(ModelConfig config, MeasureSet measures,
@@ -157,7 +180,26 @@ Predictor::Predictor(ModelConfig config, MeasureSet measures,
     metrics_.nearest_distance = reg.GetHistogram(
         "ida.engine.predict.nearest_distance",
         obs::LinearBuckets(0.05, 0.05, 20));
+    metrics_.index_searches = reg.GetCounter("ida.index.searches");
+    metrics_.index_nodes_visited = reg.GetCounter("ida.index.nodes_visited");
+    metrics_.index_lb_pruned = reg.GetCounter("ida.index.lb_pruned");
+    metrics_.index_triangle_pruned =
+        reg.GetCounter("ida.index.triangle_pruned");
+    metrics_.index_subtree_pruned =
+        reg.GetCounter("ida.index.subtree_pruned");
+    metrics_.index_core_teds = reg.GetCounter("ida.index.core_teds");
+    metrics_.index_exact_teds = reg.GetCounter("ida.index.exact_teds");
   }
+}
+
+void Predictor::RecordIndexStats(const index::IndexStats& s) const {
+  metrics_.index_searches->Add(s.searches);
+  metrics_.index_nodes_visited->Add(s.nodes_visited);
+  metrics_.index_lb_pruned->Add(s.lb_pruned);
+  metrics_.index_triangle_pruned->Add(s.triangle_pruned);
+  metrics_.index_subtree_pruned->Add(s.subtree_pruned);
+  metrics_.index_core_teds->Add(s.core_teds);
+  metrics_.index_exact_teds->Add(s.exact_teds);
 }
 
 Result<Predictor> Predictor::Load(TrainedModel model, obs::ObsConfig obs) {
@@ -176,7 +218,8 @@ Result<Predictor> Predictor::Load(TrainedModel model, obs::ObsConfig obs) {
   ModelConfig config = model.config();
   auto knn = std::make_shared<const IKnnClassifier>(
       std::vector<TrainingSample>(model.samples()),
-      SessionDistance(config.distance), config.knn);
+      SessionDistance(config.distance), config.knn,
+      config.use_index ? model.index() : nullptr);
   return Predictor(std::move(config), std::move(measures), std::move(knn),
                    obs);
 }
@@ -211,6 +254,7 @@ void Predictor::RecordPredict(const Prediction& p, const PredictStats& stats,
       metrics_.nearest_distance->Observe(stats.nearest_distance);
     }
     FlushTedTally(stats.ted, obs_);
+    if (stats.used_index) RecordIndexStats(stats.index);
   }
   if (obs_.trace_on()) {
     double at = start;
@@ -262,6 +306,7 @@ std::vector<Prediction> Predictor::PredictBatch(
         metrics_.nearest_distance->Observe(stats[i].nearest_distance);
       }
       FlushTedTally(stats[i].ted, obs_);
+      if (stats[i].used_index) RecordIndexStats(stats[i].index);
     }
   }
   obs_.EmitSpan("predict.batch", start, seconds,
@@ -291,22 +336,29 @@ Result<EvaluationReport> EvaluateLoocv(const TrainedModel& model,
       obs.metrics_on() ? obs.reg().GetHistogram("ida.engine.loocv.seconds")
                        : nullptr);
 
-  std::vector<NContext> contexts;
-  contexts.reserve(samples.size());
-  for (const TrainingSample& s : samples) contexts.push_back(s.context);
-  SessionDistance metric(config.distance);
-  obs::ScopedTimer matrix_timer(obs, "loocv.distance_matrix");
-  std::vector<std::vector<double>> dist =
-      BuildDistanceMatrix(contexts, metric, nullptr, obs);
-  matrix_timer.Stop();
-
   EvaluationReport report;
   report.samples = samples.size();
   std::vector<size_t> subset = AllIndices(samples.size());
+  // Both branches run the leave-one-out queries through the serving
+  // classifier, so the report reflects exactly what a served query would
+  // see — including the direction of each distance. (The filter-predicate
+  // ground distance is asymmetric, so the mirrored offline distance matrix
+  // can disagree with the directional query distances by a hair; routing
+  // LOOCV through the matrix would make indexed and brute reports diverge
+  // on such pairs.) With the index the search is pruned; without it every
+  // query scans all other samples. The reports are bitwise identical.
+  const bool indexed = config.use_index && model.index() != nullptr &&
+                       model.index()->size() == samples.size();
+  IKnnClassifier classifier(std::vector<TrainingSample>(samples),
+                            SessionDistance(config.distance), config.knn,
+                            indexed ? model.index() : nullptr);
   obs::ScopedTimer knn_timer(obs, "loocv.knn");
-  report.knn = EvaluateKnnLoocv(samples, dist, subset, config.knn, num_classes,
-                                config.distance.num_threads);
+  index::IndexStats index_stats;
+  report.knn = EvaluateKnnLoocv(classifier, num_classes,
+                                config.distance.num_threads,
+                                indexed ? &index_stats : nullptr);
   knn_timer.Stop();
+  if (indexed) index::FlushIndexStats(index_stats, obs);
   obs::ScopedTimer baseline_timer(obs, "loocv.baselines");
   report.best_sm = EvaluateBestSmLoocv(samples, subset, num_classes);
   report.random = EvaluateRandom(samples, subset, num_classes, random_seed);

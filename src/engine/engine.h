@@ -144,6 +144,14 @@ class Predictor {
     obs::Histogram* distance_seconds = nullptr;
     obs::Histogram* vote_seconds = nullptr;
     obs::Histogram* nearest_distance = nullptr;
+    /// `ida.index.*` search counters (see index/vptree.h).
+    obs::Counter* index_searches = nullptr;
+    obs::Counter* index_nodes_visited = nullptr;
+    obs::Counter* index_lb_pruned = nullptr;
+    obs::Counter* index_triangle_pruned = nullptr;
+    obs::Counter* index_subtree_pruned = nullptr;
+    obs::Counter* index_core_teds = nullptr;
+    obs::Counter* index_exact_teds = nullptr;
   };
 
   Predictor(ModelConfig config, MeasureSet measures,
@@ -153,6 +161,9 @@ class Predictor {
   /// starting at process-relative time `start` (seconds).
   void RecordPredict(const Prediction& p, const PredictStats& stats,
                      double start, double total_seconds) const;
+  /// Adds one query's index search counters onto the resolved
+  /// `ida.index.*` handles (metrics-on only).
+  void RecordIndexStats(const index::IndexStats& stats) const;
 
   ModelConfig config_;
   MeasureSet measures_;
@@ -171,10 +182,15 @@ struct EvaluationReport {
   size_t samples = 0;
 };
 
+/// Runs every leave-one-out query through the serving classifier (pruned
+/// VP-tree search when the model carries an index, full scan otherwise),
+/// so the report is bitwise identical either way and reflects exactly
+/// what a served query would see.
+///
 /// Observability: when `obs` metrics are on, records `ida.engine.loocv.*`
-/// (runs, samples, seconds) and the distance-matrix build's
-/// `ida.distance.*` metrics; a trace sink receives one span per phase
-/// ("loocv.distance_matrix", "loocv.knn", "loocv.baselines").
+/// (runs, samples, seconds) and, on the indexed path, the `ida.index.*`
+/// counters; a trace sink receives one span per phase ("loocv.knn",
+/// "loocv.baselines").
 Result<EvaluationReport> EvaluateLoocv(const TrainedModel& model,
                                        uint64_t random_seed = 17,
                                        const obs::ObsConfig& obs = {});

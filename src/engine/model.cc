@@ -1,141 +1,30 @@
 #include "engine/model.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <unordered_map>
+
+#include "common/binio.h"
 
 namespace ida::engine {
 
 namespace {
 
-static_assert(sizeof(double) == 8, "artifact format assumes IEEE-754 doubles");
-
-// ---------------------------------------------------------------------------
-// Writer
-
-class Writer {
- public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
-  void I32(int32_t v) { Raw(&v, sizeof(v)); }
-  void F64(double v) { Raw(&v, sizeof(v)); }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    out_.append(s);
-  }
-  std::string Take() { return std::move(out_); }
-
- private:
-  void Raw(const void* p, size_t n) {
-    out_.append(reinterpret_cast<const char*>(p), n);
-  }
-  std::string out_;
-};
-
-// ---------------------------------------------------------------------------
-// Reader: every accessor bounds-checks and reports truncation through a
-// sticky Status, so a corrupt artifact degrades into an error, not a crash.
-
-class Reader {
- public:
-  Reader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  Status status() const { return status_; }
-  size_t remaining() const { return size_ - pos_; }
-
-  uint8_t U8() {
-    uint8_t v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  uint32_t U32() {
-    uint32_t v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  uint64_t U64() {
-    uint64_t v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  int32_t I32() {
-    int32_t v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  double F64() {
-    double v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  std::string Str() {
-    uint32_t n = U32();
-    if (!status_.ok()) return "";
-    if (n > remaining()) {
-      Fail("string of " + std::to_string(n) + " bytes");
-      return "";
-    }
-    std::string s(data_ + pos_, n);
-    pos_ += n;
-    return s;
-  }
-  /// Reads an element count whose elements occupy at least
-  /// `min_element_bytes` each — bounds the count by the remaining bytes so
-  /// a corrupt length cannot trigger a huge allocation.
-  uint32_t Count(size_t min_element_bytes) {
-    uint32_t n = U32();
-    if (!status_.ok()) return 0;
-    if (static_cast<uint64_t>(n) * min_element_bytes > remaining()) {
-      Fail("count " + std::to_string(n) + " exceeds remaining bytes");
-      return 0;
-    }
-    return n;
-  }
-
-  void Fail(const std::string& what) {
-    if (status_.ok()) {
-      status_ = Status::InvalidArgument(
-          "model artifact truncated or corrupt: cannot read " + what +
-          " at byte " + std::to_string(pos_) + " of " + std::to_string(size_));
-    }
-  }
-
- private:
-  void Raw(void* p, size_t n) {
-    if (!status_.ok()) return;
-    if (n > remaining()) {
-      Fail(std::to_string(n) + " bytes");
-      return;
-    }
-    std::memcpy(p, data_ + pos_, n);
-    pos_ += n;
-  }
-
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-  Status status_;
-};
-
-uint64_t Fnv1a(const char* data, size_t size) {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  for (size_t i = 0; i < size; ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
+using binio::Fnv1a;
+using binio::Reader;
+using binio::Writer;
 
 // ---------------------------------------------------------------------------
 // Section encoders
 
-void WriteConfig(const ModelConfig& c, Writer* w) {
+void WriteConfig(const ModelConfig& c, uint32_t version, Writer* w) {
   w->I32(c.n_context_size);
   w->F64(c.theta_interest);
   w->I32(c.knn.k);
   w->F64(c.knn.distance_threshold);
   w->U8(c.knn.distance_weighted ? 1 : 0);
+  if (version >= 2) w->U8(c.use_index ? 1 : 0);
   w->U8(static_cast<uint8_t>(c.method));
   w->F64(c.distance.indel_cost);
   w->F64(c.distance.display_weight);
@@ -150,12 +39,16 @@ void WriteConfig(const ModelConfig& c, Writer* w) {
   for (const std::string& m : c.measures) w->Str(m);
 }
 
-Status ReadConfig(Reader* r, ModelConfig* c) {
+Status ReadConfig(Reader* r, uint32_t version, ModelConfig* c) {
   c->n_context_size = r->I32();
   c->theta_interest = r->F64();
   c->knn.k = r->I32();
   c->knn.distance_threshold = r->F64();
   c->knn.distance_weighted = r->U8() != 0;
+  // Version-1 artifacts predate the serving index; they keep the default
+  // (enabled) but carry no index blob, so serving falls back to brute
+  // force either way.
+  c->use_index = version >= 2 ? r->U8() != 0 : true;
   uint8_t method = r->U8();
   c->distance.indel_cost = r->F64();
   c->distance.display_weight = r->F64();
@@ -419,7 +312,8 @@ Result<NContext> ReadContext(Reader* r, const std::vector<DisplayPtr>& displays,
 
 }  // namespace
 
-std::string TrainedModel::Serialize() const {
+std::string TrainedModel::Serialize(uint32_t version) const {
+  version = std::clamp(version, kMinArtifactVersion, kArtifactVersion);
   // Payload first: config, samples (contexts referencing pool indices),
   // then the interned pools themselves. Pools are filled while the samples
   // are encoded, so samples are buffered into their own writer.
@@ -437,17 +331,24 @@ std::string TrainedModel::Serialize() const {
   }
 
   Writer payload;
-  WriteConfig(config_, &payload);
+  WriteConfig(config_, version, &payload);
   payload.U32(static_cast<uint32_t>(pools.displays.size()));
   for (const Display* d : pools.displays) WriteDisplay(*d, &payload);
   payload.U32(static_cast<uint32_t>(pools.actions.size()));
   std::string payload_bytes = payload.Take();
   for (const std::string& a : pools.actions) payload_bytes += a;
   payload_bytes += samples.Take();
+  if (version >= 2) {
+    // Index section: length-prefixed VP-tree blob, empty when the model
+    // carries no index. Version-1 output drops it (rollback support).
+    Writer index;
+    index.Str(index_ != nullptr ? index_->Serialize() : std::string());
+    payload_bytes += index.Take();
+  }
 
   Writer out;
   std::string artifact(kArtifactMagic, sizeof(kArtifactMagic));
-  out.U32(kArtifactVersion);
+  out.U32(version);
   artifact += out.Take();
   artifact += payload_bytes;
   Writer checksum;
@@ -471,10 +372,11 @@ Result<TrainedModel> TrainedModel::Deserialize(const std::string& bytes) {
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + sizeof(kArtifactMagic),
               sizeof(version));
-  if (version != kArtifactVersion) {
+  if (version < kMinArtifactVersion || version > kArtifactVersion) {
     return Status::InvalidArgument(
         "unsupported model artifact format version " +
-        std::to_string(version) + " (this build reads version " +
+        std::to_string(version) + " (this build reads versions " +
+        std::to_string(kMinArtifactVersion) + ".." +
         std::to_string(kArtifactVersion) + ")");
   }
   const char* payload = bytes.data() + kHeader;
@@ -489,7 +391,7 @@ Result<TrainedModel> TrainedModel::Deserialize(const std::string& bytes) {
 
   Reader r(payload, payload_size);
   ModelConfig config;
-  IDA_RETURN_NOT_OK(ReadConfig(&r, &config));
+  IDA_RETURN_NOT_OK(ReadConfig(&r, version, &config));
 
   uint32_t num_displays = r.Count(25);  // fixed display fields
   std::vector<DisplayPtr> displays;
@@ -523,12 +425,24 @@ Result<TrainedModel> TrainedModel::Deserialize(const std::string& bytes) {
     samples.push_back(std::move(s));
   }
   IDA_RETURN_NOT_OK(r.status());
+
+  std::shared_ptr<const index::VpTree> index;
+  if (version >= 2) {
+    std::string index_blob = r.Str();
+    IDA_RETURN_NOT_OK(r.status());
+    if (!index_blob.empty()) {
+      IDA_ASSIGN_OR_RETURN(
+          index::VpTree tree,
+          index::VpTree::Deserialize(index_blob, samples.size()));
+      index = std::make_shared<const index::VpTree>(std::move(tree));
+    }
+  }
   if (r.remaining() != 0) {
     return Status::InvalidArgument(
         "model artifact corrupt: " + std::to_string(r.remaining()) +
         " trailing payload bytes");
   }
-  return TrainedModel(std::move(config), std::move(samples));
+  return TrainedModel(std::move(config), std::move(samples), std::move(index));
 }
 
 Status TrainedModel::SaveToFile(const std::string& path) const {

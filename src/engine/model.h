@@ -1,8 +1,9 @@
 // TrainedModel — the serializable output of the offline phase (engine
 // train/serve split, DESIGN.md §9). A trained model is an immutable value:
 // the full ModelConfig plus the labeled training samples with their
-// n-contexts. It serializes to a versioned binary artifact, so a model can
-// be trained once and served from many processes:
+// n-contexts, and (since format version 2) the serving-time kNN index
+// built over them. It serializes to a versioned binary artifact, so a
+// model can be trained once and served from many processes:
 //
 //   magic "IDAMODEL" | u32 format version | payload | u64 FNV-1a checksum
 //
@@ -15,15 +16,24 @@
 // double as its raw IEEE-754 bits, so a loaded model reproduces in-memory
 // predictions bitwise. Corrupt, truncated or version-mismatched inputs are
 // rejected with a descriptive Status; loading never crashes.
+//
+// Version history:
+//   1 — config + display/action pools + samples.
+//   2 — adds `use_index` to the config section and a length-prefixed
+//       VP-tree blob after the samples (empty blob = no index). Version-1
+//       artifacts still load; they simply carry no index, and the serving
+//       layer falls back to the brute-force scan.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/config.h"
+#include "index/vptree.h"
 #include "offline/training.h"
 
 namespace ida::engine {
@@ -32,25 +42,39 @@ namespace ida::engine {
 inline constexpr char kArtifactMagic[8] = {'I', 'D', 'A', 'M',
                                            'O', 'D', 'E', 'L'};
 /// Current artifact format version. Bump on any layout change; readers
-/// reject other versions with an explicit message.
-inline constexpr uint32_t kArtifactVersion = 1;
+/// accept kMinArtifactVersion..kArtifactVersion and reject the rest with
+/// an explicit message.
+inline constexpr uint32_t kArtifactVersion = 2;
+/// Oldest artifact version this build still reads.
+inline constexpr uint32_t kMinArtifactVersion = 1;
 
-/// An immutable trained model: configuration + labeled samples.
+/// An immutable trained model: configuration + labeled samples + optional
+/// serving index.
 class TrainedModel {
  public:
   TrainedModel() = default;
-  TrainedModel(ModelConfig config, std::vector<TrainingSample> samples)
-      : config_(std::move(config)), samples_(std::move(samples)) {}
+  TrainedModel(ModelConfig config, std::vector<TrainingSample> samples,
+               std::shared_ptr<const index::VpTree> index = nullptr)
+      : config_(std::move(config)),
+        samples_(std::move(samples)),
+        index_(std::move(index)) {}
 
   const ModelConfig& config() const { return config_; }
   const std::vector<TrainingSample>& samples() const { return samples_; }
   size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
+  /// The kNN serving index, or nullptr when the model carries none (index
+  /// disabled at training time, or a version-1 artifact).
+  const std::shared_ptr<const index::VpTree>& index() const { return index_; }
 
   /// Serializes to the versioned artifact format described above.
-  std::string Serialize() const;
+  /// `version` selects the on-disk format (rollback support for fleets
+  /// still running version-1 readers); writing version 1 drops the index
+  /// section. Versions outside the supported range are clamped into it.
+  std::string Serialize(uint32_t version = kArtifactVersion) const;
   /// Inverse of Serialize. Rejects bad magic, unsupported versions,
-  /// truncation and checksum mismatches with a descriptive Status.
+  /// truncation, checksum mismatches and malformed index sections with a
+  /// descriptive Status.
   static Result<TrainedModel> Deserialize(const std::string& bytes);
 
   Status SaveToFile(const std::string& path) const;
@@ -59,6 +83,7 @@ class TrainedModel {
  private:
   ModelConfig config_;
   std::vector<TrainingSample> samples_;
+  std::shared_ptr<const index::VpTree> index_;
 };
 
 }  // namespace ida::engine

@@ -58,6 +58,37 @@ EvalMetrics EvaluateKnnLoocv(const std::vector<TrainingSample>& samples,
   return acc.Finish();
 }
 
+EvalMetrics EvaluateKnnLoocv(const IKnnClassifier& classifier,
+                             int num_classes, int num_threads,
+                             index::IndexStats* index_stats) {
+  MetricsAccumulator acc(num_classes);
+  const std::vector<TrainingSample>& train = classifier.train();
+  std::vector<Prediction> predictions(train.size());
+  ThreadPool pool(num_threads);
+  std::vector<index::IndexStats> worker_stats(
+      index_stats != nullptr ? static_cast<size_t>(pool.num_threads()) : 0);
+  pool.ParallelFor(
+      train.size(), /*chunk=*/8, [&](size_t begin, size_t end, int worker) {
+        PredictStats stats;
+        for (size_t qi = begin; qi < end; ++qi) {
+          predictions[qi] = classifier.PredictLoo(
+              qi, index_stats != nullptr ? &stats : nullptr);
+          if (index_stats != nullptr) {
+            worker_stats[static_cast<size_t>(worker)].Merge(stats.index);
+          }
+        }
+      });
+  // Accumulate in query order so the result does not depend on the thread
+  // count.
+  for (size_t qi = 0; qi < train.size(); ++qi) {
+    acc.Add(predictions[qi], train[qi]);
+  }
+  if (index_stats != nullptr) {
+    for (const index::IndexStats& s : worker_stats) index_stats->Merge(s);
+  }
+  return acc.Finish();
+}
+
 EvalMetrics EvaluateBestSmLoocv(const std::vector<TrainingSample>& samples,
                                 const std::vector<size_t>& subset,
                                 int num_classes) {

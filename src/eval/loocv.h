@@ -36,6 +36,17 @@ EvalMetrics EvaluateKnnLoocv(const std::vector<TrainingSample>& samples,
                              const KnnOptions& options, int num_classes,
                              int num_threads = 0);
 
+/// Leave-one-out evaluation of an assembled classifier via PredictLoo,
+/// without materializing a pairwise distance matrix — used by the engine
+/// when the model carries a serving index (index/vptree.h). Over the same
+/// training set this produces metrics identical to the matrix-based
+/// overload (the indexed vote is bitwise-equivalent to the brute-force
+/// one), for every thread count. `index_stats`, when non-null, receives
+/// the summed index search counters.
+EvalMetrics EvaluateKnnLoocv(const IKnnClassifier& classifier,
+                             int num_classes, int num_threads = 0,
+                             index::IndexStats* index_stats = nullptr);
+
 /// Leave-one-out evaluation of the Best-SM baseline.
 EvalMetrics EvaluateBestSmLoocv(const std::vector<TrainingSample>& samples,
                                 const std::vector<size_t>& subset,

@@ -7,34 +7,26 @@
 
 namespace ida {
 
-Prediction KnnVote(const std::vector<double>& distances,
-                   const std::vector<TrainingSample>& train,
-                   const KnnOptions& options, int exclude, VoteStats* stats) {
-  Prediction out;
-  if (stats != nullptr) *stats = VoteStats();
-  if (train.empty() || distances.size() != train.size() || options.k < 1) {
-    return out;
-  }
-  // Collect candidate (distance, index) pairs and take the k nearest.
-  std::vector<std::pair<double, size_t>> order;
-  order.reserve(train.size());
-  for (size_t i = 0; i < train.size(); ++i) {
-    if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
-    order.emplace_back(distances[i], i);
-  }
-  size_t k = std::min(static_cast<size_t>(options.k), order.size());
-  if (k == 0) return out;
-  std::partial_sort(
-      order.begin(), order.begin() + static_cast<long>(k), order.end());
-  if (stats != nullptr) stats->nearest_distance = order[0].first;
+namespace {
 
+// The vote core, shared verbatim by every serving path (matrix-based
+// KnnVote, the brute-force scan, the indexed search): consumes a candidate
+// list already sorted ascending by (distance, index) and runs admission,
+// tallying and tie-breaking over it. Keeping the floating-point vote
+// arithmetic in one place is what makes the indexed path's predictions
+// bitwise identical to brute force — both hand it the same admitted
+// multiset in the same order.
+Prediction VoteOnSorted(const std::pair<double, size_t>* order, size_t count,
+                        const std::vector<TrainingSample>& train,
+                        const KnnOptions& options, VoteStats* stats) {
+  Prediction out;
   // Admit only neighbors within theta_delta (order is sorted, so the first
   // too-far neighbor ends the admission). Labels are small dense ints, so
   // the tallies live in flat label-indexed arrays — stack-allocated below
   // the kStackLabels bound — instead of per-call node-based maps.
   size_t admitted = 0;
   int max_label = -1;
-  for (size_t i = 0; i < k; ++i) {
+  for (size_t i = 0; i < count; ++i) {
     if (order[i].first > options.distance_threshold) break;
     max_label = std::max(max_label, train[order[i].second].label);
     ++admitted;
@@ -78,10 +70,11 @@ Prediction KnnVote(const std::vector<double>& distances,
     best_votes = std::max(best_votes, votes[label]);
   }
   if (best_votes <= 0.0) return out;  // only unlabeled neighbors admitted
-  // Tie-break by closest tied neighbor (ascending label order, matching
-  // the ordered-map iteration this replaces).
+  // Tie-break by closest tied neighbor, then by ascending label (see the
+  // rule documented on KnnVote). The sentinel is infinity so the rule
+  // holds for any nonnegative distance scale.
   int best_label = -1;
-  double best_dist = 2.0;
+  double best_dist = kNoNeighbor;
   for (int label = 0; label < num_labels; ++label) {
     if (votes[label] == best_votes && nearest[label] < best_dist) {
       best_dist = nearest[label];
@@ -93,8 +86,34 @@ Prediction KnnVote(const std::vector<double>& distances,
   return out;
 }
 
+}  // namespace
+
+Prediction KnnVote(const std::vector<double>& distances,
+                   const std::vector<TrainingSample>& train,
+                   const KnnOptions& options, int exclude, VoteStats* stats) {
+  Prediction out;
+  if (stats != nullptr) *stats = VoteStats();
+  if (train.empty() || distances.size() != train.size() || options.k < 1) {
+    return out;
+  }
+  // Collect candidate (distance, index) pairs and take the k nearest.
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
+    order.emplace_back(distances[i], i);
+  }
+  size_t k = std::min(static_cast<size_t>(options.k), order.size());
+  if (k == 0) return out;
+  std::partial_sort(
+      order.begin(), order.begin() + static_cast<long>(k), order.end());
+  if (stats != nullptr) stats->nearest_distance = order[0].first;
+  return VoteOnSorted(order.data(), k, train, options, stats);
+}
+
 IKnnClassifier::IKnnClassifier(std::vector<TrainingSample> train,
-                               SessionDistance metric, KnnOptions options)
+                               SessionDistance metric, KnnOptions options,
+                               std::shared_ptr<const index::VpTree> index)
     : train_(std::make_shared<const std::vector<TrainingSample>>(
           std::move(train))),
       metric_(std::move(metric)),
@@ -103,62 +122,118 @@ IKnnClassifier::IKnnClassifier(std::vector<TrainingSample> train,
   for (const TrainingSample& s : *train_) {
     prepared_.push_back(SessionDistance::Prepare(s.context));
   }
+  // Accept the index only when it indexes exactly this training set.
+  if (index != nullptr && index->size() == train_->size()) {
+    index_ = std::move(index);
+  }
 }
 
 namespace {
 
-// One query against the prepared training set, optionally collecting
-// per-phase wall times and distance-engine tallies. The stats == nullptr
-// path performs no clock reads and no tally bookkeeping beyond the plain
-// workspace increments.
-Prediction PredictOne(const FlatContext& q,
-                      const std::vector<FlatContext>& prepared,
-                      const std::vector<TrainingSample>& train,
-                      const SessionDistance& metric,
-                      const KnnOptions& options, TedWorkspace& ws,
-                      std::vector<double>& distances, PredictStats* stats) {
-  if (stats == nullptr) {
-    for (size_t i = 0; i < prepared.size(); ++i) {
-      distances[i] = metric.Distance(q, prepared[i], &ws);
-    }
-    return KnnVote(distances, train, options);
-  }
-
-  const TedTally before = ws.tally;
-  const auto distance_start = obs::TraceNow();
+// Brute-force candidate collection: evaluates the exact distance to every
+// training sample (minus `exclude`) into the caller's grow-only scratch
+// and sorts the k nearest to the front. Returns the candidate count to
+// vote over (<= k).
+size_t CollectBrute(const FlatContext& q,
+                    const std::vector<FlatContext>& prepared,
+                    const SessionDistance& metric, const KnnOptions& options,
+                    int exclude, TedWorkspace& ws,
+                    std::vector<std::pair<double, size_t>>& order) {
+  order.clear();
   for (size_t i = 0; i < prepared.size(); ++i) {
-    distances[i] = metric.Distance(q, prepared[i], &ws);
+    if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
+    order.emplace_back(metric.Distance(q, prepared[i], &ws), i);
   }
-  const auto vote_start = obs::TraceNow();
-  VoteStats vote;
-  Prediction out = KnnVote(distances, train, options, -1, &vote);
-  stats->distance_seconds =
-      std::chrono::duration<double>(vote_start - distance_start).count();
-  stats->vote_seconds = obs::SecondsSince(vote_start);
-  stats->distance_evals = prepared.size();
-  stats->nearest_distance = vote.nearest_distance;
-  stats->admitted_neighbors = vote.admitted_neighbors;
-  stats->ted = ws.tally.Since(before);
-  return out;
+  const size_t k = std::min(static_cast<size_t>(options.k), order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end());
+  return k;
 }
 
 }  // namespace
 
+Prediction IKnnClassifier::PredictPrepared(
+    const FlatContext& q, int exclude, TedWorkspace& ws,
+    std::vector<std::pair<double, size_t>>& order, PredictStats* stats) const {
+  if (options_.k < 1 || train_->empty()) {
+    return Prediction();
+  }
+  if (stats == nullptr) {
+    size_t count;
+    if (index_ != nullptr) {
+      index_->Search(q, prepared_, metric_, options_.k,
+                     options_.distance_threshold, exclude, &ws, &order);
+      count = order.size();
+    } else {
+      count = CollectBrute(q, prepared_, metric_, options_, exclude, ws,
+                           order);
+    }
+    return VoteOnSorted(order.data(), count, *train_, options_, nullptr);
+  }
+
+  const TedTally before = ws.tally;
+  const auto distance_start = obs::TraceNow();
+  size_t count;
+  index::IndexStats istats;
+  if (index_ != nullptr) {
+    index_->Search(q, prepared_, metric_, options_.k,
+                   options_.distance_threshold, exclude, &ws, &order,
+                   &istats);
+    count = order.size();
+  } else {
+    count =
+        CollectBrute(q, prepared_, metric_, options_, exclude, ws, order);
+  }
+  const auto vote_start = obs::TraceNow();
+  VoteStats vote;
+  Prediction out = VoteOnSorted(order.data(), count, *train_, options_,
+                                &vote);
+  stats->distance_seconds =
+      std::chrono::duration<double>(vote_start - distance_start).count();
+  stats->vote_seconds = obs::SecondsSince(vote_start);
+  stats->admitted_neighbors = vote.admitted_neighbors;
+  stats->ted = ws.tally.Since(before);
+  if (index_ != nullptr) {
+    stats->used_index = true;
+    stats->index = istats;
+    stats->distance_evals = static_cast<size_t>(istats.exact_teds);
+    // With an admitted neighbor the front of the result list is the true
+    // nearest sample; on an abstention the search reports the nearest
+    // distance it actually evaluated (see PredictStats).
+    stats->nearest_distance =
+        !order.empty() ? order[0].first : istats.nearest_seen;
+  } else {
+    stats->distance_evals = order.size();
+    stats->nearest_distance = !order.empty() ? order[0].first : -1.0;
+  }
+  return out;
+}
+
 Prediction IKnnClassifier::Predict(const NContext& query,
                                    PredictStats* stats) const {
+  // Grow-only thread-local scratch: the single-query path performs no
+  // steady-state heap allocation.
   thread_local TedWorkspace ws;
-  std::vector<double> distances(train_->size());
+  thread_local std::vector<std::pair<double, size_t>> order;
   if (stats == nullptr) {
     const FlatContext q = SessionDistance::Prepare(query);
-    return PredictOne(q, prepared_, *train_, metric_, options_, ws,
-                      distances, nullptr);
+    return PredictPrepared(q, /*exclude=*/-1, ws, order, nullptr);
   }
   *stats = PredictStats();
   const auto prepare_start = obs::TraceNow();
   const FlatContext q = SessionDistance::Prepare(query);
   stats->prepare_seconds = obs::SecondsSince(prepare_start);
-  return PredictOne(q, prepared_, *train_, metric_, options_, ws, distances,
-                    stats);
+  return PredictPrepared(q, /*exclude=*/-1, ws, order, stats);
+}
+
+Prediction IKnnClassifier::PredictLoo(size_t exclude_index,
+                                      PredictStats* stats) const {
+  thread_local TedWorkspace ws;
+  thread_local std::vector<std::pair<double, size_t>> order;
+  if (stats != nullptr) *stats = PredictStats();
+  if (exclude_index >= prepared_.size()) return Prediction();
+  return PredictPrepared(prepared_[exclude_index],
+                         static_cast<int>(exclude_index), ws, order, stats);
 }
 
 std::vector<Prediction> IKnnClassifier::PredictBatch(
@@ -169,7 +244,7 @@ std::vector<Prediction> IKnnClassifier::PredictBatch(
   if (queries.empty() || train_->empty()) return out;
 
   // Prepare phase for the queries (cheap, serial), then fan the distance
-  // computations out with one workspace and one distance row per worker.
+  // computations out with one workspace and one candidate row per worker.
   std::vector<FlatContext> flat;
   flat.reserve(queries.size());
   for (const NContext& q : queries) {
@@ -177,18 +252,17 @@ std::vector<Prediction> IKnnClassifier::PredictBatch(
   }
   ThreadPool pool(metric_.options().num_threads);
   std::vector<TedWorkspace> scratch(static_cast<size_t>(pool.num_threads()));
-  std::vector<std::vector<double>> rows(
-      static_cast<size_t>(pool.num_threads()),
-      std::vector<double>(train_->size()));
+  std::vector<std::vector<std::pair<double, size_t>>> rows(
+      static_cast<size_t>(pool.num_threads()));
   pool.ParallelFor(
       queries.size(), /*chunk=*/1, [&](size_t begin, size_t end, int worker) {
         TedWorkspace& ws = scratch[static_cast<size_t>(worker)];
-        std::vector<double>& distances = rows[static_cast<size_t>(worker)];
+        auto& order = rows[static_cast<size_t>(worker)];
         for (size_t qi = begin; qi < end; ++qi) {
           // Each stats slot has exactly one writer (this worker).
-          out[qi] = PredictOne(flat[qi], prepared_, *train_, metric_,
-                               options_, ws, distances,
-                               stats != nullptr ? &(*stats)[qi] : nullptr);
+          out[qi] = PredictPrepared(flat[qi], /*exclude=*/-1, ws, order,
+                                    stats != nullptr ? &(*stats)[qi]
+                                                     : nullptr);
         }
       });
   return out;

@@ -7,13 +7,18 @@
 // The classifier flattens its training contexts once at construction (the
 // engine's prepare phase), so each query pays one flattening plus
 // allocation-free distance computations; PredictBatch additionally fans
-// queries out over the thread pool.
+// queries out over the thread pool. When constructed with a VP-tree index
+// (index/vptree.h) the per-query distance scan is replaced by a pruned
+// metric-space search; predictions are bitwise identical to the
+// brute-force scan in either mode (the index only skips candidates whose
+// lower bound proves they cannot be admitted).
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "distance/ted.h"
+#include "index/vptree.h"
 #include "offline/training.h"
 
 namespace ida {
@@ -46,19 +51,28 @@ struct KnnOptions {
 struct PredictStats {
   /// Distance to the nearest candidate neighbor (-1 with an empty
   /// training set). A value above theta_delta explains an abstention.
+  /// On the indexed path an abstaining query reports the nearest distance
+  /// actually *evaluated* — an upper bound on the true nearest, since
+  /// pruned candidates are never measured; when any neighbor is admitted
+  /// the value is exact and equals the brute-force one.
   double nearest_distance = -1.0;
   /// Neighbors within theta_delta among the k nearest (0 = abstained).
   size_t admitted_neighbors = 0;
-  /// Distance evaluations performed (== training-set size).
+  /// Exact distance evaluations performed (== training-set size on the
+  /// brute-force path; the pruned count on the indexed path).
   size_t distance_evals = 0;
-  /// Phase wall times of the query: query flattening, the distance loop,
-  /// and the vote.
+  /// Phase wall times of the query: query flattening, the distance loop
+  /// (or index search), and the vote.
   double prepare_seconds = 0.0;
   double distance_seconds = 0.0;
   double vote_seconds = 0.0;
   /// Distance-engine event deltas for this query (ted.h); zero when the
   /// build compiled observability out.
   TedTally ted;
+  /// True when the query was served through the VP-tree index.
+  bool used_index = false;
+  /// Index search counters for this query (all zero on the brute path).
+  index::IndexStats index;
 };
 
 /// Vote-level observability detail (subset of PredictStats available to
@@ -70,9 +84,16 @@ struct VoteStats {
 
 /// Low-level vote given precomputed distances to every training sample.
 /// `exclude` (>= 0) removes one training index — used by leave-one-out
-/// evaluation. Ties between labels are broken in favor of the label of the
-/// nearest tied neighbor. `stats`, when non-null, receives the nearest
-/// candidate distance and the admitted-neighbor count.
+/// evaluation. `stats`, when non-null, receives the nearest candidate
+/// distance and the admitted-neighbor count.
+///
+/// Tie-break rule: the winning label is the one with the largest vote
+/// mass; among tied labels, the one whose nearest admitted neighbor is
+/// closest wins, and if those distances tie too the smallest label wins
+/// (the scan is in ascending label order and only a strictly closer
+/// neighbor displaces the incumbent). The no-neighbor sentinel is
+/// +infinity, so the rule is correct for any nonnegative distance scale,
+/// not just the normalized [0, 1] metric.
 Prediction KnnVote(const std::vector<double>& distances,
                    const std::vector<TrainingSample>& train,
                    const KnnOptions& options, int exclude = -1,
@@ -85,8 +106,11 @@ Prediction KnnVote(const std::vector<double>& distances,
 /// and stay cheap and safe.
 class IKnnClassifier {
  public:
+  /// `index`, when non-null, must have been built over exactly this
+  /// training set (same order); it is ignored if its size disagrees.
   IKnnClassifier(std::vector<TrainingSample> train, SessionDistance metric,
-                 KnnOptions options);
+                 KnnOptions options,
+                 std::shared_ptr<const index::VpTree> index = nullptr);
 
   /// Predicts the dominant-measure label for a query n-context. `stats`,
   /// when non-null, receives the query's observability detail (phase
@@ -94,6 +118,13 @@ class IKnnClassifier {
   /// (the default) skips all stats collection including its clock reads.
   Prediction Predict(const NContext& query,
                      PredictStats* stats = nullptr) const;
+
+  /// Leave-one-out prediction for training sample `exclude_index`: the
+  /// sample's own context is the query and the sample is excluded from
+  /// the neighbor candidates. Equivalent to the matrix-based LOOCV vote;
+  /// served through the index when one is attached.
+  Prediction PredictLoo(size_t exclude_index,
+                        PredictStats* stats = nullptr) const;
 
   /// Batch prediction: one result per query, in query order, computed over
   /// `metric.options().num_threads` workers. Output is identical to
@@ -105,14 +136,22 @@ class IKnnClassifier {
 
   const std::vector<TrainingSample>& train() const { return *train_; }
   const KnnOptions& options() const { return options_; }
+  /// The attached serving index (nullptr = brute-force scan).
+  const index::VpTree* index() const { return index_.get(); }
 
  private:
+  Prediction PredictPrepared(const FlatContext& query, int exclude,
+                             TedWorkspace& ws,
+                             std::vector<std::pair<double, size_t>>& order,
+                             PredictStats* stats) const;
+
   std::shared_ptr<const std::vector<TrainingSample>> train_;
   /// Prepared (flattened) view of each training context; borrows storage
   /// from *train_.
   std::vector<FlatContext> prepared_;
   SessionDistance metric_;
   KnnOptions options_;
+  std::shared_ptr<const index::VpTree> index_;
 };
 
 }  // namespace ida

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/binio.h"
 #include "synth/generator.h"
 
 namespace ida {
@@ -246,6 +247,64 @@ TEST_F(EngineTest, FormatVersionMismatchRejected) {
                 "unsupported model artifact format version"),
             std::string::npos)
       << mismatched.status().ToString();
+}
+
+TEST_F(EngineTest, VersionOneArtifactLoadsAndServesBruteForce) {
+  // Rollback support: a version-1 artifact (no index section) must still
+  // load in this build and serve — via the brute-force scan — the exact
+  // predictions the indexed model produces.
+  ASSERT_NE(model_->index(), nullptr);
+  std::string v1 = model_->Serialize(1);
+  uint32_t stored_version = 0;
+  std::memcpy(&stored_version, &v1[8], sizeof(stored_version));
+  EXPECT_EQ(stored_version, 1u);
+  EXPECT_LT(v1.size(), model_->Serialize().size());  // index dropped
+  auto loaded = engine::TrainedModel::Deserialize(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->index(), nullptr);
+  EXPECT_EQ(loaded->size(), model_->size());
+  // A loaded v1 model re-writes the identical v1 artifact.
+  EXPECT_EQ(loaded->Serialize(1), v1);
+  auto indexed = engine::Predictor::Load(*model_);
+  auto brute = engine::Predictor::Load(*loaded);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(brute.ok());
+  for (const NContext& q : *queries_) {
+    Prediction a = indexed->Predict(q);
+    Prediction b = brute->Predict(q);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.confidence, b.confidence);  // bitwise
+  }
+}
+
+TEST_F(EngineTest, OutOfRangeSerializeVersionsClampToSupportedRange) {
+  EXPECT_EQ(model_->Serialize(0), model_->Serialize(1));
+  EXPECT_EQ(model_->Serialize(99), model_->Serialize());
+}
+
+TEST_F(EngineTest, CorruptedIndexSectionRejectedWithValidChecksum) {
+  // Bypass the checksum (recompute it after the corruption) so the index
+  // section's own structural validation is what rejects the artifact.
+  ASSERT_NE(model_->index(), nullptr);
+  std::string bytes = model_->Serialize();
+  const size_t blob_len = model_->index()->Serialize().size();
+  ASSERT_GT(blob_len, 16u);
+  const size_t blob_start = bytes.size() - sizeof(uint64_t) - blob_len;
+  // A hostile node count in the embedded VP-tree blob.
+  uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(&bytes[blob_start + 12], &huge, sizeof(huge));
+  const size_t payload_start = sizeof(engine::kArtifactMagic) +
+                               sizeof(uint32_t);
+  uint64_t checksum = binio::Fnv1a(
+      bytes.data() + payload_start,
+      bytes.size() - payload_start - sizeof(uint64_t));
+  std::memcpy(&bytes[bytes.size() - sizeof(uint64_t)], &checksum,
+              sizeof(checksum));
+  auto corrupt = engine::TrainedModel::Deserialize(bytes);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find("index section corrupt"),
+            std::string::npos)
+      << corrupt.status().ToString();
 }
 
 TEST_F(EngineTest, ConcurrentPredictIsThreadSafe) {

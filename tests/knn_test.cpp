@@ -134,6 +134,91 @@ TEST(KnnVoteTest, WeightedVotingStillRespectsThreshold) {
   EXPECT_FALSE(KnnVote(dist, train, options).HasPrediction());
 }
 
+TEST(KnnVoteTest, HeapTallyPathBeyondStackLabels) {
+  // Labels past the 32-entry stack-tally fast path force the heap tally;
+  // the vote must come out the same way it would for small labels.
+  std::vector<int> labels;
+  std::vector<double> dist;
+  for (int i = 0; i < 40; ++i) {
+    labels.push_back(i);
+    dist.push_back(0.1 + 0.001 * i);
+  }
+  // Two extra votes for the largest label make it the majority.
+  labels.push_back(39);
+  dist.push_back(0.05);
+  labels.push_back(39);
+  dist.push_back(0.06);
+  auto train = MakeSamples(labels);
+  KnnOptions options;
+  options.k = static_cast<int>(labels.size());
+  options.distance_threshold = 1.0;
+  Prediction p = KnnVote(dist, train, options);
+  EXPECT_EQ(p.label, 39);
+  EXPECT_NEAR(p.confidence, 3.0 / 42.0, 1e-12);
+}
+
+TEST(KnnVoteTest, AllAdmittedNeighborsUnlabeledAbstains) {
+  // Admitted neighbors that carry no label (-1) cannot vote; a labeled
+  // sample beyond theta_delta does not rescue the query.
+  auto train = MakeSamples({-1, -1, 5});
+  std::vector<double> dist = {0.01, 0.02, 0.9};
+  KnnOptions options;
+  options.k = 3;
+  options.distance_threshold = 0.2;
+  Prediction p = KnnVote(dist, train, options);
+  EXPECT_FALSE(p.HasPrediction());
+  EXPECT_EQ(p.label, -1);
+  EXPECT_EQ(p.confidence, 0.0);
+}
+
+TEST(KnnVoteTest, ExcludeShiftsTheKWindow) {
+  // Excluding a sample removes it from candidacy entirely, so the k-th
+  // slot falls to the next-nearest neighbor rather than staying empty.
+  auto train = MakeSamples({0, 0, 1, 1, 1});
+  std::vector<double> dist = {0.00, 0.01, 0.02, 0.03, 0.04};
+  KnnOptions options;
+  options.k = 3;
+  options.distance_threshold = 1.0;
+  // Without exclusion the 3 nearest are {0, 0, 1}: label 0 wins.
+  EXPECT_EQ(KnnVote(dist, train, options).label, 0);
+  // Excluding index 0 slides the window to {0, 1, 1}: label 1 wins.
+  EXPECT_EQ(KnnVote(dist, train, options, /*exclude=*/0).label, 1);
+  // A negative exclude means no exclusion.
+  EXPECT_EQ(KnnVote(dist, train, options, /*exclude=*/-1).label, 0);
+}
+
+TEST(KnnVoteTest, TieBreakWorksAtAnyDistanceScale) {
+  // Regression: the tie-break's no-neighbor sentinel is +infinity, so a
+  // vote tie resolves correctly even when every admitted distance is
+  // large (an earlier sentinel of 2.0 silently produced label -1 here).
+  auto train = MakeSamples({0, 1});
+  std::vector<double> dist = {5.0, 6.0};
+  KnnOptions options;
+  options.k = 2;
+  options.distance_threshold = 10.0;
+  Prediction p = KnnVote(dist, train, options);
+  ASSERT_TRUE(p.HasPrediction());
+  EXPECT_EQ(p.label, 0);  // tie on votes; label 0 owns the closer neighbor
+}
+
+TEST(KnnVoteTest, WeightedTieBreaksByNearestThenSmallestLabel) {
+  // Mirror-image distances give both labels bitwise-equal weighted vote
+  // mass and an equal nearest neighbor, so the documented last resort —
+  // smallest label — decides.
+  auto train = MakeSamples({1, 0, 0, 1});
+  std::vector<double> dist = {0.01, 0.01, 0.03, 0.03};
+  KnnOptions options;
+  options.k = 4;
+  options.distance_threshold = 0.5;
+  options.distance_weighted = true;
+  Prediction weighted = KnnVote(dist, train, options);
+  EXPECT_EQ(weighted.label, 0);
+  EXPECT_NEAR(weighted.confidence, 0.5, 1e-12);
+  // The unweighted vote ties the same way and agrees.
+  options.distance_weighted = false;
+  EXPECT_EQ(KnnVote(dist, train, options).label, 0);
+}
+
 TEST(IKnnClassifierTest, AbstainsOnAlienQuery) {
   SessionTree t = testing::ExampleSession();
   std::vector<TrainingSample> train;

@@ -221,13 +221,22 @@ TEST_F(ObsEngineTest, OnePredictIncrementsTheServingMetrics) {
   Prediction p = served->Predict(model_->samples()[0].context);
 #if IDA_OBS_ENABLED
   EXPECT_EQ(registry.GetCounter("ida.engine.predict.count")->value(), 1u);
-  EXPECT_EQ(registry.GetCounter("ida.engine.predict.distance_evals")->value(),
-            model_->size());
+  // The serving index prunes most exact TED evaluations, so the eval count
+  // is a positive number no larger than the training set, and it must agree
+  // with the index's own accounting of un-pruned candidates.
+  const uint64_t evals =
+      registry.GetCounter("ida.engine.predict.distance_evals")->value();
+  EXPECT_GT(evals, 0u);
+  EXPECT_LE(evals, model_->size());
+  EXPECT_EQ(registry.GetCounter("ida.index.searches")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("ida.index.exact_teds")->value(), evals);
+  EXPECT_GT(registry.GetCounter("ida.index.lb_pruned")->value() +
+                registry.GetCounter("ida.index.triangle_pruned")->value() +
+                registry.GetCounter("ida.index.subtree_pruned")->value(),
+            0u);
   EXPECT_EQ(registry.GetHistogram("ida.engine.predict.seconds")->count(), 1u);
-  // Querying a training context: its own distance is 0, so the distance
-  // loop ran the full training set's worth of TED calls through the tally.
-  EXPECT_GE(registry.GetCounter("ida.distance.ted.calls")->value(),
-            model_->size());
+  // Every exact evaluation the index admitted went through the TED tally.
+  EXPECT_GE(registry.GetCounter("ida.distance.ted.calls")->value(), evals);
   const uint64_t abstained =
       registry.GetCounter("ida.engine.predict.abstentions")->value();
   EXPECT_EQ(abstained, p.HasPrediction() ? 0u : 1u);
@@ -305,9 +314,11 @@ TEST_F(ObsEngineTest, FitAndLoocvRecordTheirMetrics) {
   EXPECT_EQ(registry.GetCounter("ida.engine.fit.samples")->value(),
             model->size());
   EXPECT_EQ(registry.GetCounter("ida.engine.loocv.runs")->value(), 1u);
-  EXPECT_EQ(registry.GetCounter("ida.distance.matrix.builds")->value(), 1u);
-  EXPECT_EQ(registry.GetCounter("ida.distance.matrix.contexts")->value(),
-            model->size());
+  EXPECT_EQ(registry.GetCounter("ida.engine.fit.index_builds")->value(), 1u);
+  // The indexed LOOCV path serves every held-out query off the model's
+  // VP-tree instead of materializing a pairwise distance matrix.
+  EXPECT_EQ(registry.GetCounter("ida.distance.matrix.builds")->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("ida.index.searches")->value(), model->size());
   EXPECT_EQ(registry.GetHistogram("ida.engine.fit.seconds")->count(), 1u);
 #endif
 }

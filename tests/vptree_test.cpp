@@ -1,0 +1,250 @@
+// Tests of the metric-space serving index (index/vptree.h, DESIGN.md §11):
+// the certified metric core's symmetry / triangle / lower-bound properties
+// over real training contexts, exact search equivalence against a brute
+// scan, exclusion semantics, deterministic builds, and the index blob's
+// serialize / validate round trip (malformed sections are rejected with a
+// Status, never crashed on).
+#include "index/vptree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "synth/generator.h"
+
+namespace ida {
+namespace {
+
+ModelConfig IndexTestConfig() {
+  ModelConfig config = DefaultNormalizedConfig();
+  config.n_context_size = 3;
+  config.theta_interest = -100.0;  // keep every state
+  config.knn.distance_threshold = 0.25;
+  return config;
+}
+
+// One trained model's contexts, prepared once for the whole suite.
+class VpTreeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bench_ = new SynthBenchmark(
+        std::move(*GenerateBenchmark(SmallGeneratorOptions(21))));
+    engine::Trainer trainer(IndexTestConfig());
+    auto model = trainer.Fit(bench_->log, bench_->registry);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    ASSERT_GT(model->size(), 30u);
+    model_ = new engine::TrainedModel(std::move(*model));
+    prepared_ = new std::vector<FlatContext>();
+    prepared_->reserve(model_->size());
+    for (const TrainingSample& s : model_->samples()) {
+      prepared_->push_back(SessionDistance::Prepare(s.context));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete prepared_;
+    delete model_;
+    delete bench_;
+  }
+
+  static SessionDistance Metric() {
+    return SessionDistance(IndexTestConfig().distance);
+  }
+
+  // The admitted-neighbor list the brute-force vote sees: all samples
+  // (minus `exclude`) within `radius`, sorted by (distance, id), first k.
+  static std::vector<std::pair<double, size_t>> BruteSearch(
+      size_t query, int k, double radius, int exclude) {
+    SessionDistance metric = Metric();
+    TedWorkspace ws;
+    std::vector<std::pair<double, size_t>> all;
+    for (size_t i = 0; i < prepared_->size(); ++i) {
+      if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
+      double d = metric.Distance((*prepared_)[query], (*prepared_)[i], &ws);
+      if (d <= radius) all.emplace_back(d, i);
+    }
+    std::sort(all.begin(), all.end());
+    if (all.size() > static_cast<size_t>(k)) all.resize(static_cast<size_t>(k));
+    return all;
+  }
+
+  static SynthBenchmark* bench_;
+  static engine::TrainedModel* model_;
+  static std::vector<FlatContext>* prepared_;
+};
+
+SynthBenchmark* VpTreeTest::bench_ = nullptr;
+engine::TrainedModel* VpTreeTest::model_ = nullptr;
+std::vector<FlatContext>* VpTreeTest::prepared_ = nullptr;
+
+TEST_F(VpTreeTest, CoreDistanceIsSymmetricAndBoundsTheServingTed) {
+  SessionDistance metric = Metric();
+  TedWorkspace ws;
+  const size_t n = std::min<size_t>(prepared_->size(), 24);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double core = index::CoreTreeEditDistance(
+          (*prepared_)[i], (*prepared_)[j], metric.options(), &ws);
+      double core_rev = index::CoreTreeEditDistance(
+          (*prepared_)[j], (*prepared_)[i], metric.options(), &ws);
+      double exact =
+          metric.TreeEditDistance((*prepared_)[i], (*prepared_)[j], &ws);
+      EXPECT_EQ(core, core_rev) << "asymmetric core at (" << i << "," << j
+                                << ")";
+      // The soundness invariant the whole pruning scheme rests on: the
+      // metric core never exceeds the serving TED, bitwise.
+      EXPECT_LE(core, exact) << "core overshoots at (" << i << "," << j << ")";
+      EXPECT_GE(core, 0.0);
+      if (i == j) {
+        EXPECT_EQ(core, 0.0);
+      }
+    }
+  }
+}
+
+TEST_F(VpTreeTest, CoreDistanceSatisfiesTheTriangleInequality) {
+  SessionDistance metric = Metric();
+  TedWorkspace ws;
+  const size_t n = std::min<size_t>(prepared_->size(), 14);
+  auto core = [&](size_t a, size_t b) {
+    return index::CoreTreeEditDistance((*prepared_)[a], (*prepared_)[b],
+                                       metric.options(), &ws);
+  };
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      for (size_t c = 0; c < n; ++c) {
+        // 1e-9 relative slack: the index deflates its bounds by the same
+        // margin, so this is the inequality it actually relies on.
+        EXPECT_LE(core(a, c), (core(a, b) + core(b, c)) * (1.0 + 1e-9))
+            << "triangle violated at (" << a << "," << b << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST_F(VpTreeTest, SearchMatchesBruteForceBitwise) {
+  SessionDistance metric = Metric();
+  index::VpTree tree = index::VpTree::Build(*prepared_, metric);
+  ASSERT_EQ(tree.size(), prepared_->size());
+  TedWorkspace ws;
+  std::vector<std::pair<double, size_t>> got;
+  index::IndexStats stats;
+  for (size_t q = 0; q < prepared_->size(); ++q) {
+    for (int k : {1, 3, 7}) {
+      for (double radius : {0.1, 0.25, 1.0}) {
+        tree.Search((*prepared_)[q], *prepared_, metric, k, radius,
+                    /*exclude=*/-1, &ws, &got, &stats);
+        std::vector<std::pair<double, size_t>> want =
+            BruteSearch(q, k, radius, /*exclude=*/-1);
+        ASSERT_EQ(got.size(), want.size())
+            << "q=" << q << " k=" << k << " radius=" << radius;
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].second, want[i].second);
+          EXPECT_EQ(got[i].first, want[i].first);  // bitwise
+        }
+      }
+    }
+  }
+  // The point of the index: it pruned a real fraction of the exact DPs
+  // (a brute scan would evaluate the full training set per search).
+  EXPECT_LT(stats.exact_teds, stats.searches * prepared_->size());
+  EXPECT_GT(stats.lb_pruned + stats.triangle_pruned + stats.subtree_pruned,
+            0u);
+}
+
+TEST_F(VpTreeTest, SearchHonorsExclusion) {
+  SessionDistance metric = Metric();
+  index::VpTree tree = index::VpTree::Build(*prepared_, metric);
+  TedWorkspace ws;
+  std::vector<std::pair<double, size_t>> got;
+  for (size_t q = 0; q < std::min<size_t>(prepared_->size(), 16); ++q) {
+    tree.Search((*prepared_)[q], *prepared_, metric, 5, 0.25,
+                /*exclude=*/static_cast<int>(q), &ws, &got);
+    std::vector<std::pair<double, size_t>> want =
+        BruteSearch(q, 5, 0.25, static_cast<int>(q));
+    ASSERT_EQ(got.size(), want.size()) << "q=" << q;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NE(got[i].second, q);
+      EXPECT_EQ(got[i].second, want[i].second);
+      EXPECT_EQ(got[i].first, want[i].first);
+    }
+  }
+}
+
+TEST_F(VpTreeTest, BuildIsDeterministic) {
+  SessionDistance metric = Metric();
+  index::VpTree a = index::VpTree::Build(*prepared_, metric);
+  index::VpTree b = index::VpTree::Build(*prepared_, metric);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+TEST_F(VpTreeTest, SerializeRoundTripsAndServesIdentically) {
+  SessionDistance metric = Metric();
+  index::VpTree tree = index::VpTree::Build(*prepared_, metric);
+  std::string blob = tree.Serialize();
+  auto loaded = index::VpTree::Deserialize(blob, prepared_->size());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), tree.size());
+  EXPECT_EQ(loaded->num_nodes(), tree.num_nodes());
+  EXPECT_EQ(loaded->Serialize(), blob);
+  TedWorkspace ws;
+  std::vector<std::pair<double, size_t>> got, want;
+  for (size_t q = 0; q < std::min<size_t>(prepared_->size(), 12); ++q) {
+    tree.Search((*prepared_)[q], *prepared_, metric, 7, 0.25, -1, &ws, &want);
+    loaded->Search((*prepared_)[q], *prepared_, metric, 7, 0.25, -1, &ws,
+                   &got);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_F(VpTreeTest, EmptyTreeIsServedAndRoundTrips) {
+  SessionDistance metric = Metric();
+  index::VpTree tree = index::VpTree::Build({}, metric);
+  EXPECT_TRUE(tree.empty());
+  TedWorkspace ws;
+  std::vector<std::pair<double, size_t>> got = {{0.0, 0}};
+  tree.Search((*prepared_)[0], {}, metric, 3, 1.0, -1, &ws, &got);
+  EXPECT_TRUE(got.empty());
+  auto loaded = index::VpTree::Deserialize(tree.Serialize(), 0);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(VpTreeTest, MalformedBlobsAreRejectedNotCrashedOn) {
+  SessionDistance metric = Metric();
+  index::VpTree tree = index::VpTree::Build(*prepared_, metric);
+  const std::string blob = tree.Serialize();
+  const size_t n = prepared_->size();
+
+  // Every truncation point fails cleanly.
+  for (size_t len = 0; len < blob.size(); len += 3) {
+    auto r = index::VpTree::Deserialize(blob.substr(0, len), n);
+    EXPECT_FALSE(r.ok()) << "truncation to " << len << " bytes accepted";
+  }
+  // Trailing garbage is not silently ignored.
+  EXPECT_FALSE(index::VpTree::Deserialize(blob + "x", n).ok());
+  // Sample-count mismatch with the surrounding artifact.
+  EXPECT_FALSE(index::VpTree::Deserialize(blob, n + 1).ok());
+  EXPECT_FALSE(index::VpTree::Deserialize(blob, 0).ok());
+  // A hostile node count cannot trigger a huge allocation or a crash.
+  std::string bad = blob;
+  uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bad.data() + 12, &huge, sizeof(huge));
+  EXPECT_FALSE(index::VpTree::Deserialize(bad, n).ok());
+  // A corrupted header sample count disagrees with the artifact's.
+  bad = blob;
+  uint64_t wrong = static_cast<uint64_t>(n) + 7;
+  std::memcpy(bad.data(), &wrong, sizeof(wrong));
+  EXPECT_FALSE(index::VpTree::Deserialize(bad, n).ok());
+  // Zeroing a chunk of the node table breaks id coverage / link validity.
+  bad = blob;
+  std::fill(bad.begin() + 16, bad.begin() + 56, '\0');
+  EXPECT_FALSE(index::VpTree::Deserialize(bad, n).ok());
+}
+
+}  // namespace
+}  // namespace ida
