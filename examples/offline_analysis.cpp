@@ -85,7 +85,8 @@ int main(int argc, char** argv) {
               agreement->co_labeled, agreement->only_a);
   std::printf("  same dominant measure: %.1f%%  (chance level would be "
               "%.0f%%)\n",
-              agreement->primary_agreement * 100.0, 100.0 / num_measures);
+              agreement->primary_agreement * 100.0,
+              100.0 / static_cast<double>(num_measures));
   std::printf("  chi-square independence: stat=%.1f p=%.2e -> the methods "
               "are %s\n",
               agreement->chi_square.statistic, agreement->chi_square.p_value,

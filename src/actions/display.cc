@@ -97,7 +97,13 @@ InterestProfile NumericHistogram(const Column& col, size_t bins) {
   p.column = col.name();
   if (valid == 0) return p;
   if (hi <= lo) {
-    p.labels.push_back("[" + std::to_string(lo) + "]");
+    // Built with += rather than `"[" + std::to_string(lo)`: the rvalue
+    // operator+ overload trips GCC 12's -Wrestrict false positive
+    // (PR 105651) under -Werror at -O3.
+    std::string label = "[";
+    label += std::to_string(lo);
+    label += "]";
+    p.labels.push_back(std::move(label));
     p.values.push_back(static_cast<double>(valid));
     p.group_sizes.push_back(static_cast<double>(valid));
     return p;

@@ -87,7 +87,12 @@ Result<std::shared_ptr<const DataTable>> ReadCsvString(
         continue;
       }
       for (size_t i = 0; i < fields.size(); ++i) {
-        names.push_back("c" + std::to_string(i));
+        // Built with += rather than `"c" + std::to_string(i)`: the rvalue
+        // operator+ overload trips GCC 12's -Wrestrict false positive
+        // (PR 105651) under -Werror.
+        std::string name = "c";
+        name += std::to_string(i);
+        names.push_back(std::move(name));
       }
       builder = std::make_unique<TableBuilder>(names);
     }

@@ -11,6 +11,8 @@
 
 namespace ida {
 
+/// Parsing knobs for the CSV reader (delimiter, header handling,
+/// type-inference behaviour).
 struct CsvOptions {
   char delimiter = ',';
   /// When true, the first record supplies column names; otherwise columns

@@ -65,6 +65,9 @@ bool Value::operator<(const Value& other) const {
   if (a == ValueType::kNull) return false;  // null == null
   if (rank(a) == 1) {
     double x = ToNumeric(), y = other.ToNumeric();
+    // ida-lint: allow(float-eq): total-order comparator; numeric ties
+    // must be detected exactly so int-before-double tie-breaking is a
+    // strict weak ordering.
     if (x != y) return x < y;
     // Tie between numerically equal int/double: int sorts first.
     return a == ValueType::kInt && b == ValueType::kDouble;

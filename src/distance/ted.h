@@ -34,6 +34,8 @@ namespace internal {
 /// for a metric's lifetime within a training/evaluation pass.
 using DisplayPair = std::pair<const Display*, const Display*>;
 
+/// Hash for DisplayPair cache keys: golden-ratio mixing of the two
+/// pointers, matching the dense ground-table interning scheme.
 struct DisplayPairHash {
   size_t operator()(const DisplayPair& p) const {
     uint64_t h =

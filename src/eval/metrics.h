@@ -23,6 +23,9 @@
 
 namespace ida {
 
+/// The paper's evaluation scalars for one classifier run: accuracy,
+/// macro-averaged precision/recall/F1, and coverage (predictions
+/// emitted / states considered; the theta_delta abstention rate).
 struct EvalMetrics {
   double accuracy = 0.0;
   double macro_precision = 0.0;

@@ -63,6 +63,7 @@ class ActionLabeler {
   virtual const ComparisonTimings& timings() const = 0;
 };
 
+/// Knobs for the Reference-Based comparison labeler (Algorithm 1).
 struct ReferenceBasedLabelerOptions {
   /// Maximum number of reference actions sampled per labeled action
   /// (0 = use the full pool; the paper's average pool size was 115).

@@ -16,6 +16,9 @@ void MergeIdenticalContexts(std::vector<TrainingSample>* samples,
   for (size_t i = 0; i < samples->size(); ++i) {
     groups[(*samples)[i].context.Fingerprint()].push_back(i);
   }
+  // ida-lint: allow(unordered-iter): fingerprint groups are disjoint
+  // and each group's relabeling touches only its own members, so the
+  // result is independent of iteration order.
   for (const auto& [fp, members] : groups) {
     if (members.size() < 2) continue;
     ++stats->merged_groups;

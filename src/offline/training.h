@@ -40,6 +40,8 @@ struct TrainingSetOptions {
   bool merge_identical = true;
 };
 
+/// Counters describing one BuildTrainingSet pass (how many states
+/// were considered, filtered by theta_I, or merged as duplicates).
 struct TrainingSetStats {
   size_t states_considered = 0;
   size_t filtered_by_theta = 0;

@@ -76,6 +76,10 @@ Prediction VoteOnSorted(const std::pair<double, size_t>* order, size_t count,
   int best_label = -1;
   double best_dist = kNoNeighbor;
   for (int label = 0; label < num_labels; ++label) {
+    // ida-lint: allow(float-eq): deliberate exact comparison —
+    // best_votes is copied bitwise out of votes[], so the winning
+    // label always compares equal; an epsilon would change the
+    // documented tie rule.
     if (votes[label] == best_votes && nearest[label] < best_dist) {
       best_dist = nearest[label];
       best_label = label;

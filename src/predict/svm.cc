@@ -39,6 +39,9 @@ Status BinaryKernelSvm::Train(const std::vector<std::vector<double>>& kernel,
   auto f = [&](size_t i) {
     double s = bias_;
     for (size_t j = 0; j < n; ++j) {
+      // ida-lint: allow(float-eq): sparsity skip — alphas are set to
+      // exactly 0.0 on clipping, so skipping exact zeros cannot change
+      // the decision sum.
       if (alphas_[j] != 0.0) {
         s += alphas_[j] * static_cast<double>(labels_[j]) * kernel[j][i];
       }
@@ -103,6 +106,9 @@ Status BinaryKernelSvm::Train(const std::vector<std::vector<double>>& kernel,
 double BinaryKernelSvm::Decision(const std::vector<double>& kernel_row) const {
   double s = bias_;
   for (size_t j = 0; j < alphas_.size() && j < kernel_row.size(); ++j) {
+    // ida-lint: allow(float-eq): sparsity skip — alphas are set to
+    // exactly 0.0 on clipping, so skipping exact zeros cannot change
+    // the decision sum.
     if (alphas_[j] != 0.0) {
       s += alphas_[j] * static_cast<double>(labels_[j]) * kernel_row[j];
     }

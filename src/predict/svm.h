@@ -13,6 +13,7 @@
 
 namespace ida {
 
+/// Hyper-parameters for the SMO-trained kernel SVM baseline.
 struct SvmOptions {
   double C = 1.0;          ///< Soft-margin penalty.
   double tolerance = 1e-3; ///< KKT violation tolerance.

@@ -68,6 +68,8 @@ double RegularizedGammaP(double a, double x) {
   if (!(a > 0.0) || x < 0.0 || !std::isfinite(x)) {
     return x > 0.0 ? 1.0 : 0.0;
   }
+  // ida-lint: allow(float-eq): exact boundary of the incomplete
+  // gamma's domain; any x > 0 takes the series/fraction path.
   if (x == 0.0) return 0.0;
   if (x < a + 1.0) return GammaPSeries(a, x);
   return 1.0 - GammaQContinuedFraction(a, x);
@@ -77,6 +79,8 @@ double RegularizedGammaQ(double a, double x) {
   if (!(a > 0.0) || x < 0.0 || !std::isfinite(x)) {
     return x > 0.0 ? 0.0 : 1.0;
   }
+  // ida-lint: allow(float-eq): exact boundary of the incomplete
+  // gamma's domain; any x > 0 takes the series/fraction path.
   if (x == 0.0) return 1.0;
   if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
   return GammaQContinuedFraction(a, x);

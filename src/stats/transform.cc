@@ -33,6 +33,14 @@ double BoxCoxLogLikelihood(const std::vector<double>& positive_xs,
   if (n < 2) return 0.0;
   BoxCoxTransform t{lambda, 0.0};
   std::vector<double> ys = t.ApplyAll(positive_xs);
+  // pow(v, lambda) overflows to inf for large v and |lambda| well inside
+  // the search bracket; the NaN variance that results would poison every
+  // golden-section comparison below (NaN > x is always false), silently
+  // driving lambda to the bracket boundary. Treat overflow as "this lambda
+  // is infinitely bad" instead.
+  for (double y : ys) {
+    if (!std::isfinite(y)) return -std::numeric_limits<double>::infinity();
+  }
   // MLE variance (n denominator).
   double m = Mean(ys);
   double var = 0.0;

@@ -41,8 +41,13 @@ Result<SynthBenchmark> GenerateBenchmark(const GeneratorOptions& options) {
     const SynthDataset& dataset = bench.datasets[dataset_idx];
     AnalystAgent agent(&dataset, users[user],
                        options.seed ^ (0x9E3779B97F4A7C15ULL * (s + 1)));
-    std::string session_id = "s" + std::to_string(s);
-    std::string user_id = "u" + std::to_string(user);
+    // Built with += rather than `"s" + std::to_string(s)`: the rvalue
+    // operator+ overload trips GCC 12's -Wrestrict false positive
+    // (PR 105651) under -Werror at -O3.
+    std::string session_id = "s";
+    session_id += std::to_string(s);
+    std::string user_id = "u";
+    user_id += std::to_string(user);
     IDA_ASSIGN_OR_RETURN(SessionTree tree,
                          agent.RunSession(session_id, user_id, exec));
     if (tree.num_steps() == 0) continue;  // degenerate; drop

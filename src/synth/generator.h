@@ -12,6 +12,8 @@
 
 namespace ida {
 
+/// Shape of the synthetic benchmark: user/session counts mirroring
+/// the paper's REACT-IDA corpus, plus the master seed.
 struct GeneratorOptions {
   size_t num_users = 56;
   size_t num_sessions = 454;

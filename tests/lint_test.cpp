@@ -1,0 +1,404 @@
+// Fixture tests for the ida_lint invariant checker (tools/ida_lint). Every
+// rule gets a positive fixture (the violation is reported, at the right
+// line) and a negative fixture (the compliant spelling stays clean), plus
+// tests for the suppression mechanism and a regression fixture that
+// minimizes the artifact-writer pattern of src/engine/model.cc — the exact
+// shape the unordered-iteration rule exists to protect.
+#include "lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ida::lint {
+namespace {
+
+std::vector<std::string> RulesOf(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule,
+             int line = -1) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule &&
+                              (line < 0 || f.line == line);
+                     });
+}
+
+TEST(LintRegistryTest, RulesAreRegisteredAndKnown) {
+  EXPECT_GE(Rules().size(), 7u);
+  EXPECT_TRUE(IsKnownRule("unordered-iter"));
+  EXPECT_TRUE(IsKnownRule("float-eq"));
+  EXPECT_FALSE(IsKnownRule("no-such-rule"));
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(UnorderedIterRuleTest, FlagsRangeForOverUnorderedMap) {
+  const char* fixture =
+      "#include <unordered_map>\n"
+      "void F() {\n"
+      "  std::unordered_map<std::string, int> counts;\n"
+      "  for (const auto& [key, value] : counts) {\n"
+      "    Emit(key, value);\n"
+      "  }\n"
+      "}\n";
+  auto findings = LintSource("src/fake/serialize.cc", fixture);
+  EXPECT_TRUE(HasRule(findings, "unordered-iter", 4))
+      << "fixture rules: " << testing::PrintToString(RulesOf(findings));
+}
+
+TEST(UnorderedIterRuleTest, FlagsIteratorLoopAndMultiLineDeclaration) {
+  const char* fixture =
+      "#include <unordered_map>\n"
+      "std::unordered_map<internal::DisplayPair, double,\n"
+      "                   internal::DisplayPairHash> cache;\n"
+      "void F() {\n"
+      "  for (auto it = cache.begin(); it != cache.end(); ++it) Emit(*it);\n"
+      "}\n";
+  auto findings = LintSource("src/fake/cache.cc", fixture);
+  EXPECT_TRUE(HasRule(findings, "unordered-iter", 5));
+}
+
+TEST(UnorderedIterRuleTest, IgnoresOrderedMapAndNonIteratingUse) {
+  const char* fixture =
+      "#include <map>\n"
+      "#include <unordered_map>\n"
+      "void F() {\n"
+      "  std::map<std::string, int> ordered;\n"
+      "  std::unordered_map<std::string, int> index;\n"
+      "  for (const auto& [key, value] : ordered) Emit(key, value);\n"
+      "  index.emplace(\"a\", 1);\n"
+      "  int hits = index.count(\"a\") > 0 ? 1 : 0;\n"
+      "  Use(hits);\n"
+      "}\n";
+  auto findings = LintSource("src/fake/ordered.cc", fixture);
+  EXPECT_FALSE(HasRule(findings, "unordered-iter"));
+}
+
+// Regression fixture: the minimized artifact-writer pattern from
+// src/engine/model.cc. The intern pool keeps an unordered index *plus* a
+// dense insertion-ordered vector; serialization must walk the vector. If
+// someone "simplifies" the writer to walk the index, the artifact byte
+// order — and therefore its FNV-1a checksum — starts depending on the hash
+// seed, which is exactly the corruption this rule exists to catch.
+TEST(UnorderedIterRuleTest, RegressionArtifactWriterPattern) {
+  const char* compliant =
+      "struct InternPools {\n"
+      "  std::vector<const Display*> displays;\n"
+      "  std::unordered_map<const Display*, uint32_t> display_index;\n"
+      "};\n"
+      "void WritePayload(const InternPools& pools, Writer* w) {\n"
+      "  w->U32(static_cast<uint32_t>(pools.displays.size()));\n"
+      "  for (const Display* d : pools.displays) WriteDisplay(*d, w);\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(LintSource("src/engine/model.cc", compliant), "unordered-iter"));
+
+  const char* seeded_violation =
+      "struct InternPools {\n"
+      "  std::vector<const Display*> displays;\n"
+      "  std::unordered_map<const Display*, uint32_t> display_index;\n"
+      "};\n"
+      "void WritePayload(const InternPools& pools, Writer* w) {\n"
+      "  std::unordered_map<const Display*, uint32_t> display_index;\n"
+      "  w->U32(static_cast<uint32_t>(display_index.size()));\n"
+      "  for (const auto& [d, id] : display_index) WriteDisplay(*d, w);\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(LintSource("src/engine/model.cc", seeded_violation),
+                      "unordered-iter", 8));
+}
+
+// ---------------------------------------------------------------------------
+// raw-random
+// ---------------------------------------------------------------------------
+
+TEST(RawRandomRuleTest, FlagsRandAndRandomDevice) {
+  const char* fixture =
+      "#include <random>\n"
+      "int F() {\n"
+      "  std::random_device rd;\n"
+      "  return rand() % 10;\n"
+      "}\n";
+  auto findings = LintSource("src/fake/random.cc", fixture);
+  EXPECT_TRUE(HasRule(findings, "raw-random", 3));
+  EXPECT_TRUE(HasRule(findings, "raw-random", 4));
+}
+
+TEST(RawRandomRuleTest, FlagsRawEngineButExemptsRngWrapper) {
+  const char* fixture =
+      "#include <random>\n"
+      "std::mt19937_64 engine;\n";
+  EXPECT_TRUE(HasRule(LintSource("src/fake/engine.cc", fixture), "raw-random"));
+  // common/rng.h is the sanctioned owner of the raw engine.
+  EXPECT_FALSE(
+      HasRule(LintSource("src/common/rng.h", fixture), "raw-random"));
+}
+
+TEST(RawRandomRuleTest, IgnoresSeededRngAndSimilarNames) {
+  const char* fixture =
+      "#include \"common/rng.h\"\n"
+      "double F(Rng& rng) {\n"
+      "  int operand = 3;  // 'rand' inside a word must not match\n"
+      "  return rng.UniformReal(0.0, 1.0) + operand;\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSource("src/fake/uses_rng.cc", fixture),
+                       "raw-random"));
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+TEST(WallClockRuleTest, FlagsSystemClockAndTimeNullptr) {
+  const char* fixture =
+      "#include <chrono>\n"
+      "#include <ctime>\n"
+      "long F() {\n"
+      "  auto now = std::chrono::system_clock::now();\n"
+      "  return time(nullptr) + now.time_since_epoch().count();\n"
+      "}\n";
+  auto findings = LintSource("src/fake/clock.cc", fixture);
+  EXPECT_TRUE(HasRule(findings, "wall-clock", 4));
+  EXPECT_TRUE(HasRule(findings, "wall-clock", 5));
+}
+
+TEST(WallClockRuleTest, AllowsSteadyClockDurations) {
+  const char* fixture =
+      "#include <chrono>\n"
+      "double Seconds() {\n"
+      "  auto start = std::chrono::steady_clock::now();\n"
+      "  Work();\n"
+      "  return std::chrono::duration<double>(\n"
+      "             std::chrono::steady_clock::now() - start).count();\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSource("src/fake/timer.cc", fixture),
+                       "wall-clock"));
+}
+
+// ---------------------------------------------------------------------------
+// float-eq
+// ---------------------------------------------------------------------------
+
+TEST(FloatEqRuleTest, FlagsComparisonOfDeclaredDoubles) {
+  const char* fixture =
+      "int Best(const double* votes, double best_votes, int n) {\n"
+      "  for (int label = 0; label < n; ++label) {\n"
+      "    if (votes[label] == best_votes) return label;\n"
+      "  }\n"
+      "  return -1;\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(LintSource("src/fake/vote.cc", fixture), "float-eq", 3));
+}
+
+TEST(FloatEqRuleTest, FlagsFloatLiteralComparison) {
+  const char* fixture =
+      "bool IsZero(double x) { return x == 0.0; }\n";
+  EXPECT_TRUE(HasRule(LintSource("src/fake/zero.cc", fixture), "float-eq", 1));
+}
+
+TEST(FloatEqRuleTest, IgnoresIntegerAndSizeComparisons) {
+  const char* fixture =
+      "size_t F(const std::vector<double>& xs, int total) {\n"
+      "  if (xs.size() % 2 == 1) return 0;\n"
+      "  if (total == 0) return 1;\n"
+      "  double scale = total > 0 ? 2.0 : 1.0;\n"
+      "  return scale > 1.5 ? xs.size() : 0;\n"
+      "}\n";
+  auto findings = LintSource("src/fake/ints.cc", fixture);
+  EXPECT_FALSE(HasRule(findings, "float-eq"))
+      << testing::PrintToString(RulesOf(findings));
+}
+
+TEST(FloatEqRuleTest, IgnoresLessEqualAndShiftOperators) {
+  const char* fixture =
+      "bool F(double a, double b) {\n"
+      "  if (a <= b) return true;\n"
+      "  if (a >= b) return false;\n"
+      "  return a < b;\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSource("src/fake/releq.cc", fixture), "float-eq"));
+}
+
+// ---------------------------------------------------------------------------
+// include-guard
+// ---------------------------------------------------------------------------
+
+TEST(IncludeGuardRuleTest, FlagsHeaderWithoutPragmaOnce) {
+  const char* fixture =
+      "// A header that forgot its guard.\n"
+      "#include <vector>\n"
+      "inline int F() { return 1; }\n";
+  EXPECT_TRUE(
+      HasRule(LintSource("src/fake/guardless.h", fixture), "include-guard", 2));
+}
+
+TEST(IncludeGuardRuleTest, AcceptsCommentThenPragmaOnce) {
+  const char* fixture =
+      "// File-level comment, as the style prescribes.\n"
+      "#pragma once\n"
+      "\n"
+      "inline int F() { return 1; }\n";
+  EXPECT_FALSE(
+      HasRule(LintSource("src/fake/guarded.h", fixture), "include-guard"));
+}
+
+TEST(IncludeGuardRuleTest, DoesNotApplyToSourceFiles) {
+  const char* fixture = "int main() { return 0; }\n";
+  EXPECT_FALSE(
+      HasRule(LintSource("src/fake/main.cc", fixture), "include-guard"));
+}
+
+// ---------------------------------------------------------------------------
+// doc-comment
+// ---------------------------------------------------------------------------
+
+TEST(DocCommentRuleTest, FlagsMissingFileAndTypeComments) {
+  const char* fixture =
+      "#pragma once\n"
+      "\n"
+      "class Widget {\n"
+      " public:\n"
+      "  int size() const { return 0; }\n"
+      "};\n";
+  auto findings = LintSource("src/fake/widget.h", fixture);
+  EXPECT_TRUE(HasRule(findings, "doc-comment", 1));  // no file-level comment
+  EXPECT_TRUE(HasRule(findings, "doc-comment", 3));  // undocumented class
+}
+
+TEST(DocCommentRuleTest, AcceptsDocumentedHeaderAndTemplates) {
+  const char* fixture =
+      "// Widgets for the fixture suite.\n"
+      "#pragma once\n"
+      "\n"
+      "/// A documented widget.\n"
+      "class Widget {};\n"
+      "\n"
+      "/// A documented template, with the doc above the introducer.\n"
+      "template <typename T>\n"
+      "struct Box { T value; };\n"
+      "\n"
+      "class Forward;\n";
+  auto findings = LintSource("src/fake/widget.h", fixture);
+  EXPECT_FALSE(HasRule(findings, "doc-comment"))
+      << testing::PrintToString(RulesOf(findings));
+}
+
+// ---------------------------------------------------------------------------
+// sanitizer-hostile
+// ---------------------------------------------------------------------------
+
+TEST(SanitizerHostileRuleTest, FlagsDetachAndLongjmp) {
+  const char* fixture =
+      "#include <csetjmp>\n"
+      "#include <thread>\n"
+      "void F(std::jmp_buf env) {\n"
+      "  std::thread worker(Work);\n"
+      "  worker.detach();\n"
+      "  std::longjmp(env, 1);\n"
+      "}\n";
+  auto findings = LintSource("src/fake/hostile.cc", fixture);
+  EXPECT_TRUE(HasRule(findings, "sanitizer-hostile", 5));
+  EXPECT_TRUE(HasRule(findings, "sanitizer-hostile", 6));
+}
+
+TEST(SanitizerHostileRuleTest, AllowsJoinedThreads) {
+  const char* fixture =
+      "#include <thread>\n"
+      "void F() {\n"
+      "  std::thread worker(Work);\n"
+      "  worker.join();\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSource("src/fake/joined.cc", fixture),
+                       "sanitizer-hostile"));
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions, comment stripping, formatting
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionTest, AllowOnSameOrPrecedingLine) {
+  const char* same_line =
+      "bool F(double a, double b) {\n"
+      "  return a == b;  // ida-lint: allow(float-eq): exact tie rule\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSource("src/fake/s1.cc", same_line), "float-eq"));
+
+  const char* preceding_line =
+      "bool F(double a, double b) {\n"
+      "  // ida-lint: allow(float-eq): max is copied bitwise from the array\n"
+      "  return a == b;\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(LintSource("src/fake/s2.cc", preceding_line), "float-eq"));
+}
+
+TEST(SuppressionTest, AllowAnywhereInPrecedingCommentBlock) {
+  // A multi-line justification may lead with the directive; the whole
+  // contiguous // block above the finding is scanned.
+  const char* block =
+      "bool F(double a, double b) {\n"
+      "  // ida-lint: allow(float-eq): deliberate exact comparison —\n"
+      "  // the operand is copied bitwise out of the array, so the\n"
+      "  // winner always compares equal.\n"
+      "  return a == b;\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintSource("src/fake/s4.cc", block), "float-eq"));
+
+  // A non-comment line breaks the block: the directive no longer applies.
+  const char* interrupted =
+      "bool F(double a, double b) {\n"
+      "  // ida-lint: allow(float-eq): stale justification\n"
+      "  int unused = 0;\n"
+      "  (void)unused;\n"
+      "  return a == b;\n"
+      "}\n";
+  EXPECT_TRUE(
+      HasRule(LintSource("src/fake/s5.cc", interrupted), "float-eq"));
+}
+
+TEST(SuppressionTest, AllowIsRuleSpecific) {
+  const char* wrong_rule =
+      "bool F(double a, double b) {\n"
+      "  return a == b;  // ida-lint: allow(unordered-iter)\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(LintSource("src/fake/s3.cc", wrong_rule), "float-eq"));
+}
+
+TEST(CommentStrippingTest, TokensInCommentsAndStringsDoNotTrigger) {
+  const char* fixture =
+      "// rand() and system_clock in a comment are fine.\n"
+      "/* so is std::random_device in a block comment */\n"
+      "const char* kDoc = \"call rand() then time(nullptr)\";\n";
+  auto findings = LintSource("src/fake/comments.cc", fixture);
+  EXPECT_FALSE(HasRule(findings, "raw-random"));
+  EXPECT_FALSE(HasRule(findings, "wall-clock"));
+}
+
+TEST(FormatFindingTest, SingleLineReport) {
+  Finding f{"src/engine/model.cc", 42, "unordered-iter", "msg"};
+  EXPECT_EQ(FormatFinding(f), "src/engine/model.cc:42: [unordered-iter] msg");
+}
+
+TEST(LintSourceTest, FindingsAreSortedByLine) {
+  const char* fixture =
+      "#include <random>\n"
+      "int F() { return rand(); }\n"
+      "long G() { return time(nullptr); }\n"
+      "std::random_device rd;\n";
+  auto findings = LintSource("src/fake/multi.cc", fixture);
+  ASSERT_GE(findings.size(), 3u);
+  for (size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_LE(findings[i - 1].line, findings[i].line);
+  }
+}
+
+}  // namespace
+}  // namespace ida::lint

@@ -139,7 +139,31 @@ TEST(NormalizedScoreModelTest, MostMassWithinTwoPointFiveSigma) {
     double z = m.Normalize(x);
     if (z > -2.5 && z < 2.5) ++inside;
   }
-  EXPECT_GT(static_cast<double>(inside) / xs.size(), 0.95);
+  EXPECT_GT(static_cast<double>(inside) / static_cast<double>(xs.size()),
+            0.95);
+}
+
+TEST(FitBoxCoxTest, ExtremeScaleDataDoesNotOverflowToBoundaryLambda) {
+  // Regression: for very large inputs, pow(x, lambda) overflows to inf for
+  // lambdas well inside the search bracket. The resulting NaN log-likelihood
+  // used to poison every golden-section comparison (NaN > x is false),
+  // silently driving lambda to the bracket boundary and making the fitted
+  // transform produce inf. Overflowing lambdas must instead score -inf so
+  // the search stays in the finite region.
+  std::vector<double> xs;
+  for (int i = 1; i <= 12; ++i) xs.push_back(1e270 * static_cast<double>(i));
+  BoxCoxTransform t = FitBoxCox(xs);
+  EXPECT_LT(t.lambda, 4.999);  // not pinned to the +5 boundary
+  for (double x : xs) {
+    EXPECT_TRUE(std::isfinite(t.Apply(x))) << "x=" << x;
+  }
+  EXPECT_TRUE(std::isfinite(BoxCoxLogLikelihood(xs, t.lambda)));
+
+  // And the full normalized-score pipeline stays finite end to end.
+  NormalizedScoreModel m = NormalizedScoreModel::Fit(xs);
+  for (double x : xs) {
+    EXPECT_TRUE(std::isfinite(m.Normalize(x))) << "x=" << x;
+  }
 }
 
 }  // namespace

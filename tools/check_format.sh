@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# clang-format check over the enforcement allowlist (runs in CI's format
+# job and locally). Deliberately allowlist-based: the repo predates the
+# .clang-format file, and mass-reformatting would destroy blame and churn
+# every open branch. Only files listed in tools/format_allowlist.txt are
+# checked; add files as you touch them.
+#
+# Usage: tools/check_format.sh [repo-root]
+#   exit 0: all listed files formatted (or clang-format unavailable: skip)
+#   exit 1: at least one file needs formatting
+#   exit 2: setup error (missing allowlist / listed file absent)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+note() { printf '%s\n' "$*" >&2; }
+
+fmt="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$fmt" >/dev/null 2>&1; then
+  # The dev container does not ship clang-format; CI installs it. Skipping
+  # locally is safe because CI is the enforcement point.
+  note "check_format: $fmt not found; skipping (CI enforces)"
+  exit 0
+fi
+
+allowlist="tools/format_allowlist.txt"
+if [ ! -f "$allowlist" ]; then
+  note "check_format: $allowlist missing"
+  exit 2
+fi
+
+failures=0
+checked=0
+while IFS= read -r file; do
+  case "$file" in ""|"#"*) continue ;; esac
+  if [ ! -f "$file" ]; then
+    note "check_format: $file listed in $allowlist but not on disk"
+    exit 2
+  fi
+  checked=$((checked + 1))
+  if ! "$fmt" --dry-run --Werror "$file" >/dev/null 2>&1; then
+    note "check_format: $file needs formatting (run: $fmt -i $file)"
+    failures=$((failures + 1))
+  fi
+done < "$allowlist"
+
+if [ "$failures" -gt 0 ]; then
+  note "check_format: $failures of $checked file(s) need formatting"
+  exit 1
+fi
+note "check_format: OK ($checked file(s))"

@@ -8,6 +8,10 @@
 #      and src/obs/ must open with a file-level comment, and every
 #      top-level class/struct declaration in it must be directly preceded
 #      by a /// doc comment.
+#   3. Layer-map completeness — every library/executable target declared
+#      in src/**/CMakeLists.txt must appear in DESIGN.md's module
+#      inventory (the "System inventory" table), so the architecture doc
+#      can never silently fall behind the build.
 #
 # Usage: tools/docs_lint.sh [repo-root]   (defaults to the script's repo)
 set -u
@@ -57,6 +61,31 @@ for header in src/engine/*.h src/obs/*.h; do
   done < <(grep -nE '^(class|struct) [A-Za-z_]+( final)?( :[^:]| \{|;)' \
     "$header")
 done
+
+# --- 3. CMake targets vs DESIGN.md layer map ------------------------------
+# Every target declared under src/ must be documented in DESIGN.md. The
+# report is per CMakeLists.txt file so a failure points at the module that
+# grew a target without a matching inventory row.
+if [ ! -f DESIGN.md ]; then
+  note "docs_lint: DESIGN.md missing; cannot check the layer map"
+  failures=$((failures + 1))
+else
+  for cml in src/*/CMakeLists.txt src/*/*/CMakeLists.txt; do
+    [ -e "$cml" ] || continue
+    missing=""
+    while read -r target; do
+      [ -z "$target" ] && continue
+      if ! grep -qE "\`$target\`" DESIGN.md; then
+        missing="$missing $target"
+      fi
+    done < <(grep -oE 'add_(library|executable)\( *[A-Za-z_0-9]+' "$cml" |
+      sed -E 's/add_(library|executable)\( *//')
+    if [ -n "$missing" ]; then
+      note "docs_lint: $cml: target(s) not in DESIGN.md layer map:$missing"
+      failures=$((failures + 1))
+    fi
+  done
+fi
 
 if [ "$failures" -gt 0 ]; then
   note "docs_lint: $failures problem(s) found"

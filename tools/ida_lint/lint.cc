@@ -1,0 +1,703 @@
+// Implementation of the ida_lint lexical checker. The analysis is
+// deliberately file-local and token-based: each rule is cheap, predictable,
+// and pinned by fixtures in tests/lint_test.cpp, which is what makes the
+// checker itself trustworthy enough to gate CI.
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace ida::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+// A file split into physical lines, twice: the raw text (for suppression
+// comments and the doc-comment rule, which inspect comments) and a code
+// view with comments and string/character literals blanked out (so tokens
+// inside them never trigger a rule).
+struct Source {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+// Blanks comments and string/char literal bodies, preserving line lengths
+// so columns and line numbers stay aligned with the raw text.
+std::vector<std::string> StripCode(const std::vector<std::string>& raw) {
+  enum class State { kCode, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            i = line.size();  // rest of the line is a comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            code[i] = '"';
+            state = State::kString;
+          } else if (c == '\'') {
+            code[i] = '\'';
+            state = State::kChar;
+          } else {
+            code[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            code[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            code[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+      }
+    }
+    // Unterminated string/char literals do not span lines in valid C++.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `ida-lint: allow(rule-a, rule-b)` on the finding's line or
+// anywhere in the contiguous `//` comment block directly above it, so a
+// multi-line justification can lead with the directive.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> AllowedRulesOn(const std::string& raw_line) {
+  std::vector<std::string> rules;
+  static const std::regex kAllow(R"(ida-lint:\s*allow\(([^)]*)\))");
+  auto begin = std::sregex_iterator(raw_line.begin(), raw_line.end(), kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::stringstream list((*it)[1].str());
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      rule = Trimmed(rule);
+      if (!rule.empty()) rules.push_back(rule);
+    }
+  }
+  return rules;
+}
+
+bool HasAllow(const std::string& raw_line, const std::string& rule) {
+  for (const std::string& allowed : AllowedRulesOn(raw_line)) {
+    if (allowed == rule) return true;
+  }
+  return false;
+}
+
+bool IsSuppressed(const Source& src, size_t line_index,
+                  const std::string& rule) {
+  if (HasAllow(src.raw[line_index], rule)) return true;
+  // Walk upward through the comment block (if any) above the finding.
+  for (size_t i = line_index; i > 0; --i) {
+    const std::string trimmed = Trimmed(src.raw[i - 1]);
+    if (trimmed.rfind("//", 0) != 0) break;
+    if (HasAllow(src.raw[i - 1], rule)) return true;
+  }
+  return false;
+}
+
+// A small builder so every rule emits through one suppression-aware path.
+class Reporter {
+ public:
+  Reporter(std::string path, const Source& src, std::vector<Finding>* out)
+      : path_(std::move(path)), src_(src), out_(out) {}
+
+  void Report(size_t line_index, const std::string& rule,
+              const std::string& message) {
+    if (IsSuppressed(src_, line_index, rule)) return;
+    out_->push_back(Finding{path_, static_cast<int>(line_index) + 1, rule,
+                            message});
+  }
+
+ private:
+  std::string path_;
+  const Source& src_;
+  std::vector<Finding>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// Declaration tracking
+// ---------------------------------------------------------------------------
+
+// Reads the identifier starting at `pos` (after skipping whitespace,
+// `*`/`&` and type qualifiers / multi-word type keywords), or returns ""
+// when none starts there.
+std::string ReadDeclaratorName(const std::string& line, size_t* pos) {
+  static const std::set<std::string> kTypeWords = {
+      "const", "unsigned", "signed", "long", "int", "short", "char", "auto"};
+  size_t i = *pos;
+  std::string name;
+  while (i < line.size()) {
+    char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == '*' ||
+        c == '&') {
+      ++i;
+      continue;
+    }
+    if (!IsIdentChar(c) ||
+        std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      break;
+    }
+    size_t start = i;
+    while (i < line.size() && IsIdentChar(line[i])) ++i;
+    std::string word = line.substr(start, i - start);
+    if (kTypeWords.count(word) > 0) continue;  // part of the type, not a name
+    name = word;
+    break;
+  }
+  *pos = i;
+  return name;
+}
+
+// Collects names declared with a matching type on one code line: for
+// `kFloatWord` that is `double x`, `float* f`, `double a = 0.0, b = 1.0`,
+// `double arr[4]` and `double F(...)` (a call to F yields a double, so
+// comparing its result with == is just as suspect). The same walker also
+// collects integer-typed declarations so a name reused with both type
+// families in one file (a common local like `m`) can be treated as
+// ambiguous instead of flagged.
+const std::regex& FloatWordRegex() {
+  static const std::regex kFloatWord(R"((\bdouble\b|\bfloat\b))");
+  return kFloatWord;
+}
+
+const std::regex& IntegerWordRegex() {
+  static const std::regex kIntegerWord(
+      R"(\b(int|long|short|unsigned|bool|char|size_t|ptrdiff_t|u?int(8|16|32|64)_t)\b)");
+  return kIntegerWord;
+}
+
+void CollectTypedDecls(const std::string& line, const std::regex& type_word,
+                       std::set<std::string>* out) {
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), type_word);
+       it != std::sregex_iterator(); ++it) {
+    size_t pos = static_cast<size_t>(it->position(0) + it->length(0));
+    while (true) {
+      std::string name = ReadDeclaratorName(line, &pos);
+      if (name.empty()) break;
+      out->insert(name);
+      // Skip the initializer / parameter list up to a top-level comma
+      // (next declarator) or the end of this declaration.
+      int depth = 0;
+      bool more = false;
+      while (pos < line.size()) {
+        char c = line[pos];
+        if (c == '(' || c == '[' || c == '{') {
+          ++depth;
+        } else if (c == ')' || c == ']' || c == '}') {
+          if (depth == 0) break;  // closed the enclosing context
+          --depth;
+        } else if (depth == 0 && c == ',') {
+          ++pos;
+          more = true;
+          break;
+        } else if (depth == 0 && c == ';') {
+          break;
+        }
+        ++pos;
+      }
+      if (!more) break;
+    }
+  }
+}
+
+void CollectFloatDecls(const std::string& line, std::set<std::string>* out) {
+  static const std::regex kFloatVector(
+      R"(vector\s*<\s*(?:double|float)\s*>\s*[*&]?\s*([A-Za-z_]\w*))");
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), kFloatVector);
+       it != std::sregex_iterator(); ++it) {
+    out->insert((*it)[1].str());
+  }
+  CollectTypedDecls(line, FloatWordRegex(), out);
+}
+
+// Collects names declared as std::unordered_map / std::unordered_set.
+// Declarations may wrap across lines inside the template argument list, so
+// this walks the whole file; the reported declaration line is where the
+// variable name lands.
+struct UnorderedDecl {
+  std::string name;
+  size_t line_index;
+};
+
+std::vector<UnorderedDecl> CollectUnorderedDecls(const Source& src) {
+  std::vector<UnorderedDecl> decls;
+  static const std::regex kWord(R"(\bunordered_(?:map|set|multimap|multiset)\b)");
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    const std::string& line = src.code[li];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kWord);
+         it != std::sregex_iterator(); ++it) {
+      size_t row = li;
+      size_t pos = static_cast<size_t>(it->position(0) + it->length(0));
+      // Walk the balanced template argument list, across lines if needed.
+      int angle = 0;
+      bool saw_args = false;
+      while (row < src.code.size()) {
+        const std::string& cur = src.code[row];
+        for (; pos < cur.size(); ++pos) {
+          char c = cur[pos];
+          if (c == '<') {
+            ++angle;
+            saw_args = true;
+          } else if (c == '>') {
+            --angle;
+          } else if (angle == 0 && saw_args &&
+                     std::isspace(static_cast<unsigned char>(c)) == 0) {
+            break;
+          } else if (!saw_args &&
+                     std::isspace(static_cast<unsigned char>(c)) == 0) {
+            break;  // bare mention without template args — not a decl
+          }
+        }
+        if (pos < cur.size() || !saw_args) break;
+        ++row;
+        pos = 0;
+        if (row - li > 8) break;  // runaway; declarations are short
+      }
+      if (!saw_args || angle != 0 || row >= src.code.size()) continue;
+      std::string name = ReadDeclaratorName(src.code[row], &pos);
+      if (!name.empty()) decls.push_back(UnorderedDecl{name, row});
+    }
+  }
+  return decls;
+}
+
+// ---------------------------------------------------------------------------
+// Operand extraction for float-eq
+// ---------------------------------------------------------------------------
+
+// Walks left from `pos` (exclusive) over one postfix expression:
+// identifier chains with ::/./-> and balanced ()/[] suffixes.
+std::string LeftOperand(const std::string& line, size_t pos) {
+  size_t end = pos;
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(line[end - 1])) != 0) {
+    --end;
+  }
+  size_t i = end;
+  while (i > 0) {
+    char c = line[i - 1];
+    if (c == ')' || c == ']') {
+      char open = c == ')' ? '(' : '[';
+      int depth = 0;
+      while (i > 0) {
+        char b = line[i - 1];
+        if (b == c) ++depth;
+        if (b == open && --depth == 0) {
+          --i;
+          break;
+        }
+        --i;
+      }
+    } else if (IsIdentChar(c) || c == '.' ||
+               (c == ':' && i > 1 && line[i - 2] == ':') ||
+               (c == '>' && i > 1 && line[i - 2] == '-')) {
+      i -= (c == '>' || (c == ':' && line[i - 2] == ':')) ? 2 : 1;
+    } else {
+      break;
+    }
+  }
+  return line.substr(i, end - i);
+}
+
+// Walks right from `pos` over one postfix expression (mirror of the above,
+// plus numeric literals like 1.5e-3).
+std::string RightOperand(const std::string& line, size_t pos) {
+  size_t i = pos;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+    ++i;
+  }
+  size_t start = i;
+  if (i < line.size() && (line[i] == '-' || line[i] == '+')) ++i;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == '(' || c == '[') {
+      char close = c == '(' ? ')' : ']';
+      int depth = 0;
+      while (i < line.size()) {
+        if (line[i] == c) ++depth;
+        if (line[i] == close && --depth == 0) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+    } else if (IsIdentChar(c) || c == '.') {
+      ++i;
+      // Exponent signs inside numeric literals: 1e-9, 2.5E+3.
+      if ((c == 'e' || c == 'E') && i < line.size() &&
+          (line[i] == '-' || line[i] == '+') && i >= 2 &&
+          std::isdigit(static_cast<unsigned char>(line[i - 2])) != 0) {
+        ++i;
+      }
+    } else if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+      i += 2;
+    } else if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+      i += 2;
+    } else {
+      break;
+    }
+  }
+  return line.substr(start, i - start);
+}
+
+bool IsFloatLiteral(const std::string& token) {
+  static const std::regex kFloat(
+      R"(^[+-]?(\d+\.\d*|\.\d+|\d+\.?\d*[eE][+-]?\d+)[fFlL]?$)");
+  return std::regex_match(token, kFloat);
+}
+
+// Reduces an operand to the identifier that determines its type under the
+// file-local heuristic: strips trailing (...) / [...] groups, then takes
+// the last ::/./-> path component. `votes[label]` -> votes;
+// `xs.size()` -> size; `Apply(x)` -> Apply.
+std::string OperandBase(std::string token) {
+  while (!token.empty() && (token.back() == ')' || token.back() == ']')) {
+    char close = token.back();
+    char open = close == ')' ? '(' : '[';
+    int depth = 0;
+    size_t i = token.size();
+    while (i > 0) {
+      char c = token[--i];
+      if (c == close) ++depth;
+      if (c == open && --depth == 0) break;
+    }
+    token.resize(i);
+  }
+  size_t cut = token.find_last_of(".>:");
+  if (cut != std::string::npos) token = token.substr(cut + 1);
+  return token;
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule messages
+// ---------------------------------------------------------------------------
+
+const char* kUnorderedIterMsg =
+    "iteration over an unordered container: the order is unspecified, so "
+    "feeding it into serialization, vote tallies, or any output breaks the "
+    "artifact-checksum and tie-order guarantees; iterate a sorted copy or "
+    "annotate an order-independent use with ida-lint: allow(unordered-iter)";
+const char* kRawRandomMsg =
+    "raw randomness source: all randomness must flow through the seeded "
+    "ida::Rng in common/rng.h so runs are reproducible";
+const char* kWallClockMsg =
+    "wall-clock read: timestamps make core results non-reproducible; use "
+    "std::chrono::steady_clock for durations and keep wall time out of "
+    "library code";
+const char* kFloatEqMsg =
+    "floating-point ==/!= comparison: exact equality is only sanctioned in "
+    "the bitwise-equivalence tests; use an epsilon, restructure, or "
+    "annotate a deliberate exact comparison with ida-lint: allow(float-eq)";
+const char* kIncludeGuardMsg =
+    "header must open its code with #pragma once (a file-level comment may "
+    "precede it)";
+const char* kSanitizerHostileMsg =
+    "construct breaks -fsanitize instrumentation (TSan/ASan cannot model "
+    "it); join threads instead of detaching and avoid "
+    "setjmp/longjmp/vfork/alloca";
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+void CheckUnorderedIter(const Source& src, Reporter* reporter) {
+  std::set<std::string> names;
+  for (const UnorderedDecl& d : CollectUnorderedDecls(src)) {
+    names.insert(d.name);
+  }
+  if (names.empty()) return;
+  static const std::regex kRangeFor(
+      R"(for\s*\([^;()]*:\s*\*?&?([A-Za-z_]\w*)\s*\))");
+  static const std::regex kIterLoop(R"(([A-Za-z_]\w*)\.c?begin\s*\(\s*\))");
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    const std::string& line = src.code[li];
+    std::smatch m;
+    if (std::regex_search(line, m, kRangeFor) && names.count(m[1].str()) > 0) {
+      reporter->Report(li, "unordered-iter", kUnorderedIterMsg);
+      continue;
+    }
+    if (line.find("for") != std::string::npos &&
+        std::regex_search(line, m, kIterLoop) &&
+        names.count(m[1].str()) > 0) {
+      reporter->Report(li, "unordered-iter", kUnorderedIterMsg);
+    }
+  }
+}
+
+void CheckRawRandom(const std::string& path, const Source& src,
+                    Reporter* reporter) {
+  // The Rng wrapper is the one sanctioned owner of a raw engine.
+  if (path.find("common/rng.") != std::string::npos) return;
+  static const std::regex kPatterns(
+      R"(\brandom_device\b|(^|[^\w:])s?rand\s*\(|\b[dlm]rand48\b|\bmt19937(_64)?\b)");
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    if (std::regex_search(src.code[li], kPatterns)) {
+      reporter->Report(li, "raw-random", kRawRandomMsg);
+    }
+  }
+}
+
+void CheckWallClock(const Source& src, Reporter* reporter) {
+  static const std::regex kPatterns(
+      R"(\bsystem_clock\b|(^|[^\w])time\s*\(\s*(nullptr|NULL|0)\s*\)|\bgettimeofday\b|\blocaltime\b|\bgmtime(_r)?\b|\bctime\b|(^|[^\w])clock\s*\(\s*\))");
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    if (std::regex_search(src.code[li], kPatterns)) {
+      reporter->Report(li, "wall-clock", kWallClockMsg);
+    }
+  }
+}
+
+void CheckFloatEq(const Source& src, Reporter* reporter) {
+  std::set<std::string> floats;
+  std::set<std::string> integers;
+  for (const std::string& line : src.code) {
+    CollectFloatDecls(line, &floats);
+    CollectTypedDecls(line, IntegerWordRegex(), &integers);
+  }
+  // A name declared with both type families in the file (e.g. a local `m`
+  // that is size_t in one function and double in another) is ambiguous
+  // under the file-local heuristic; don't flag it.
+  for (const std::string& name : integers) floats.erase(name);
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    const std::string& line = src.code[li];
+    for (size_t i = 0; i + 1 < line.size(); ++i) {
+      bool is_eq = line[i] == '=' && line[i + 1] == '=';
+      bool is_ne = line[i] == '!' && line[i + 1] == '=';
+      if (!is_eq && !is_ne) continue;
+      // Not part of <=, >=, ==, !=, += and friends on the left.
+      if (i > 0 && (line[i - 1] == '=' || line[i - 1] == '<' ||
+                    line[i - 1] == '>' || line[i - 1] == '!' ||
+                    line[i - 1] == '+' || line[i - 1] == '-' ||
+                    line[i - 1] == '*' || line[i - 1] == '/')) {
+        continue;
+      }
+      if (i + 2 < line.size() && line[i + 2] == '=') continue;
+      std::string lhs = LeftOperand(line, i);
+      std::string rhs = RightOperand(line, i + 2);
+      bool floaty = IsFloatLiteral(lhs) || IsFloatLiteral(rhs) ||
+                    floats.count(OperandBase(lhs)) > 0 ||
+                    floats.count(OperandBase(rhs)) > 0;
+      if (floaty) {
+        reporter->Report(li, "float-eq", kFloatEqMsg);
+        break;  // one finding per line is enough
+      }
+      i += 1;
+    }
+  }
+}
+
+void CheckIncludeGuard(const Source& src, Reporter* reporter) {
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    std::string code = Trimmed(src.code[li]);
+    if (code.empty()) continue;
+    if (code != "#pragma once") {
+      reporter->Report(li, "include-guard", kIncludeGuardMsg);
+    }
+    return;
+  }
+  // A header with no code at all still lacks a guard.
+  reporter->Report(0, "include-guard", kIncludeGuardMsg);
+}
+
+void CheckDocComment(const Source& src, Reporter* reporter) {
+  if (src.raw.empty() || src.raw[0].rfind("//", 0) != 0) {
+    reporter->Report(0, "doc-comment",
+                     "header must open with a file-level // comment "
+                     "describing what the file provides");
+  }
+  static const std::regex kTypeDecl(
+      R"(^(class|struct)\s+[A-Za-z_]\w*( final)?\s*($|:[^:]|\{))");
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    if (!std::regex_search(src.code[li], kTypeDecl)) continue;
+    // Walk up over template introducers and attributes to the doc line.
+    size_t above = li;
+    while (above > 0) {
+      std::string prev = Trimmed(src.raw[above - 1]);
+      if (prev.rfind("template", 0) == 0 || prev.rfind("[[", 0) == 0 ||
+          prev.rfind(">", 0) == 0) {
+        --above;
+      } else {
+        break;
+      }
+    }
+    bool documented =
+        above > 0 && Trimmed(src.raw[above - 1]).rfind("//", 0) == 0;
+    if (!documented) {
+      reporter->Report(li, "doc-comment",
+                       "top-level type declaration without a preceding "
+                       "/// doc comment");
+    }
+  }
+}
+
+void CheckSanitizerHostile(const Source& src, Reporter* reporter) {
+  static const std::regex kPatterns(
+      R"(\bsetjmp\b|\blongjmp\b|\bvfork\b|\balloca\s*\(|\.detach\s*\(\s*\))");
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    if (std::regex_search(src.code[li], kPatterns)) {
+      reporter->Report(li, "sanitizer-hostile", kSanitizerHostileMsg);
+    }
+  }
+}
+
+bool IsHeaderPath(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"unordered-iter",
+       "no iteration over std::unordered_{map,set}: order is unspecified "
+       "and corrupts serialization / vote-tie determinism"},
+      {"raw-random",
+       "no rand()/srand()/random_device/raw mt19937: randomness flows "
+       "through the seeded Rng in common/rng.h"},
+      {"wall-clock",
+       "no system_clock/time(nullptr)/gettimeofday in library code: wall "
+       "time is non-reproducible (steady_clock durations are fine)"},
+      {"float-eq",
+       "no ==/!= on floating-point operands outside the sanctioned "
+       "bitwise-equivalence comparisons"},
+      {"include-guard", "headers open their code with #pragma once"},
+      {"doc-comment",
+       "headers open with a file-level comment and document every "
+       "top-level class/struct"},
+      {"sanitizer-hostile",
+       "no setjmp/longjmp/vfork/alloca/thread-detach: they break "
+       "-fsanitize instrumentation"},
+  };
+  return kRules;
+}
+
+bool IsKnownRule(std::string_view id) {
+  for (const RuleInfo& rule : Rules()) {
+    if (id == rule.id) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> LintSource(std::string_view path,
+                                std::string_view content) {
+  Source src;
+  src.raw = SplitLines(content);
+  src.code = StripCode(src.raw);
+  std::string path_str(path);
+
+  std::vector<Finding> findings;
+  Reporter reporter(path_str, src, &findings);
+  CheckUnorderedIter(src, &reporter);
+  CheckRawRandom(path_str, src, &reporter);
+  CheckWallClock(src, &reporter);
+  CheckFloatEq(src, &reporter);
+  CheckSanitizerHostile(src, &reporter);
+  if (IsHeaderPath(path_str)) {
+    CheckIncludeGuard(src, &reporter);
+    CheckDocComment(src, &reporter);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> LintFile(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    return {Finding{file.string(), 0, "io-error", "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintSource(file.generic_string(), buffer.str());
+}
+
+int LintTree(const std::filesystem::path& root,
+             std::vector<Finding>* findings) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (std::filesystem::recursive_directory_iterator it(root, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::filesystem::path& file : files) {
+    std::vector<Finding> file_findings = LintFile(file);
+    findings->insert(findings->end(), file_findings.begin(),
+                     file_findings.end());
+  }
+  return static_cast<int>(files.size());
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+}  // namespace ida::lint

@@ -1,0 +1,80 @@
+// ida_lint — project-invariant static checker for the IDA-Interest tree.
+//
+// The engine's guarantees (bitwise-identical predictions across thread
+// counts, index-vs-brute equivalence, checksum-stable model artifacts) are
+// enforced at runtime by tests; this checker enforces the *coding rules*
+// that make those guarantees hold, at lint time, before a violation can
+// ship. It is a lexical analyzer, not a compiler plugin: comments and
+// string literals are stripped, declarations are tracked per file with
+// token-level heuristics, and every rule is pinned down by fixture tests
+// in tests/lint_test.cpp.
+//
+// Rules (see Rules() for the authoritative list):
+//   unordered-iter     iteration over std::unordered_{map,set} — order is
+//                      unspecified and breaks artifact checksums / vote tie
+//                      order when it feeds serialization or output
+//   raw-random         rand()/srand()/std::random_device/raw mt19937 —
+//                      all randomness must flow through common/rng.h
+//   wall-clock         system_clock / time(nullptr) / gettimeofday — wall
+//                      clock reads make runs non-reproducible
+//                      (steady_clock durations are allowed)
+//   float-eq           ==/!= where an operand is a floating literal or a
+//                      variable declared double/float in the same file
+//   include-guard      headers must open their code with #pragma once
+//   doc-comment        headers must start with a file-level comment and
+//                      document every top-level class/struct
+//   sanitizer-hostile  setjmp/longjmp/vfork/alloca/thread detach — these
+//                      break -fsanitize instrumentation
+//
+// Suppression: a finding on line N is suppressed when line N or line N-1
+// contains `ida-lint: allow(<rule>)`, optionally with a justification
+// after a colon, e.g.
+//   // ida-lint: allow(float-eq): exact tie rule, max is copied bitwise
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ida::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;     ///< path as given to the linter
+  int line = 0;         ///< 1-based line number
+  std::string rule;     ///< rule id, e.g. "unordered-iter"
+  std::string message;  ///< human-readable explanation
+};
+
+/// Static description of one lint rule.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The authoritative rule registry, in report order.
+const std::vector<RuleInfo>& Rules();
+
+/// True when `id` names a registered rule.
+bool IsKnownRule(std::string_view id);
+
+/// Lints one translation unit given as an in-memory string. `path` is used
+/// for reporting, for header-only rules (files ending in .h) and for the
+/// built-in exemptions (e.g. common/rng.h may reference raw generators).
+std::vector<Finding> LintSource(std::string_view path,
+                                std::string_view content);
+
+/// Lints one file on disk; returns findings (empty on a clean file).
+/// I/O errors are reported as a synthetic finding with rule "io-error".
+std::vector<Finding> LintFile(const std::filesystem::path& file);
+
+/// Recursively lints every *.h / *.cc / *.cpp under `root`, appending to
+/// `findings`. Returns the number of files scanned.
+int LintTree(const std::filesystem::path& root,
+             std::vector<Finding>* findings);
+
+/// "file:line: [rule] message" — the single-line report format.
+std::string FormatFinding(const Finding& f);
+
+}  // namespace ida::lint

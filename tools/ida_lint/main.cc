@@ -1,0 +1,63 @@
+// CLI for the ida_lint invariant checker.
+//
+//   ida_lint [--list-rules] [path ...]
+//
+// Paths may be files or directories (directories are scanned recursively
+// for *.h / *.cc / *.cpp); with no path the tool lints ./src. Exits 0 when
+// clean, 1 when findings were reported, 2 on usage or I/O errors.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const ida::lint::RuleInfo& rule : ida::lint::Rules()) {
+        std::printf("%-18s %s\n", rule.id, rule.summary);
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: ida_lint [--list-rules] [path ...]\n");
+      return 0;
+    }
+    if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "ida_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) paths.push_back("src");
+
+  std::vector<ida::lint::Finding> findings;
+  int files_scanned = 0;
+  for (const std::string& path : paths) {
+    std::filesystem::path p(path);
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      files_scanned += ida::lint::LintTree(p, &findings);
+    } else if (std::filesystem::is_regular_file(p, ec)) {
+      std::vector<ida::lint::Finding> file_findings =
+          ida::lint::LintFile(p);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+      ++files_scanned;
+    } else {
+      std::fprintf(stderr, "ida_lint: no such file or directory: %s\n",
+                   path.c_str());
+      return 2;
+    }
+  }
+
+  for (const ida::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", ida::lint::FormatFinding(f).c_str());
+  }
+  std::fprintf(stderr, "ida_lint: %zu finding(s) in %d file(s) scanned\n",
+               findings.size(), files_scanned);
+  return findings.empty() ? 0 : 1;
+}
