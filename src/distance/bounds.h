@@ -1,0 +1,135 @@
+// Staged lower bounds for the serving-time TED filter cascade
+// (DESIGN.md §13). Each function returns a RAW (unnormalized) lower bound
+// on the metric-core tree edit distance of index/vptree.h — and therefore,
+// since the core TED is itself a floating-point-guaranteed lower bound of
+// the serving TED, on the serving distance too. The serving layers
+// (index/vptree.cc, predict/knn.cc) normalize a raw bound with
+// NormalizedCascadeBound and compare it against the current pruning
+// threshold min(theta_delta, k-th best); candidates are only pruned when
+// the deflated bound strictly exceeds it, so a sound bound can never
+// change a prediction.
+//
+// Bound hierarchy (cheapest first, each sound for the stages after it):
+//
+//   size <= structure                 <= core TED <= exact TED
+//   size <= label histogram           <= core TED <= exact TED
+//
+// structure and histogram are not mutually ordered; the cascade simply
+// evaluates them in increasing cost. The CascadeBounds property tests pin
+// the chain over generator-produced session pairs.
+//
+// Soundness arguments (edit-script form; every op is an indel or an alter):
+//
+//  * Size: indels are the only operations that change the node count, so
+//    any script spends >= indel * ||a| - |b||.
+//  * Structure: one indel changes the leaf count by at most one and the
+//    internal-node count by at most one, so the indel count is also
+//    >= |Δleaves| and >= |Δinternal|.
+//  * Label histogram: fix a script with D deletions, I insertions and M
+//    matched pairs; then D + I = ||a| - |b|| + 2s with
+//    s = min(|a|, |b|) - M >= 0. For a discrete node feature, at most
+//    S = Σ_v min(hist_a(v), hist_b(v)) matched pairs can agree on it, and
+//    every disagreeing pair's alter cost is >= the feature's cross-class
+//    floor c. With c' = min(c, 2 * indel) (a cross-class match never costs
+//    more than replacing it by a delete + insert):
+//      cost >= indel * ||a|-|b|| + 2*indel*s + c * max(0, M - S)
+//           >= indel * ||a|-|b|| + c' * max(0, min(|a|,|b|) - S).
+//    The floors used are exact floating-point statements about the ground
+//    metrics: a display-kind mismatch contributes 0.2 to the display
+//    ground distance before any other nonnegative term (ground.cc and the
+//    core mirror in vptree.cc), and an action-class mismatch (absence or
+//    type) yields action distance exactly 1.0; weighting by display_weight
+//    and adding the other nonnegative term are monotone in floating point.
+//
+// Floating-point margin: the bounds themselves are a handful of rounded
+// multiplies/adds, so before any comparison they are deflated by
+// kCascadeBoundSlack — a 1e-9 relative margin that dwarfs the few-ULP
+// jitter (same argument as the PR 4 triangle bound) while weakening
+// pruning imperceptibly.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "distance/ted.h"
+
+namespace ida {
+
+/// Relative deflation applied to every cascade lower bound before it is
+/// compared against the pruning threshold (see the header comment).
+inline constexpr double kCascadeBoundSlack = 1.0 - 1e-9;
+
+/// Raw size lower bound: indel * ||a| - |b||.
+inline double SizeLowerBound(const FlatContext& a, const FlatContext& b,
+                             double indel) {
+  return indel * std::fabs(static_cast<double>(a.size()) -
+                           static_cast<double>(b.size()));
+}
+
+/// Raw degree/leaf-count lower bound: indel * max of the size, leaf-count
+/// and internal-node-count differences (so it is always >= the size
+/// bound).
+inline double StructureLowerBound(const FlatContext& a, const FlatContext& b,
+                                  double indel) {
+  const int size_diff = std::abs(static_cast<int>(a.size()) -
+                                 static_cast<int>(b.size()));
+  const int leaf_diff = std::abs(a.num_leaves - b.num_leaves);
+  const int internal_diff =
+      std::abs((static_cast<int>(a.size()) - a.num_leaves) -
+               (static_cast<int>(b.size()) - b.num_leaves));
+  return indel *
+         static_cast<double>(std::max({size_diff, leaf_diff, internal_diff}));
+}
+
+namespace internal {
+
+/// Histogram intersection: how many matched pairs can agree on a discrete
+/// node feature with per-class counts `ha` / `hb`.
+template <typename Hist>
+int HistogramOverlap(const Hist& ha, const Hist& hb) {
+  int overlap = 0;
+  for (size_t v = 0; v < ha.size(); ++v) {
+    overlap += std::min(ha[v], hb[v]);
+  }
+  return overlap;
+}
+
+}  // namespace internal
+
+/// Raw interned-label histogram lower bound over the two discrete node
+/// features with a cross-class alter-cost floor: display kind (floor
+/// display_weight * 0.2) and incoming-action class (floor
+/// (1 - display_weight) * 1.0). Returns the better of the two per-feature
+/// bounds; always >= the size bound.
+inline double HistogramLowerBound(const FlatContext& a, const FlatContext& b,
+                                  const SessionDistanceOptions& options) {
+  const double indel = options.indel_cost;
+  const int min_size = static_cast<int>(std::min(a.size(), b.size()));
+  const double base = SizeLowerBound(a, b, indel);
+  const double kind_floor =
+      std::min(options.display_weight * 0.2, 2.0 * indel);
+  const double action_floor =
+      std::min((1.0 - options.display_weight) * 1.0, 2.0 * indel);
+  const int kind_deficit =
+      std::max(0, min_size - internal::HistogramOverlap(a.kind_hist,
+                                                        b.kind_hist));
+  const int action_deficit =
+      std::max(0, min_size - internal::HistogramOverlap(a.action_hist,
+                                                        b.action_hist));
+  return std::max(base + kind_floor * static_cast<double>(kind_deficit),
+                  base + action_floor * static_cast<double>(action_deficit));
+}
+
+/// Converts a raw core-TED lower bound into a deflated normalized-distance
+/// lower bound for a candidate with `candidate_size` nodes against a query
+/// with `query_size` nodes (the serving distance divides the TED by
+/// indel * total node count).
+inline double NormalizedCascadeBound(double raw, double query_size,
+                                     double candidate_size, double indel) {
+  const double denom = indel * (query_size + candidate_size);
+  if (denom <= 0.0) return 0.0;
+  return kCascadeBoundSlack * (raw / denom);
+}
+
+}  // namespace ida

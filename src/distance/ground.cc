@@ -23,8 +23,12 @@ double FilterDistance(const Action& a, const Action& b) {
   const auto& pa = a.predicates();
   const auto& pb = b.predicates();
   if (pa.empty() && pb.empty()) return 0.0;
-  // Greedy best-match of predicates (sets are tiny).
-  std::vector<bool> used(pb.size(), false);
+  // Greedy best-match of predicates (sets are tiny). The match bitmap is
+  // grow-only thread-local scratch: this runs once per DP cell on the
+  // serving path, and a per-call heap allocation would dominate the
+  // arithmetic.
+  thread_local std::vector<bool> used;
+  used.assign(pb.size(), false);
   double total_sim = 0.0;
   for (const Predicate& p : pa) {
     double best = 0.0;

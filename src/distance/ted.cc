@@ -1,6 +1,7 @@
 #include "distance/ted.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -179,14 +180,31 @@ FlatContext SessionDistance::Prepare(const NContext& ctx) {
     }
   }
   std::sort(t.keyroots.begin(), t.keyroots.end());
+  // Cascade summaries (distance/bounds.h): one linear pass over the
+  // flattened nodes. A node is a leaf iff it is its own leftmost leaf.
+  for (int i = 0; i < static_cast<int>(t.size()); ++i) {
+    FlatContext::Node& node = t.post[static_cast<size_t>(i)];
+    node.log_rows =
+        std::log2(static_cast<double>(node.display->num_rows()) + 1.0);
+    if (node.leftmost == i) ++t.num_leaves;
+    ++t.kind_hist[static_cast<size_t>(node.display->kind())];
+    const size_t action_class =
+        node.incoming->has_value()
+            ? 1 + static_cast<size_t>((*node.incoming)->type())
+            : 0;
+    ++t.action_hist[action_class];
+  }
   return t;
 }
 
 void TedWorkspace::Reserve(size_t n, size_t m) {
-  const bool grew =
-      treedist_.size() < n * m || fd_.size() < (n + 1) * (m + 1);
+  const bool grew = treedist_.size() < n * m ||
+                    fd_.size() < (n + 1) * (m + 1) || alter_.size() < n * m ||
+                    bleft_.size() < m;
   if (treedist_.size() < n * m) treedist_.resize(n * m);
   if (fd_.size() < (n + 1) * (m + 1)) fd_.resize((n + 1) * (m + 1));
+  if (alter_.size() < n * m) alter_.resize(n * m);
+  if (bleft_.size() < m) bleft_.resize(m);
   IDA_OBS_TALLY(grew ? ++tally.workspace_grows : ++tally.workspace_reuses);
   (void)grew;
 }
@@ -228,13 +246,12 @@ double SessionDistance::CachedDisplayDistance(const Display* a,
   // reusing a workspace with a different metric resets it so stale
   // pointer keys never outlive a display.
   if (ws->cache_owner_ != cache_.get()) {
-    ws->display_memo_.clear();
+    ws->display_memo_.Clear();
     ws->cache_owner_ = cache_.get();
   }
-  auto [it, inserted] = ws->display_memo_.try_emplace(key, 0.0);
-  if (!inserted) {
+  if (const double* hit = ws->display_memo_.Find(key)) {
     IDA_OBS_TALLY(++ws->tally.display_l1_hits);
-    return it->second;
+    return *hit;
   }
 
   DisplayCacheShard& shard =
@@ -244,8 +261,8 @@ double SessionDistance::CachedDisplayDistance(const Display* a,
     auto sit = shard.map.find(key);
     if (sit != shard.map.end()) {
       IDA_OBS_TALLY(++ws->tally.display_shared_hits);
-      it->second = sit->second;
-      return it->second;
+      ws->display_memo_.Insert(key, sit->second);
+      return sit->second;
     }
   }
   IDA_OBS_TALLY(++ws->tally.display_computes);
@@ -257,7 +274,7 @@ double SessionDistance::CachedDisplayDistance(const Display* a,
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.emplace(key, d);
   }
-  it->second = d;
+  ws->display_memo_.Insert(key, d);
   return d;
 }
 

@@ -12,6 +12,7 @@
 // thread count.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -46,6 +47,66 @@ struct DisplayPairHash {
   }
 };
 
+/// Open-addressing (linear probe, power-of-two capacity, <= 50% load)
+/// display-pair memo: the DP consults one entry per alter cell, so probe
+/// cost sits directly on the serving hot path — a flat probe is several
+/// times cheaper than a node-based unordered_map lookup. Values are a
+/// pure memo of a deterministic function, so the table never influences
+/// results, only how often they are recomputed.
+class FlatDisplayMemo {
+ public:
+  /// Returns the memoized value for `key`, or nullptr when absent.
+  const double* Find(const DisplayPair& key) const {
+    if (keys_.empty()) return nullptr;
+    const size_t mask = keys_.size() - 1;
+    size_t slot = DisplayPairHash{}(key) & mask;
+    while (keys_[slot].first != nullptr) {
+      if (keys_[slot] == key) return &vals_[slot];
+      slot = (slot + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  /// Inserts a key Find just reported absent.
+  void Insert(const DisplayPair& key, double value) {
+    if (keys_.empty() || 2 * (count_ + 1) > keys_.size()) Grow();
+    const size_t mask = keys_.size() - 1;
+    size_t slot = DisplayPairHash{}(key) & mask;
+    while (keys_[slot].first != nullptr) slot = (slot + 1) & mask;
+    keys_[slot] = key;
+    vals_[slot] = value;
+    ++count_;
+  }
+
+  /// Forgets every entry but keeps the capacity.
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), DisplayPair(nullptr, nullptr));
+    count_ = 0;
+  }
+
+  size_t size() const { return count_; }
+
+ private:
+  void Grow() {
+    std::vector<DisplayPair> old_keys = std::move(keys_);
+    std::vector<double> old_vals = std::move(vals_);
+    const size_t cap =
+        old_keys.empty() ? kInitialCapacity : old_keys.size() * 2;
+    keys_.assign(cap, DisplayPair(nullptr, nullptr));
+    vals_.assign(cap, 0.0);
+    count_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i].first != nullptr) Insert(old_keys[i], old_vals[i]);
+    }
+  }
+
+  static constexpr size_t kInitialCapacity = 256;  // power of two
+
+  std::vector<DisplayPair> keys_;
+  std::vector<double> vals_;
+  size_t count_ = 0;
+};
+
 }  // namespace internal
 
 /// Cost model for the session tree edit distance.
@@ -77,12 +138,28 @@ struct FlatContext {
     const std::optional<Action>* incoming = nullptr;
     /// Postorder position of this node's leftmost leaf descendant.
     int leftmost = 0;
+    /// log2(display row count + 1), precomputed by Prepare: the log-size
+    /// term of the display ground metric, hoisted out of the DP inner
+    /// loops (log2 is deterministic, so the hoisted value is bitwise the
+    /// value an inline call would produce).
+    double log_rows = 0.0;
   };
 
   /// Nodes in postorder.
   std::vector<Node> post;
   /// Keyroot positions (ascending): highest node per leftmost-leaf value.
   std::vector<int> keyroots;
+
+  /// O(1) structural summaries, filled by Prepare and consumed by the
+  /// serving-time filter cascade (distance/bounds.h): leaf count and
+  /// per-class histograms of the two discrete node features the alter-cost
+  /// ground metrics charge a fixed minimum for across classes.
+  int32_t num_leaves = 0;
+  /// Node count per DisplayKind (root / raw / aggregated).
+  std::array<int32_t, 3> kind_hist{};
+  /// Node count per incoming-action class: slot 0 = no incoming action
+  /// (context root), slots 1.. = ActionType (filter / group-by / back).
+  std::array<int32_t, 4> action_hist{};
 
   size_t size() const { return post.size(); }
   bool empty() const { return post.empty(); }
@@ -125,12 +202,15 @@ struct TedTally {
 /// the metric's shared cache. Not thread-safe — one workspace per thread.
 class TedWorkspace {
  public:
-  /// Ensures capacity for an (n x m) tree table and an (n+1) x (m+1)
-  /// forest table.
+  /// Ensures capacity for an (n x m) tree table, an (n+1) x (m+1) forest
+  /// table, the (n x m) precomputed alter-cost table and the length-m
+  /// leftmost-leaf row the restructured DP streams over.
   void Reserve(size_t n, size_t m);
 
   double* treedist() { return treedist_.data(); }
   double* fd() { return fd_.data(); }
+  double* alter_table() { return alter_.data(); }
+  int32_t* bleft() { return bleft_.data(); }
 
   /// Event tallies since the last Clear (observability; see TedTally).
   TedTally tally;
@@ -140,12 +220,17 @@ class TedWorkspace {
 
   std::vector<double> treedist_;
   std::vector<double> fd_;
+  /// Per-pair alter-cost table (n x m, row-major): the DP consults
+  /// alter(pi, pj) exactly once per node pair, so precomputing the full
+  /// table costs the same alter evaluations and makes every inner-loop
+  /// read a contiguous load (see zhang_shasha.h).
+  std::vector<double> alter_;
+  /// Contiguous copy of tb's leftmost-leaf positions (length m).
+  std::vector<int32_t> bleft_;
   /// L1 display-distance memo, valid only for the metric cache identified
   /// by `cache_owner_` (reset when the workspace is reused with another
   /// metric, so stale pointer keys can never leak across lifetimes).
-  std::unordered_map<internal::DisplayPair, double,
-                     internal::DisplayPairHash>
-      display_memo_;
+  internal::FlatDisplayMemo display_memo_;
   const void* cache_owner_ = nullptr;
 };
 

@@ -38,6 +38,11 @@ struct ModelConfig {
   /// distance evaluations with it. Predictions are bitwise identical
   /// either way; this is the escape hatch back to the brute-force scan.
   bool use_index = true;
+  /// Opt-in approximate serving (DESIGN.md §13): inflates the filter
+  /// cascade's lower bounds by (1 + epsilon) to prune more aggressively,
+  /// trading a measured fraction of recall for latency. Off by default —
+  /// exact serving, bitwise-deterministic predictions.
+  ApproxOptions approx;
   /// Which offline comparison labels the training set.
   ComparisonMethod method = ComparisonMethod::kNormalized;
   /// The measure set I, by registry name (see CreateMeasure) — the label

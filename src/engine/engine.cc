@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "distance/ted.h"
@@ -46,6 +47,14 @@ Status ValidateConfig(const ModelConfig& config) {
   if (config.distance.display_weight < 0.0 ||
       config.distance.display_weight > 1.0) {
     return Status::InvalidArgument("distance.display_weight must be in [0, 1]");
+  }
+  if (!(config.approx.epsilon >= 0.0) ||
+      !std::isfinite(config.approx.epsilon)) {
+    return Status::InvalidArgument("approx.epsilon must be finite and >= 0");
+  }
+  if (!(config.approx.recall_target >= 0.0 &&
+        config.approx.recall_target <= 1.0)) {
+    return Status::InvalidArgument("approx.recall_target must be in [0, 1]");
   }
   return ResolveMeasures(config.measures).status();
 }
@@ -183,8 +192,12 @@ Predictor::Predictor(ModelConfig config, MeasureSet measures,
     metrics_.index_searches = reg.GetCounter("ida.index.searches");
     metrics_.index_nodes_visited = reg.GetCounter("ida.index.nodes_visited");
     metrics_.index_lb_pruned = reg.GetCounter("ida.index.lb_pruned");
+    metrics_.index_structure_pruned =
+        reg.GetCounter("ida.index.structure_pruned");
+    metrics_.index_hist_pruned = reg.GetCounter("ida.index.hist_pruned");
     metrics_.index_triangle_pruned =
         reg.GetCounter("ida.index.triangle_pruned");
+    metrics_.index_core_pruned = reg.GetCounter("ida.index.core_pruned");
     metrics_.index_subtree_pruned =
         reg.GetCounter("ida.index.subtree_pruned");
     metrics_.index_core_teds = reg.GetCounter("ida.index.core_teds");
@@ -196,7 +209,10 @@ void Predictor::RecordIndexStats(const index::IndexStats& s) const {
   metrics_.index_searches->Add(s.searches);
   metrics_.index_nodes_visited->Add(s.nodes_visited);
   metrics_.index_lb_pruned->Add(s.lb_pruned);
+  metrics_.index_structure_pruned->Add(s.structure_pruned);
+  metrics_.index_hist_pruned->Add(s.hist_pruned);
   metrics_.index_triangle_pruned->Add(s.triangle_pruned);
+  metrics_.index_core_pruned->Add(s.core_pruned);
   metrics_.index_subtree_pruned->Add(s.subtree_pruned);
   metrics_.index_core_teds->Add(s.core_teds);
   metrics_.index_exact_teds->Add(s.exact_teds);
@@ -219,7 +235,7 @@ Result<Predictor> Predictor::Load(TrainedModel model, obs::ObsConfig obs) {
   auto knn = std::make_shared<const IKnnClassifier>(
       std::vector<TrainingSample>(model.samples()),
       SessionDistance(config.distance), config.knn,
-      config.use_index ? model.index() : nullptr);
+      config.use_index ? model.index() : nullptr, config.approx);
   return Predictor(std::move(config), std::move(measures), std::move(knn),
                    obs);
 }
@@ -351,7 +367,7 @@ Result<EvaluationReport> EvaluateLoocv(const TrainedModel& model,
                        model.index()->size() == samples.size();
   IKnnClassifier classifier(std::vector<TrainingSample>(samples),
                             SessionDistance(config.distance), config.knn,
-                            indexed ? model.index() : nullptr);
+                            indexed ? model.index() : nullptr, config.approx);
   obs::ScopedTimer knn_timer(obs, "loocv.knn");
   index::IndexStats index_stats;
   report.knn = EvaluateKnnLoocv(classifier, num_classes,

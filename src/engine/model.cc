@@ -25,6 +25,11 @@ void WriteConfig(const ModelConfig& c, uint32_t version, Writer* w) {
   w->F64(c.knn.distance_threshold);
   w->U8(c.knn.distance_weighted ? 1 : 0);
   if (version >= 2) w->U8(c.use_index ? 1 : 0);
+  if (version >= 3) {
+    w->U8(c.approx.enabled ? 1 : 0);
+    w->F64(c.approx.epsilon);
+    w->F64(c.approx.recall_target);
+  }
   w->U8(static_cast<uint8_t>(c.method));
   w->F64(c.distance.indel_cost);
   w->F64(c.distance.display_weight);
@@ -49,6 +54,15 @@ Status ReadConfig(Reader* r, uint32_t version, ModelConfig* c) {
   // (enabled) but carry no index blob, so serving falls back to brute
   // force either way.
   c->use_index = version >= 2 ? r->U8() != 0 : true;
+  // Pre-version-3 artifacts predate approximate serving; they load with
+  // the knob at its default (off), i.e. exact serving.
+  if (version >= 3) {
+    c->approx.enabled = r->U8() != 0;
+    c->approx.epsilon = r->F64();
+    c->approx.recall_target = r->F64();
+  } else {
+    c->approx = ApproxOptions{};
+  }
   uint8_t method = r->U8();
   c->distance.indel_cost = r->F64();
   c->distance.display_weight = r->F64();

@@ -23,6 +23,9 @@
 //       VP-tree blob after the samples (empty blob = no index). Version-1
 //       artifacts still load; they simply carry no index, and the serving
 //       layer falls back to the brute-force scan.
+//   3 — adds the approximate-serving knobs (`approx.enabled`, `.epsilon`,
+//       `.recall_target`) to the config section. Older artifacts load
+//       with the knob off, i.e. exact serving.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +47,7 @@ inline constexpr char kArtifactMagic[8] = {'I', 'D', 'A', 'M',
 /// Current artifact format version. Bump on any layout change; readers
 /// accept kMinArtifactVersion..kArtifactVersion and reject the rest with
 /// an explicit message.
-inline constexpr uint32_t kArtifactVersion = 2;
+inline constexpr uint32_t kArtifactVersion = 3;
 /// Oldest artifact version this build still reads.
 inline constexpr uint32_t kMinArtifactVersion = 1;
 

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/binio.h"
+#include "distance/bounds.h"
 #include "distance/ground.h"
 #include "distance/zhang_shasha.h"
 
@@ -20,7 +21,8 @@ namespace {
 // context node (contexts are a handful of nodes), so a 1e-9 relative
 // margin dwarfs it by many orders of magnitude while weakening pruning
 // imperceptibly. Bounds stay nonnegative (slack is a positive factor).
-constexpr double kBoundSlack = 1.0 - 1e-9;
+// Shared with the brute-force cascade (distance/bounds.h).
+constexpr double kBoundSlack = kCascadeBoundSlack;
 
 // splitmix64 finalizer — the deterministic pivot-selection hash.
 uint64_t Mix64(uint64_t x) {
@@ -32,18 +34,19 @@ uint64_t Mix64(uint64_t x) {
 
 // Core display distance: DisplayContentDistance minus its JSD term (the
 // one non-metric ingredient). Term order and arithmetic mirror the true
-// metric exactly, so by monotonicity of floating-point +: the result is
+// metric exactly — the log-size operands come precomputed from Prepare
+// (FlatContext::Node::log_rows) and are bitwise the values an inline log2
+// would produce — so by monotonicity of floating-point +: the result is
 // <= DisplayContentDistance(a, b) for the computed doubles, not just
 // mathematically. Maximum value 0.6, so the true metric's final clamp to
 // [0, 1] cannot drop below it either.
-double CoreDisplayDistance(const Display& a, const Display& b) {
+double CoreDisplayDistance(const FlatContext::Node& a,
+                           const FlatContext::Node& b) {
   double d = 0.0;
-  if (a.kind() != b.kind()) d += 0.2;
-  if (a.profile().column != b.profile().column) d += 0.2;
-  double la = std::log2(static_cast<double>(a.num_rows()) + 1.0);
-  double lb = std::log2(static_cast<double>(b.num_rows()) + 1.0);
+  if (a.display->kind() != b.display->kind()) d += 0.2;
+  if (a.display->profile().column != b.display->profile().column) d += 0.2;
   constexpr double kSizeCap = 12.0;  // keep in sync with ground.cc
-  d += 0.2 * std::min(std::fabs(la - lb), kSizeCap) / kSizeCap;
+  d += 0.2 * std::min(std::fabs(a.log_rows - b.log_rows), kSizeCap) / kSizeCap;
   return d;
 }
 
@@ -65,7 +68,7 @@ double CoreActionDistance(const std::optional<Action>& a,
 
 double CoreAlterCost(const FlatContext::Node& a, const FlatContext::Node& b,
                      double display_weight) {
-  const double dd = CoreDisplayDistance(*a.display, *b.display);
+  const double dd = CoreDisplayDistance(a, b);
   const double da = CoreActionDistance(*a.incoming, *b.incoming);
   // Same expression shape as the serving alter cost (ted.cc), with each
   // ground term pointwise <= its true counterpart: multiplication by a
@@ -93,7 +96,10 @@ void IndexStats::Merge(const IndexStats& other) {
   searches += other.searches;
   nodes_visited += other.nodes_visited;
   lb_pruned += other.lb_pruned;
+  structure_pruned += other.structure_pruned;
+  hist_pruned += other.hist_pruned;
   triangle_pruned += other.triangle_pruned;
+  core_pruned += other.core_pruned;
   subtree_pruned += other.subtree_pruned;
   core_teds += other.core_teds;
   exact_teds += other.exact_teds;
@@ -234,6 +240,9 @@ struct VpTree::SearchState {
   IndexStats stats;
   double qn = 0.0;  ///< query node count as double
   double indel = 1.0;
+  /// Approximate-serving bound scale (>= 1.0; exactly 1.0 in exact mode,
+  /// where multiplying by it is a bitwise no-op).
+  double inflation = 1.0;
 
   /// Current pruning threshold: the abstain radius, tightened to the k-th
   /// best (distance, id) once k candidates are held. A lower bound that
@@ -271,7 +280,7 @@ struct VpTree::SearchState {
   double SizeBound(double candidate_size) const {
     const double total = qn + candidate_size;
     if (total <= 0.0) return 0.0;
-    return kBoundSlack * (std::fabs(qn - candidate_size) / total);
+    return inflation * (kBoundSlack * (std::fabs(qn - candidate_size) / total));
   }
 
   /// Converts a raw core-TED lower bound into a normalized-distance lower
@@ -281,7 +290,26 @@ struct VpTree::SearchState {
   double NormBound(double raw, double candidate_size) const {
     const double denom = indel * (qn + candidate_size);
     if (denom <= 0.0) return 0.0;
-    return kBoundSlack * (raw / denom);
+    return inflation * (kBoundSlack * (raw / denom));
+  }
+
+  /// The O(1) filter-cascade prefix shared by the pivot and leaf-entry
+  /// chains (distance/bounds.h): degree/leaf-count bound, then the
+  /// label-histogram bound. The size bound runs before this (its operands
+  /// are already in registers at both call sites). Returns true when the
+  /// candidate was pruned (and counts the stage that did it).
+  bool CascadePrunes(const FlatContext& ctx, double cn) {
+    const double tau = Tau();
+    if (NormBound(StructureLowerBound(*query, ctx, indel), cn) > tau) {
+      ++stats.structure_pruned;
+      return true;
+    }
+    if (NormBound(HistogramLowerBound(*query, ctx, metric->options()), cn) >
+        tau) {
+      ++stats.hist_pruned;
+      return true;
+    }
+    return false;
   }
 };
 
@@ -290,7 +318,7 @@ void VpTree::Search(const FlatContext& query,
                     const SessionDistance& metric, int k, double radius,
                     int exclude, TedWorkspace* ws,
                     std::vector<std::pair<double, size_t>>* out,
-                    IndexStats* stats) const {
+                    IndexStats* stats, double bound_inflation) const {
   out->clear();
   if (k <= 0 || radius < 0.0 || nodes_.empty()) {
     if (stats != nullptr) ++stats->searches;
@@ -309,6 +337,7 @@ void VpTree::Search(const FlatContext& query,
   state.stats.searches = 1;
   state.qn = static_cast<double>(query.size());
   state.indel = metric.options().indel_cost;
+  state.inflation = std::max(1.0, bound_inflation);
 
   VisitNode(0, &state);
 
@@ -330,14 +359,17 @@ void VpTree::VisitNode(uint32_t node_index, SearchState* state) const {
                            state->ws);
   ++state->stats.core_teds;
 
-  // The pivot is itself a candidate: size bound, then the core distance
-  // as a direct lower bound, then the exact metric.
+  // The pivot is itself a candidate: the O(1) cascade (size, structure,
+  // histogram bounds), then the already-computed core distance as a direct
+  // lower bound, then the exact metric.
   if (node.pivot != state->exclude) {
     const double pn = static_cast<double>(pivot_ctx.size());
     if (state->SizeBound(pn) > state->Tau()) {
       ++state->stats.lb_pruned;
+    } else if (state->CascadePrunes(pivot_ctx, pn)) {
+      // counted per stage inside CascadePrunes
     } else if (state->NormBound(core_qp, pn) > state->Tau()) {
-      ++state->stats.triangle_pruned;
+      ++state->stats.core_pruned;
     } else {
       const double d = state->metric->Distance(query, pivot_ctx, state->ws);
       ++state->stats.exact_teds;
@@ -355,11 +387,15 @@ void VpTree::VisitNode(uint32_t node_index, SearchState* state) const {
         continue;
       }
       // Triangle over the core pseudometric, sound for the true distance:
-      // ted(q,x) >= core(q,x) >= |core(q,p) - core(p,x)|.
+      // ted(q,x) >= core(q,x) >= |core(q,p) - core(p,x)|. Runs before the
+      // structure/histogram stages: the cached core distance makes it the
+      // cheaper test (one multiply against precomputed operands), and the
+      // cascade orders stages by measured unit cost.
       if (state->NormBound(std::fabs(core_qp - core_px), cn) > state->Tau()) {
         ++state->stats.triangle_pruned;
         continue;
       }
+      if (state->CascadePrunes(ctx, cn)) continue;
       const double d = state->metric->Distance(query, ctx, state->ws);
       ++state->stats.exact_teds;
       state->Consider(d, static_cast<size_t>(id));
@@ -601,8 +637,17 @@ void FlushIndexStats(const IndexStats& stats, const obs::ObsConfig& obs) {
   if (stats.lb_pruned > 0) {
     reg.GetCounter("ida.index.lb_pruned")->Add(stats.lb_pruned);
   }
+  if (stats.structure_pruned > 0) {
+    reg.GetCounter("ida.index.structure_pruned")->Add(stats.structure_pruned);
+  }
+  if (stats.hist_pruned > 0) {
+    reg.GetCounter("ida.index.hist_pruned")->Add(stats.hist_pruned);
+  }
   if (stats.triangle_pruned > 0) {
     reg.GetCounter("ida.index.triangle_pruned")->Add(stats.triangle_pruned);
+  }
+  if (stats.core_pruned > 0) {
+    reg.GetCounter("ida.index.core_pruned")->Add(stats.core_pruned);
   }
   if (stats.subtree_pruned > 0) {
     reg.GetCounter("ida.index.subtree_pruned")->Add(stats.subtree_pruned);

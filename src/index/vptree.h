@@ -20,15 +20,23 @@
 //
 //   ted(q,x) >= core(q,x) >= |core(q,p) - core(p,x)|
 //
-// Per candidate, two O(1) lower bounds run before any exact DP: the size
-// bound indel * ||q| - |x|| (sound for any cost model: indels are the only
-// operations that change the node count) and the core triangle bound
-// above, both converted to normalized-distance lower bounds via the known
-// node counts and compared against min(theta_delta, current k-th best).
-// Bounds are deflated by a 1e-9 relative safety margin so floating-point
-// jitter in the triangle identity can never flip a boundary comparison;
-// the equivalence property test then enforces bitwise-identical
-// predictions against the brute-force path.
+// Per candidate, a staged filter cascade (distance/bounds.h, DESIGN.md
+// §13) runs ever-tighter lower bounds before any exact DP, ordered by
+// measured unit cost: the O(1) size bound indel * ||q| - |x|| (sound for
+// any cost model: indels are the only operations that change the node
+// count), the cached core triangle bound above, then the O(1)
+// degree/leaf-count and interned-label-histogram bounds — each converted
+// to a normalized-distance lower bound via the known node counts and
+// compared against min(theta_delta, current k-th best), with per-stage
+// prune counts in IndexStats. Bounds are deflated by a 1e-9 relative
+// safety margin (kCascadeBoundSlack) so floating-point jitter in the
+// bound identities can never flip a boundary comparison; the equivalence
+// and CascadeBounds property tests then enforce bitwise-identical
+// predictions against the brute-force path. The opt-in approximate
+// serving mode (ApproxOptions, DESIGN.md §13) threads a bound_inflation
+// factor through Search: exactly 1.0 in exact mode (an IEEE identity),
+// 1 + epsilon when an operator trades a measured slice of recall for
+// more aggressive pruning.
 #pragma once
 
 #include <array>
@@ -70,13 +78,16 @@ struct VpTreeOptions {
 /// serving layer (FlushIndexStats). Plain integers: one search fills a
 /// local instance, so the hot path never touches an atomic.
 struct IndexStats {
-  uint64_t searches = 0;         ///< Search calls
-  uint64_t nodes_visited = 0;    ///< tree nodes expanded
-  uint64_t lb_pruned = 0;        ///< candidates pruned by the size bound
-  uint64_t triangle_pruned = 0;  ///< ... by the core triangle/direct bound
-  uint64_t subtree_pruned = 0;   ///< child subtrees skipped entirely
-  uint64_t core_teds = 0;        ///< metric-core DP evaluations
-  uint64_t exact_teds = 0;       ///< exact (serving-metric) DP evaluations
+  uint64_t searches = 0;          ///< Search calls
+  uint64_t nodes_visited = 0;     ///< tree nodes expanded
+  uint64_t lb_pruned = 0;         ///< candidates pruned by the size bound
+  uint64_t structure_pruned = 0;  ///< ... by the degree/leaf-count bound
+  uint64_t hist_pruned = 0;       ///< ... by the label-histogram bound
+  uint64_t triangle_pruned = 0;   ///< ... by the cached-core triangle bound
+  uint64_t core_pruned = 0;       ///< ... by a freshly computed core TED
+  uint64_t subtree_pruned = 0;    ///< child subtrees skipped entirely
+  uint64_t core_teds = 0;         ///< metric-core DP evaluations
+  uint64_t exact_teds = 0;        ///< exact (serving-metric) DP evaluations
   /// Nearest exact distance evaluated during the search, -1 when none was.
   /// Exact when a neighbor is admitted; on an empty result it is an upper
   /// bound on the true nearest distance (pruned candidates are never
@@ -111,12 +122,18 @@ class VpTree {
   /// kNN vote would see. `prepared` must be the vector the tree was built
   /// over (or a value-identical copy) and `metric` must carry the same
   /// options. `stats`, when non-null, receives the search's event counts.
+  /// `bound_inflation` (>= 1.0) scales every cascade lower bound before
+  /// its threshold comparison — the approximate-serving knob
+  /// (DESIGN.md §13): 1.0 multiplies exactly and keeps the search
+  /// bitwise-exact; larger values prune more aggressively and may drop
+  /// true neighbors.
   void Search(const FlatContext& query,
               const std::vector<FlatContext>& prepared,
               const SessionDistance& metric, int k, double radius,
               int exclude, TedWorkspace* ws,
               std::vector<std::pair<double, size_t>>* out,
-              IndexStats* stats = nullptr) const;
+              IndexStats* stats = nullptr,
+              double bound_inflation = 1.0) const;
 
   /// Number of indexed samples.
   size_t size() const { return num_samples_; }

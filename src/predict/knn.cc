@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "distance/bounds.h"
 
 namespace ida {
 
@@ -117,11 +118,14 @@ Prediction KnnVote(const std::vector<double>& distances,
 
 IKnnClassifier::IKnnClassifier(std::vector<TrainingSample> train,
                                SessionDistance metric, KnnOptions options,
-                               std::shared_ptr<const index::VpTree> index)
+                               std::shared_ptr<const index::VpTree> index,
+                               ApproxOptions approx)
     : train_(std::make_shared<const std::vector<TrainingSample>>(
           std::move(train))),
       metric_(std::move(metric)),
-      options_(options) {
+      options_(options),
+      approx_(approx),
+      bound_inflation_(approx.BoundInflation()) {
   prepared_.reserve(train_->size());
   for (const TrainingSample& s : *train_) {
     prepared_.push_back(SessionDistance::Prepare(s.context));
@@ -134,24 +138,89 @@ IKnnClassifier::IKnnClassifier(std::vector<TrainingSample> train,
 
 namespace {
 
-// Brute-force candidate collection: evaluates the exact distance to every
-// training sample (minus `exclude`) into the caller's grow-only scratch
-// and sorts the k nearest to the front. Returns the candidate count to
-// vote over (<= k).
+// Brute-force candidate collection with the O(1) prefix of the filter
+// cascade (distance/bounds.h): scans every training sample (minus
+// `exclude`), retires candidates whose size / structure / histogram lower
+// bound proves they cannot enter the result, and maintains the k nearest
+// within theta_delta in a max-heap whose root is the current pruning
+// threshold. The admitted multiset — and its (distance, index) order
+// after the final sort — is exactly what the old evaluate-everything scan
+// handed the vote: a candidate is only pruned when its bound strictly
+// exceeds min(theta_delta, current k-th best), both of which only ever
+// shrink, so no pruned candidate could have displaced a kept one (ties
+// displace only on strictly smaller (distance, index), which a strictly
+// larger distance never is). The cached-core and fresh-core stages stay
+// index-only: the brute path has no pivot distances to triangulate over,
+// and it is the comparison baseline the index is certified against.
+// Returns the candidate count to vote over (<= k); `istats`, when
+// non-null, receives the per-stage prune counters and the nearest
+// distance evaluated.
 size_t CollectBrute(const FlatContext& q,
                     const std::vector<FlatContext>& prepared,
                     const SessionDistance& metric, const KnnOptions& options,
-                    int exclude, TedWorkspace& ws,
-                    std::vector<std::pair<double, size_t>>& order) {
+                    double bound_inflation, int exclude, TedWorkspace& ws,
+                    std::vector<std::pair<double, size_t>>& order,
+                    index::IndexStats* istats) {
   order.clear();
+  const SessionDistanceOptions& dopts = metric.options();
+  const double indel = dopts.indel_cost;
+  const double qn = static_cast<double>(q.size());
+  const double radius = options.distance_threshold;
+  const size_t k = static_cast<size_t>(options.k);
+  double nearest_seen = -1.0;
+  uint64_t lb_pruned = 0, structure_pruned = 0, hist_pruned = 0, exact = 0;
+  const auto tau = [&]() {
+    return order.size() == k ? std::min(radius, order.front().first)
+                             : radius;
+  };
   for (size_t i = 0; i < prepared.size(); ++i) {
     if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
-    order.emplace_back(metric.Distance(q, prepared[i], &ws), i);
+    const FlatContext& c = prepared[i];
+    const double cn = static_cast<double>(c.size());
+    if (bound_inflation *
+            NormalizedCascadeBound(SizeLowerBound(q, c, indel), qn, cn,
+                                   indel) >
+        tau()) {
+      ++lb_pruned;
+      continue;
+    }
+    if (bound_inflation *
+            NormalizedCascadeBound(StructureLowerBound(q, c, indel), qn, cn,
+                                   indel) >
+        tau()) {
+      ++structure_pruned;
+      continue;
+    }
+    if (bound_inflation *
+            NormalizedCascadeBound(HistogramLowerBound(q, c, dopts), qn, cn,
+                                   indel) >
+        tau()) {
+      ++hist_pruned;
+      continue;
+    }
+    const double d = metric.Distance(q, c, &ws);
+    ++exact;
+    if (nearest_seen < 0.0 || d < nearest_seen) nearest_seen = d;
+    if (d > radius) continue;
+    const std::pair<double, size_t> cand(d, i);
+    if (order.size() < k) {
+      order.push_back(cand);
+      std::push_heap(order.begin(), order.end());
+    } else if (cand < order.front()) {
+      std::pop_heap(order.begin(), order.end());
+      order.back() = cand;
+      std::push_heap(order.begin(), order.end());
+    }
   }
-  const size_t k = std::min(static_cast<size_t>(options.k), order.size());
-  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
-                    order.end());
-  return k;
+  std::sort_heap(order.begin(), order.end());
+  if (istats != nullptr) {
+    istats->lb_pruned = lb_pruned;
+    istats->structure_pruned = structure_pruned;
+    istats->hist_pruned = hist_pruned;
+    istats->exact_teds = exact;
+    istats->nearest_seen = nearest_seen;
+  }
+  return order.size();
 }
 
 }  // namespace
@@ -166,11 +235,12 @@ Prediction IKnnClassifier::PredictPrepared(
     size_t count;
     if (index_ != nullptr) {
       index_->Search(q, prepared_, metric_, options_.k,
-                     options_.distance_threshold, exclude, &ws, &order);
+                     options_.distance_threshold, exclude, &ws, &order,
+                     /*stats=*/nullptr, bound_inflation_);
       count = order.size();
     } else {
-      count = CollectBrute(q, prepared_, metric_, options_, exclude, ws,
-                           order);
+      count = CollectBrute(q, prepared_, metric_, options_, bound_inflation_,
+                           exclude, ws, order, /*istats=*/nullptr);
     }
     return VoteOnSorted(order.data(), count, *train_, options_, nullptr);
   }
@@ -182,11 +252,11 @@ Prediction IKnnClassifier::PredictPrepared(
   if (index_ != nullptr) {
     index_->Search(q, prepared_, metric_, options_.k,
                    options_.distance_threshold, exclude, &ws, &order,
-                   &istats);
+                   &istats, bound_inflation_);
     count = order.size();
   } else {
-    count =
-        CollectBrute(q, prepared_, metric_, options_, exclude, ws, order);
+    count = CollectBrute(q, prepared_, metric_, options_, bound_inflation_,
+                         exclude, ws, order, &istats);
   }
   const auto vote_start = obs::TraceNow();
   VoteStats vote;
@@ -197,19 +267,14 @@ Prediction IKnnClassifier::PredictPrepared(
   stats->vote_seconds = obs::SecondsSince(vote_start);
   stats->admitted_neighbors = vote.admitted_neighbors;
   stats->ted = ws.tally.Since(before);
-  if (index_ != nullptr) {
-    stats->used_index = true;
-    stats->index = istats;
-    stats->distance_evals = static_cast<size_t>(istats.exact_teds);
-    // With an admitted neighbor the front of the result list is the true
-    // nearest sample; on an abstention the search reports the nearest
-    // distance it actually evaluated (see PredictStats).
-    stats->nearest_distance =
-        !order.empty() ? order[0].first : istats.nearest_seen;
-  } else {
-    stats->distance_evals = order.size();
-    stats->nearest_distance = !order.empty() ? order[0].first : -1.0;
-  }
+  stats->used_index = index_ != nullptr;
+  stats->index = istats;
+  stats->distance_evals = static_cast<size_t>(istats.exact_teds);
+  // With an admitted neighbor the front of the result list is the true
+  // nearest sample; on an abstention both paths report the nearest
+  // distance they actually evaluated (see PredictStats).
+  stats->nearest_distance =
+      !order.empty() ? order[0].first : istats.nearest_seen;
   return out;
 }
 

@@ -44,6 +44,33 @@ struct KnnOptions {
   bool distance_weighted = false;
 };
 
+/// Opt-in approximate serving (DESIGN.md §13). When enabled with a recall
+/// target below 1.0, every filter-cascade lower bound is inflated by
+/// (1 + epsilon) before its threshold comparison, so candidates whose
+/// bound gap to the pruning threshold is within epsilon are dropped
+/// without an exact distance evaluation — trading a measured fraction of
+/// recall for fewer DP runs. Exact serving stays the default: with the
+/// knob off (or a recall target of 1.0) the inflation factor is exactly
+/// 1.0, multiplying by it is a floating-point identity, and predictions
+/// are bitwise those of the exact path.
+struct ApproxOptions {
+  /// Master switch; false = exact serving (the default).
+  bool enabled = false;
+  /// Relative bound inflation: a candidate is dropped when its inflated
+  /// lower bound exceeds the pruning threshold, i.e. when its true
+  /// distance is provably within (1 + epsilon) of uninteresting.
+  double epsilon = 0.1;
+  /// Label-level recall floor the operator expects versus the exact path,
+  /// in [0, 1]. A target of 1.0 demands exactness, so the inflation
+  /// degenerates to the identity and serving is bitwise-exact.
+  double recall_target = 0.95;
+
+  /// The multiplicative factor applied to every cascade bound.
+  double BoundInflation() const {
+    return (enabled && recall_target < 1.0) ? 1.0 + epsilon : 1.0;
+  }
+};
+
 /// Per-query observability detail, filled on request by Predict /
 /// PredictBatch (see the observability layer, DESIGN.md §10). Collecting
 /// it costs a few clock reads per query, so callers only pass a stats
@@ -51,15 +78,17 @@ struct KnnOptions {
 struct PredictStats {
   /// Distance to the nearest candidate neighbor (-1 with an empty
   /// training set). A value above theta_delta explains an abstention.
-  /// On the indexed path an abstaining query reports the nearest distance
-  /// actually *evaluated* — an upper bound on the true nearest, since
-  /// pruned candidates are never measured; when any neighbor is admitted
-  /// the value is exact and equals the brute-force one.
+  /// Both serving paths run the filter cascade, so an abstaining query
+  /// reports the nearest distance actually *evaluated* — an upper bound
+  /// on the true nearest, since pruned candidates are never measured;
+  /// when any neighbor is admitted the value is exact and identical
+  /// between the paths.
   double nearest_distance = -1.0;
   /// Neighbors within theta_delta among the k nearest (0 = abstained).
   size_t admitted_neighbors = 0;
-  /// Exact distance evaluations performed (== training-set size on the
-  /// brute-force path; the pruned count on the indexed path).
+  /// Exact distance evaluations performed: the training-set size minus
+  /// the cascade's prunes on the brute-force path, the (further) pruned
+  /// count on the indexed path.
   size_t distance_evals = 0;
   /// Phase wall times of the query: query flattening, the distance loop
   /// (or index search), and the vote.
@@ -71,7 +100,11 @@ struct PredictStats {
   TedTally ted;
   /// True when the query was served through the VP-tree index.
   bool used_index = false;
-  /// Index search counters for this query (all zero on the brute path).
+  /// Search counters for this query. On the brute path the per-candidate
+  /// cascade counters (lb/structure/hist_pruned, exact_teds) are still
+  /// filled; the tree-only counters (searches, nodes_visited,
+  /// triangle/core/subtree prunes, core_teds) stay zero and nothing is
+  /// flushed to the `ida.index.*` metrics.
   index::IndexStats index;
 };
 
@@ -108,9 +141,12 @@ class IKnnClassifier {
  public:
   /// `index`, when non-null, must have been built over exactly this
   /// training set (same order); it is ignored if its size disagrees.
+  /// `approx` configures the opt-in approximate serving mode; the default
+  /// is exact (bitwise-deterministic) serving.
   IKnnClassifier(std::vector<TrainingSample> train, SessionDistance metric,
                  KnnOptions options,
-                 std::shared_ptr<const index::VpTree> index = nullptr);
+                 std::shared_ptr<const index::VpTree> index = nullptr,
+                 ApproxOptions approx = {});
 
   /// Predicts the dominant-measure label for a query n-context. `stats`,
   /// when non-null, receives the query's observability detail (phase
@@ -136,6 +172,7 @@ class IKnnClassifier {
 
   const std::vector<TrainingSample>& train() const { return *train_; }
   const KnnOptions& options() const { return options_; }
+  const ApproxOptions& approx() const { return approx_; }
   /// The attached serving index (nullptr = brute-force scan).
   const index::VpTree* index() const { return index_.get(); }
 
@@ -151,6 +188,9 @@ class IKnnClassifier {
   std::vector<FlatContext> prepared_;
   SessionDistance metric_;
   KnnOptions options_;
+  ApproxOptions approx_;
+  /// approx_.BoundInflation(), resolved once (exactly 1.0 in exact mode).
+  double bound_inflation_ = 1.0;
   std::shared_ptr<const index::VpTree> index_;
 };
 
