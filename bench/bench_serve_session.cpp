@@ -1,0 +1,312 @@
+// Stateful serving bench (DESIGN.md §14): measures the SessionManager's
+// steady-state Advise latency as the number of resident sessions grows
+// (1 / 100 / 10000 live sessions — the sharded map and LRU bookkeeping
+// must not tax the hot path), and the per-step cost of the incremental
+// append+advise loop against the one-shot re-flatten baseline
+// (SessionTree::ApplyFrom + Predictor::PredictState per step, which
+// re-extracts and re-prepares the whole n-context every time). One JSON
+// line per configuration; a final verdict line checks the acceptance
+// target: the incremental path must beat re-flatten per-step for
+// sessions of >= 20 steps.
+//
+// Every timed prediction is also cross-checked bitwise against the
+// one-shot oracle first — the serving layer is a latency win, never a
+// behavior change — and any divergence fails the bench.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/obs.h"
+#include "serve/session_manager.h"
+#include "session/tree.h"
+#include "synth/generator.h"
+
+namespace ida {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kTrials = 5;
+constexpr size_t kAdviseReps = 64;
+constexpr size_t kLiveCounts[] = {1, 100, 10000};
+constexpr size_t kSessionLengths[] = {5, 20, 50};
+/// Acceptance: incremental append+advise beats re-flatten per step for
+/// sessions of at least this many steps.
+constexpr size_t kTargetLength = 20;
+
+ModelConfig BenchConfig() {
+  ModelConfig config = DefaultNormalizedConfig();
+  config.theta_interest = -1e300;  // keep every state: serving-scale model
+  config.knn.distance_threshold = 0.25;
+  config.use_index = true;
+  return config;
+}
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A growth schedule replayable against a fresh tree: the longest fully
+/// replayable recorded session, cycled to `steps` valid (parent, action)
+/// pairs (re-applying a recorded pair always succeeds — its parent node
+/// exists and the action was already accepted there once).
+struct GrowthScript {
+  std::string dataset_id;
+  std::vector<std::pair<int, Action>> steps;
+};
+
+GrowthScript BuildScript(const SynthBenchmark& bench, size_t steps) {
+  ActionExecutor exec;
+  const SessionRecord* best = nullptr;
+  size_t best_len = 0;
+  for (const SessionRecord& r : bench.log.records()) {
+    auto table = bench.registry.find(r.dataset_id);
+    if (table == bench.registry.end()) continue;
+    SessionTree probe("probe", r.user_id, r.dataset_id,
+                      Display::MakeRoot(table->second));
+    size_t ok = 0;
+    for (const auto& step : r.steps) {
+      if (!probe.ApplyFrom(step.first, step.second, exec).ok()) break;
+      ++ok;
+    }
+    if (ok > best_len) {
+      best_len = ok;
+      best = &r;
+    }
+  }
+  if (best == nullptr || best_len == 0) {
+    std::printf(
+        "{\"bench\":\"serve_session\",\"error\":\"no replayable session in "
+        "the generated log\"}\n");
+    std::exit(1);
+  }
+  GrowthScript script;
+  script.dataset_id = best->dataset_id;
+  for (size_t i = 0; i < steps; ++i) {
+    script.steps.push_back(best->steps[i % best_len]);
+  }
+  return script;
+}
+
+DisplayPtr RootFor(const SynthBenchmark& bench, const GrowthScript& script) {
+  return Display::MakeRoot(bench.registry.find(script.dataset_id)->second);
+}
+
+/// Replays `script` into manager session `sid`; exits on append failure
+/// (the script was validated, so a failure is a serving bug).
+void Grow(serve::SessionManager& manager, const std::string& sid,
+          const GrowthScript& script) {
+  for (const auto& step : script.steps) {
+    auto node = manager.Append(sid, step.first, step.second);
+    if (!node.ok()) {
+      std::printf(
+          "{\"bench\":\"serve_session\",\"error\":\"append failed: %s\"}\n",
+          node.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+}
+
+/// Steady-state Advise latency with `live` resident sessions: all
+/// sessions share one model; one hot session at kTargetLength steps is
+/// advised repeatedly while the rest sit resident (the advise path must
+/// not pay for them beyond its shard's map lookup).
+void RunLiveScaling(std::shared_ptr<const engine::Predictor> predictor,
+                    const SynthBenchmark& bench, const GrowthScript& script,
+                    size_t live) {
+  serve::SessionManager manager(std::move(predictor), serve::ServeOptions{},
+                                obs::DisabledObsConfig());
+  auto open_start = Clock::now();
+  for (size_t i = 0; i < live; ++i) {
+    Status st = manager.Open("live-" + std::to_string(i),
+                             RootFor(bench, script));
+    if (!st.ok()) std::exit(1);
+  }
+  const double open_seconds = SecondsSince(open_start);
+  GrowthScript hot = script;
+  hot.steps.resize(kTargetLength);
+  Grow(manager, "live-0", hot);
+
+  auto time_pass = [&] {
+    auto start = Clock::now();
+    for (size_t i = 0; i < kAdviseReps; ++i) {
+      auto p = manager.Advise("live-0");
+      if (!p.ok()) std::exit(1);
+    }
+    return SecondsSince(start);
+  };
+  time_pass();  // warm the per-session scratch
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t trial = 0; trial < kTrials; ++trial) {
+    best = std::min(best, time_pass());
+  }
+  std::printf(
+      "{\"bench\":\"serve_session\",\"mode\":\"live_scaling\","
+      "\"live_sessions\":%zu,\"shards\":%d,\"session_steps\":%zu,"
+      "\"advise_us\":%.2f,\"open_us_per_session\":%.2f}\n",
+      live, manager.options().num_shards, kTargetLength,
+      best * 1e6 / static_cast<double>(kAdviseReps),
+      open_seconds * 1e6 / static_cast<double>(live));
+  std::fflush(stdout);
+}
+
+/// One timed incremental trial: Open + per-step (Append, Advise).
+double TimeIncremental(serve::SessionManager& manager, int trial,
+                       const SynthBenchmark& bench,
+                       const GrowthScript& script) {
+  const std::string sid = "inc-" + std::to_string(trial);
+  if (!manager.Open(sid, RootFor(bench, script)).ok()) std::exit(1);
+  auto start = Clock::now();
+  for (const auto& step : script.steps) {
+    auto node = manager.Append(sid, step.first, step.second);
+    if (!node.ok()) std::exit(1);
+    auto p = manager.Advise(sid);
+    if (!p.ok()) std::exit(1);
+  }
+  double seconds = SecondsSince(start);
+  if (!manager.Close(sid).ok()) std::exit(1);
+  return seconds;
+}
+
+/// One timed re-flatten trial: per-step (ApplyFrom, PredictState) — the
+/// pre-§14 way to advise a growing session, paying a full n-context
+/// extraction + preparation on every step.
+double TimeReflatten(const engine::Predictor& predictor,
+                     const SynthBenchmark& bench,
+                     const GrowthScript& script) {
+  ActionExecutor exec;
+  SessionTree tree("flat", "u", script.dataset_id, RootFor(bench, script));
+  auto start = Clock::now();
+  for (const auto& step : script.steps) {
+    auto node = tree.ApplyFrom(step.first, step.second, exec);
+    if (!node.ok()) std::exit(1);
+    Prediction p = predictor.PredictState(tree, tree.num_steps());
+    (void)p;
+  }
+  return SecondsSince(start);
+}
+
+struct LengthResult {
+  size_t steps = 0;
+  double speedup = 0.0;
+};
+
+/// Times both per-step serving modes for a session of `steps` steps,
+/// after cross-checking them bitwise, and prints the JSON line.
+LengthResult RunLength(std::shared_ptr<const engine::Predictor> predictor,
+                       const SynthBenchmark& bench, const GrowthScript& full,
+                       size_t steps) {
+  GrowthScript script = full;
+  script.steps.resize(steps);
+
+  // Bitwise equivalence first: every step's advice must match the
+  // one-shot oracle exactly.
+  serve::SessionManager manager(predictor, serve::ServeOptions{},
+                                obs::DisabledObsConfig());
+  {
+    ActionExecutor exec;
+    const std::string sid = "check";
+    if (!manager.Open(sid, RootFor(bench, script)).ok()) std::exit(1);
+    SessionTree mirror(sid, "u", script.dataset_id, RootFor(bench, script));
+    for (const auto& step : script.steps) {
+      if (!manager.Append(sid, step.first, step.second).ok()) std::exit(1);
+      if (!mirror.ApplyFrom(step.first, step.second, exec).ok()) std::exit(1);
+      auto served = manager.Advise(sid);
+      if (!served.ok()) std::exit(1);
+      Prediction oracle = predictor->PredictState(mirror, mirror.num_steps());
+      if (served->label != oracle.label ||
+          served->confidence != oracle.confidence) {
+        std::printf(
+            "{\"bench\":\"serve_session\",\"steps\":%zu,\"error\":\""
+            "incremental and one-shot predictions diverge\"}\n",
+            steps);
+        std::exit(1);
+      }
+    }
+    if (!manager.Close(sid).ok()) std::exit(1);
+  }
+
+  // Each mode warmed then timed min-of-trials in its own block, matching
+  // the other benches' protocol.
+  TimeIncremental(manager, -1, bench, script);
+  double best_inc = std::numeric_limits<double>::infinity();
+  for (size_t trial = 0; trial < kTrials; ++trial) {
+    best_inc = std::min(
+        best_inc,
+        TimeIncremental(manager, static_cast<int>(trial), bench, script));
+  }
+  TimeReflatten(*predictor, bench, script);
+  double best_flat = std::numeric_limits<double>::infinity();
+  for (size_t trial = 0; trial < kTrials; ++trial) {
+    best_flat = std::min(best_flat, TimeReflatten(*predictor, bench, script));
+  }
+
+  const double n = static_cast<double>(steps);
+  const double speedup = best_inc > 0.0 ? best_flat / best_inc : 0.0;
+  std::printf(
+      "{\"bench\":\"serve_session\",\"mode\":\"incremental_vs_reflatten\","
+      "\"steps\":%zu,\"incremental_per_step_us\":%.2f,"
+      "\"reflatten_per_step_us\":%.2f,\"speedup\":%.2f}\n",
+      steps, best_inc * 1e6 / n, best_flat * 1e6 / n, speedup);
+  std::fflush(stdout);
+  return {steps, speedup};
+}
+
+void Run() {
+  GeneratorOptions options;
+  options.num_users = 16;
+  options.num_sessions = 150;
+  options.rows_per_dataset = 800;
+  options.seed = 271828;
+  auto bench = GenerateBenchmark(options);
+  if (!bench.ok()) std::exit(1);
+  engine::Trainer trainer(BenchConfig(), obs::DisabledObsConfig());
+  auto model = trainer.Fit(bench->log, bench->registry);
+  if (!model.ok()) std::exit(1);
+  auto loaded = engine::Predictor::Load(*std::move(model),
+                                        obs::DisabledObsConfig());
+  if (!loaded.ok()) std::exit(1);
+  auto predictor =
+      std::make_shared<const engine::Predictor>(*std::move(loaded));
+  std::printf(
+      "{\"bench\":\"serve_session\",\"config\":\"provenance\","
+      "\"training_samples\":%zu,\"n_context_size\":%d}\n",
+      predictor->train_size(), predictor->config().n_context_size);
+
+  GrowthScript script = BuildScript(
+      *bench, *std::max_element(std::begin(kSessionLengths),
+                                std::end(kSessionLengths)));
+  for (size_t live : kLiveCounts) {
+    RunLiveScaling(predictor, *bench, script, live);
+  }
+
+  LengthResult at_target;
+  bool all_long_sessions_pass = true;
+  for (size_t steps : kSessionLengths) {
+    LengthResult r = RunLength(predictor, *bench, script, steps);
+    if (r.steps == kTargetLength) at_target = r;
+    if (r.steps >= kTargetLength && r.speedup < 1.0) {
+      all_long_sessions_pass = false;
+    }
+  }
+  std::printf(
+      "{\"bench\":\"serve_session\",\"config\":\"verdict\",\"steps\":%zu,"
+      "\"speedup\":%.2f,\"target_speedup\":1.0,\"meets_target\":%s}\n",
+      at_target.steps, at_target.speedup,
+      all_long_sessions_pass ? "true" : "false");
+}
+
+}  // namespace
+}  // namespace ida
+
+int main() {
+  ida::Run();
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Stateful advisor daemon — the serving layer (DESIGN.md §14) end to end.
+// Where live_advisor.cpp replays ONE session through one-shot
+// Predictor::PredictState calls, this driver runs the workload a real
+// deployment sees: many analyst sessions live at once, each growing one
+// action at a time with the advisor re-consulted at every step, a model
+// retrain hot-swapped in underneath the traffic, and a session-capacity
+// ceiling enforced by LRU eviction. The serve::SessionManager keeps every
+// session's n-context incrementally maintained, so each step costs an
+// O(affected-subtree) context update plus one prepared prediction — while
+// staying bitwise-identical to the one-shot path (spot-checked below
+// against PredictState on a mirror tree).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "example_util.h"
+#include "obs/obs.h"
+#include "serve/session_manager.h"
+#include "synth/generator.h"
+
+using namespace ida;  // NOLINT — example code
+
+int main(int argc, char** argv) {
+  const std::string metrics_path = examples::ParseMetricsJsonFlag(argc, argv);
+  GeneratorOptions options;
+  options.num_users = 16;
+  options.num_sessions = 150;
+  options.rows_per_dataset = 2000;
+  options.seed = 23;
+  auto bench = GenerateBenchmark(options);
+  if (!bench.ok()) return 1;
+
+  // Hold the last sessions out of training: they arrive later as live
+  // daemon traffic.
+  constexpr size_t kLive = 10;
+  const std::vector<SessionRecord>& all = bench->log.records();
+  if (all.size() <= kLive) return 1;
+  SessionLog train_log;
+  for (size_t i = 0; i + kLive < all.size(); ++i) train_log.Add(all[i]);
+  std::vector<SessionRecord> live(all.end() - static_cast<long>(kLive),
+                                  all.end());
+
+  // --- Offline: train two model generations. v1 serves first; v2 (a
+  // retrain with a larger k) is hot-swapped in mid-traffic.
+  ModelConfig config = DefaultNormalizedConfig();
+  config.use_index = !examples::ParseNoIndexFlag(argc, argv);
+  engine::Trainer trainer(config);
+  auto model_v1 = trainer.Fit(train_log, bench->registry);
+  if (!model_v1.ok() || model_v1->empty()) return 1;
+  const std::string artifact_v1 = "/tmp/ida_advisor_daemon_v1.idamodel";
+  if (!model_v1->SaveToFile(artifact_v1).ok()) return 1;
+
+  ModelConfig config_v2 = config;
+  config_v2.knn.k += 4;
+  auto model_v2 = engine::Trainer(config_v2).Fit(train_log, bench->registry);
+  if (!model_v2.ok() || model_v2->empty()) return 1;
+  const std::string artifact_v2 = "/tmp/ida_advisor_daemon_v2.idamodel";
+  if (!model_v2->SaveToFile(artifact_v2).ok()) return 1;
+  std::printf("trained v1 (%zu states) and v2 (%zu states, k=%d)\n",
+              model_v1->size(), model_v2->size(), config_v2.knn.k);
+
+  // --- Online: the daemon loads v1 and starts serving.
+  auto served = engine::Predictor::LoadFromFile(artifact_v1);
+  if (!served.ok()) {
+    std::fprintf(stderr, "load: %s\n", served.status().ToString().c_str());
+    return 1;
+  }
+  serve::ServeOptions serve_options;
+  serve_options.num_shards = 4;
+  serve::SessionManager daemon(
+      std::make_shared<const engine::Predictor>(std::move(*served)),
+      serve_options);
+  // A one-shot mirror of the v1 predictor for the equivalence spot-check.
+  auto oracle = engine::Predictor::LoadFromFile(artifact_v1);
+  if (!oracle.ok()) return 1;
+
+  // Open every live session on its dataset's root display.
+  for (const SessionRecord& r : live) {
+    auto table = bench->registry.find(r.dataset_id);
+    if (table == bench->registry.end()) return 1;
+    Status st = daemon.Open(r.session_id, Display::MakeRoot(table->second));
+    if (!st.ok()) {
+      std::fprintf(stderr, "open: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("\ndaemon up: %zu live sessions over %d shards, epoch %llu\n",
+              daemon.live_sessions(), daemon.options().num_shards,
+              static_cast<unsigned long long>(daemon.epoch()));
+
+  // One mirror tree (first live session) driven through the identical
+  // steps, checked against the daemon at every state while on epoch 1.
+  ActionExecutor exec;
+  auto mirror_table = bench->registry.find(live[0].dataset_id);
+  SessionTree mirror(live[0].session_id, live[0].user_id, live[0].dataset_id,
+                     Display::MakeRoot(mirror_table->second));
+  size_t checked = 0;
+
+  // Interleave the sessions round-robin, one appended action per visit —
+  // the arrival pattern of concurrent analysts. Halfway through, retrain
+  // lands: v2 is hot-swapped under the running traffic.
+  size_t max_steps = 0;
+  for (const SessionRecord& r : live) {
+    if (r.steps.size() > max_steps) max_steps = r.steps.size();
+  }
+  size_t advises = 0;
+  size_t abstained = 0;
+  for (size_t step = 0; step < max_steps; ++step) {
+    if (step == max_steps / 2) {
+      Status st = daemon.ReloadFromFile(artifact_v2);
+      if (!st.ok()) {
+        std::fprintf(stderr, "reload: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("hot reload: epoch %llu now serving (in-flight queries "
+                  "finished on the old model)\n",
+                  static_cast<unsigned long long>(daemon.epoch()));
+    }
+    for (const SessionRecord& r : live) {
+      if (step >= r.steps.size()) continue;  // this analyst went home
+      auto node = daemon.Append(r.session_id, r.steps[step].first,
+                                r.steps[step].second);
+      if (!node.ok()) {
+        std::fprintf(stderr, "append: %s\n", node.status().ToString().c_str());
+        return 1;
+      }
+      auto p = daemon.Advise(r.session_id);
+      if (!p.ok()) return 1;
+      ++advises;
+      if (!p->HasPrediction()) ++abstained;
+
+      if (r.session_id == live[0].session_id && daemon.epoch() == 1) {
+        // Equivalence spot-check: the daemon's incremental answer must
+        // equal the one-shot PredictState on the mirror tree, bit for bit.
+        auto m = mirror.ApplyFrom(r.steps[step].first, r.steps[step].second,
+                                  exec);
+        if (!m.ok()) return 1;
+        Prediction q = oracle->PredictState(mirror, mirror.num_steps());
+        // ida-lint-style exact comparison is the point: not "close", equal.
+        if (p->label != q.label || p->confidence != q.confidence) {
+          std::fprintf(stderr, "MISMATCH at step %zu: daemon (%d, %.17g) vs "
+                       "one-shot (%d, %.17g)\n",
+                       step + 1, p->label, p->confidence, q.label,
+                       q.confidence);
+          return 1;
+        }
+        ++checked;
+      }
+    }
+  }
+  std::printf("served %zu advises (%zu abstained); %zu states verified "
+              "bitwise-identical to the one-shot path\n",
+              advises, abstained, checked);
+
+  // Batched advise: every live session in one call — the daemon groups by
+  // shard and serves each group through one PredictBatch.
+  std::vector<std::string> ids;
+  for (const SessionRecord& r : live) ids.push_back(r.session_id);
+  auto batch = daemon.AdviseBatch(ids);
+  if (!batch.ok()) return 1;
+  const MeasureSet& I = daemon.predictor()->measures();
+  for (size_t i = 0; i < ids.size() && i < 3; ++i) {
+    const Prediction& p = (*batch)[i];
+    if (p.HasPrediction()) {
+      std::printf("  %s: interest looks '%s'-driven (confidence %.2f)\n",
+                  ids[i].c_str(),
+                  I[static_cast<size_t>(p.label)]->name().c_str(),
+                  p.confidence);
+    } else {
+      std::printf("  %s: no advice (abstained)\n", ids[i].c_str());
+    }
+  }
+
+  // Capacity: a bounded daemon sheds its least-recently-used sessions.
+  serve::ServeOptions small;
+  small.num_shards = 2;
+  small.max_live_sessions = 4;
+  // Disabled obs: two managers in one process would fight over the
+  // shared ida.serve.* gauges and muddy the exported snapshot.
+  serve::SessionManager bounded(daemon.predictor(), small,
+                                obs::DisabledObsConfig());
+  for (size_t i = 0; i < 12; ++i) {
+    auto table = bench->registry.find(live[0].dataset_id);
+    Status st = bounded.Open("burst-" + std::to_string(i),
+                             Display::MakeRoot(table->second));
+    if (!st.ok()) return 1;
+  }
+  serve::ServeInfo info = bounded.Info();
+  std::printf("\nbounded daemon after a 12-session burst: %zu live, "
+              "%llu evicted (max_live_sessions=%zu)\n",
+              info.live_sessions,
+              static_cast<unsigned long long>(info.evictions),
+              small.max_live_sessions);
+
+  for (const std::string& id : ids) {
+    if (!daemon.Close(id).ok()) return 1;
+  }
+  std::printf("all sessions closed; daemon info: epoch %llu, %zu live\n",
+              static_cast<unsigned long long>(daemon.epoch()),
+              daemon.live_sessions());
+  if (!examples::MaybeWriteMetricsJson(metrics_path)) return 1;
+  return 0;
+}

@@ -231,6 +231,9 @@ double SessionDistance::TreeEditDistance(const FlatContext& ta,
 double SessionDistance::TreeEditDistance(const NContext& a,
                                          const NContext& b) const {
   thread_local TedWorkspace ws;
+  // The thread-local workspace survives the caller's contexts: its memo
+  // must not carry pointer keys from a previous call's freed displays.
+  ws.InvalidateDisplayMemo();
   const FlatContext ta = Prepare(a);
   const FlatContext tb = Prepare(b);
   return TreeEditDistance(ta, tb, &ws);
@@ -254,9 +257,15 @@ double SessionDistance::CachedDisplayDistance(const Display* a,
     return *hit;
   }
 
-  DisplayCacheShard& shard =
-      (*cache_)[internal::DisplayPairHash{}(key) % kCacheShards];
-  {
+  // Only pairs of displays declared stable (MarkStable) may touch the
+  // shared cache: its entries outlive any single query, so a key holding
+  // an ephemeral display would serve the old pair's distance to whatever
+  // allocation later recycles that address.
+  const bool shared_ok = stable_->count(key.first) > 0 &&
+                         stable_->count(key.second) > 0;
+  if (shared_ok) {
+    DisplayCacheShard& shard =
+        (*cache_)[internal::DisplayPairHash{}(key) % kCacheShards];
     std::lock_guard<std::mutex> lock(shard.mu);
     auto sit = shard.map.find(key);
     if (sit != shard.map.end()) {
@@ -270,7 +279,9 @@ double SessionDistance::CachedDisplayDistance(const Display* a,
   // arrives at the identical value: the arguments are canonically
   // ordered, so the result never depends on scheduling).
   const double d = DisplayContentDistance(*key.first, *key.second);
-  {
+  if (shared_ok) {
+    DisplayCacheShard& shard =
+        (*cache_)[internal::DisplayPairHash{}(key) % kCacheShards];
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.emplace(key, d);
   }
@@ -290,6 +301,7 @@ double SessionDistance::Distance(const NContext& a, const NContext& b) const {
   const size_t total = a.nodes().size() + b.nodes().size();
   if (total == 0) return 0.0;
   thread_local TedWorkspace ws;
+  ws.InvalidateDisplayMemo();  // see TreeEditDistance(NContext, NContext)
   const FlatContext ta = Prepare(a);
   const FlatContext tb = Prepare(b);
   const double ted = TreeEditDistance(ta, tb, &ws);
@@ -348,6 +360,10 @@ std::vector<std::vector<double>> BuildDistanceMatrix(
   for (const NContext& c : contexts) {
     flat.push_back(SessionDistance::Prepare(c));
   }
+  // The matrix contract has always required the input contexts to outlive
+  // the pass; declaring their displays stable admits every pair to the
+  // shared cache, which the workers rely on for cross-worker memoization.
+  for (const FlatContext& f : flat) metric.MarkStable(f);
   TedWorkspace prepare_ws;
   const GroundTables tables = BuildGroundTables(flat, metric, &prepare_ws);
 

@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -30,9 +31,14 @@ class ThreadPool;
 
 namespace internal {
 
-/// Display-pair cache key, ordered lo <= hi by address. Displays are kept
-/// alive by the contexts being compared, so pointer identity is stable
-/// for a metric's lifetime within a training/evaluation pass.
+/// Display-pair cache key, ordered lo <= hi by address. Pointer keys are
+/// only sound while both displays are alive: a freed display's address can
+/// be recycled by a later allocation, and a surviving entry would then
+/// serve the OLD pair's distance for the new display (ABA). The shared
+/// cache therefore only admits pairs of displays explicitly declared
+/// stable (SessionDistance::MarkStable — guaranteed to outlive the
+/// metric); everything else lives in the per-workspace L1 memo, whose
+/// owner scopes it to the displays' lifetime.
 using DisplayPair = std::pair<const Display*, const Display*>;
 
 /// Hash for DisplayPair cache keys: golden-ratio mixing of the two
@@ -215,6 +221,15 @@ class TedWorkspace {
   /// Event tallies since the last Clear (observability; see TedTally).
   TedTally tally;
 
+  /// Drops the L1 display memo. A reused workspace must invalidate before
+  /// a query whose display lifetimes it cannot vouch for (one-shot
+  /// Predict's thread-local scratch: the previous query's displays may be
+  /// freed and their addresses recycled). Caller-scoped scratch whose
+  /// query displays provably outlive it — a live session's
+  /// PredictScratch (serve/session_manager.h) — keeps the memo across
+  /// steps; that retained reuse is the stateful-serving win.
+  void InvalidateDisplayMemo() { display_memo_.Clear(); }
+
  private:
   friend class SessionDistance;
 
@@ -244,7 +259,25 @@ class TedWorkspace {
 class SessionDistance {
  public:
   explicit SessionDistance(SessionDistanceOptions options = {})
-      : options_(options), cache_(std::make_shared<DisplayCache>()) {}
+      : options_(options),
+        cache_(std::make_shared<DisplayCache>()),
+        stable_(std::make_shared<std::unordered_set<const Display*>>()) {}
+
+  /// Declares a display stable: the caller guarantees it outlives this
+  /// metric (and every copy sharing its cache). Only pairs of stable
+  /// displays are admitted to the shared cache — an entry for a display
+  /// whose address could be recycled would silently serve the old pair's
+  /// distance to a later allocation. Long-lived owners mark their
+  /// long-lived displays (the kNN classifier marks its training set;
+  /// BuildDistanceMatrix marks its inputs); ephemeral query displays are
+  /// never marked and are memoized per workspace instead. Marking is a
+  /// setup-phase operation: not thread-safe against concurrent Distance
+  /// calls on the same cache.
+  void MarkStable(const Display* d) const { stable_->insert(d); }
+  /// Marks every display of a flattened context stable.
+  void MarkStable(const FlatContext& ctx) const {
+    for (const FlatContext::Node& n : ctx.post) stable_->insert(n.display);
+  }
 
   /// Prepare phase: flattens a context into postorder arrays. The result
   /// borrows storage from `ctx` (see FlatContext).
@@ -304,6 +337,9 @@ class SessionDistance {
   SessionDistanceOptions options_;
   /// Shared across copies (pure-function memo), sharded for concurrency.
   std::shared_ptr<DisplayCache> cache_;
+  /// Displays declared to outlive the cache (see MarkStable); written
+  /// during setup, read lock-free on the hot path.
+  std::shared_ptr<std::unordered_set<const Display*>> stable_;
 };
 
 /// Pairwise distance matrix over a set of contexts (symmetric, zero

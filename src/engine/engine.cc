@@ -330,6 +330,19 @@ std::vector<Prediction> Predictor::PredictBatch(
   return out;
 }
 
+Prediction Predictor::PredictPrepared(const FlatContext& query,
+                                      PredictScratch& scratch) const {
+  if (!obs_.metrics_on() && !obs_.trace_on()) {
+    return knn_->PredictFlat(query, scratch);
+  }
+  const double start = obs::ProcessSeconds();
+  const obs::TracePoint t0 = obs::TraceNow();
+  PredictStats stats;
+  Prediction p = knn_->PredictFlat(query, scratch, &stats);
+  RecordPredict(p, stats, start, obs::SecondsSince(t0));
+  return p;
+}
+
 Prediction Predictor::PredictState(const SessionTree& tree, int t) const {
   if (!obs_.trace_on()) {
     return Predict(ExtractNContext(tree, t, config_.n_context_size));

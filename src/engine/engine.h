@@ -123,6 +123,15 @@ class Predictor {
   /// Extracts the n-context of session state S_t (with the model's n) and
   /// predicts — the "live advisor" entry point.
   Prediction PredictState(const SessionTree& tree, int t) const;
+  /// Stateful-serving entry point (DESIGN.md §14): predicts over an
+  /// already-flattened query with caller-owned per-session scratch
+  /// (PredictScratch), recording the same observability as Predict. The
+  /// prepare phase is absent — the caller maintains the flattened context
+  /// incrementally (see serve/session_manager.h) — so the prepare span is
+  /// reported as zero. Bitwise-identical to Predict on the equivalent
+  /// NContext.
+  Prediction PredictPrepared(const FlatContext& query,
+                             PredictScratch& scratch) const;
 
   const ModelConfig& config() const { return config_; }
   /// The resolved measure set I the labels index into.

@@ -129,6 +129,12 @@ IKnnClassifier::IKnnClassifier(std::vector<TrainingSample> train,
   prepared_.reserve(train_->size());
   for (const TrainingSample& s : *train_) {
     prepared_.push_back(SessionDistance::Prepare(s.context));
+    // Training displays live as long as the classifier (and so as long as
+    // the metric's shared cache): admit their pairs to it. Query displays
+    // are never marked — a query may be freed between predictions, and a
+    // cache entry surviving it would be served to whatever display later
+    // recycles the address.
+    metric_.MarkStable(prepared_.back());
   }
   // Accept the index only when it indexes exactly this training set.
   if (index != nullptr && index->size() == train_->size()) {
@@ -284,6 +290,11 @@ Prediction IKnnClassifier::Predict(const NContext& query,
   // steady-state heap allocation.
   thread_local TedWorkspace ws;
   thread_local std::vector<std::pair<double, size_t>> order;
+  // The workspace outlives this query's displays: drop the L1 memo so a
+  // later query whose displays recycle these addresses cannot hit stale
+  // entries. (PredictFlat keeps its caller-owned scratch warm instead —
+  // the caller vouches for its query displays' lifetime.)
+  ws.InvalidateDisplayMemo();
   if (stats == nullptr) {
     const FlatContext q = SessionDistance::Prepare(query);
     return PredictPrepared(q, /*exclude=*/-1, ws, order, nullptr);
@@ -293,6 +304,14 @@ Prediction IKnnClassifier::Predict(const NContext& query,
   const FlatContext q = SessionDistance::Prepare(query);
   stats->prepare_seconds = obs::SecondsSince(prepare_start);
   return PredictPrepared(q, /*exclude=*/-1, ws, order, stats);
+}
+
+Prediction IKnnClassifier::PredictFlat(const FlatContext& query,
+                                       PredictScratch& scratch,
+                                       PredictStats* stats) const {
+  if (stats != nullptr) *stats = PredictStats();
+  return PredictPrepared(query, /*exclude=*/-1, scratch.ws_, scratch.order_,
+                         stats);
 }
 
 Prediction IKnnClassifier::PredictLoo(size_t exclude_index,

@@ -115,6 +115,27 @@ struct VoteStats {
   size_t admitted_neighbors = 0;
 };
 
+/// Reusable per-caller serving scratch (DESIGN.md §14): the TED workspace
+/// (tables, display-pair L1 memo) and the candidate buffer one query
+/// needs, bundled so a stateful server can keep one instance per live
+/// session. Repeat queries on a growing session then skip re-preparation
+/// twice over: the workspace's display memo stays warm (consecutive
+/// n-contexts share most displays, and interleaved sessions no longer
+/// thrash one thread-local memo), and no steady-state allocation happens.
+/// Scratch never influences results — only how often they are recomputed —
+/// so predictions are bitwise independent of which scratch serves them.
+/// Not thread-safe; one scratch per concurrent caller.
+class PredictScratch {
+ public:
+  /// The TED workspace (exposed for tests and tally flushing).
+  TedWorkspace& workspace() { return ws_; }
+
+ private:
+  friend class IKnnClassifier;
+  TedWorkspace ws_;
+  std::vector<std::pair<double, size_t>> order_;
+};
+
 /// Low-level vote given precomputed distances to every training sample.
 /// `exclude` (>= 0) removes one training index — used by leave-one-out
 /// evaluation. `stats`, when non-null, receives the nearest candidate
@@ -154,6 +175,15 @@ class IKnnClassifier {
   /// (the default) skips all stats collection including its clock reads.
   Prediction Predict(const NContext& query,
                      PredictStats* stats = nullptr) const;
+
+  /// Stateful-serving entry point: predicts over an already-flattened
+  /// query using caller-owned scratch, skipping the per-query flatten
+  /// (stats->prepare_seconds stays 0). `query`'s borrowed storage must
+  /// stay alive and unchanged for the call; `scratch` must not be used
+  /// concurrently. Bitwise-identical to Predict on the equivalent
+  /// NContext.
+  Prediction PredictFlat(const FlatContext& query, PredictScratch& scratch,
+                         PredictStats* stats = nullptr) const;
 
   /// Leave-one-out prediction for training sample `exclude_index`: the
   /// sample's own context is the query and the sample is excluded from

@@ -97,9 +97,13 @@ struct SubtreeBuilder {
   }
 };
 
-void EmitSubtree(const SessionTree& tree, const SubtreeBuilder& b,
-                 int session_node, int parent_ctx_index, bool is_root,
-                 NContext* out) {
+// Emission core shared by the one-shot extractor and the incremental
+// builder: walks the included subtree in session order and appends context
+// nodes. Identical inclusion flags therefore yield identical contexts.
+void EmitSubtree(const SessionTree& tree,
+                 const std::vector<bool>& node_included,
+                 const std::vector<bool>& edge_included, int session_node,
+                 int parent_ctx_index, bool is_root, NContext* out) {
   NContextNode n;
   const SessionNode& sn = tree.node(session_node);
   n.display = sn.display;
@@ -113,9 +117,21 @@ void EmitSubtree(const SessionTree& tree, const SubtreeBuilder& b,
         .children.push_back(my_index);
   }
   for (int child : sn.children) {
-    if (b.node_included[static_cast<size_t>(child)] &&
-        b.edge_included[static_cast<size_t>(child)]) {
-      EmitSubtree(tree, b, child, my_index, false, out);
+    if (node_included[static_cast<size_t>(child)] &&
+        edge_included[static_cast<size_t>(child)]) {
+      EmitSubtree(tree, node_included, edge_included, child, my_index, false,
+                  out);
+    }
+  }
+}
+
+// Locates the focus node (step t) and finalizes root/focus indices.
+void FinalizeContext(int t, NContext* ctx) {
+  ctx->set_root(0);
+  for (size_t i = 0; i < ctx->nodes().size(); ++i) {
+    if (ctx->nodes()[i].step == t) {
+      ctx->set_focus(static_cast<int>(i));
+      break;
     }
   }
 }
@@ -137,16 +153,116 @@ NContext ExtractNContext(const SessionTree& tree, int t, int n) {
     b.IncludeNode(tree.node(k).parent);
   }
   if (b.cur_root < 0) return ctx;
-  EmitSubtree(tree, b, b.cur_root, -1, true, &ctx);
-  ctx.set_root(0);
-  // Locate the focus node (step t).
-  for (size_t i = 0; i < ctx.nodes().size(); ++i) {
-    if (ctx.nodes()[i].step == t) {
-      ctx.set_focus(static_cast<int>(i));
-      break;
+  EmitSubtree(tree, b.node_included, b.edge_included, b.cur_root, -1, true,
+              &ctx);
+  FinalizeContext(t, &ctx);
+  return ctx;
+}
+
+void NContextBuilder::SyncToTree() {
+  const size_t want = static_cast<size_t>(tree_->num_nodes());
+  while (depth_.size() < want) {
+    const int id = static_cast<int>(depth_.size());
+    const int parent = tree_->node(id).parent;
+    depth_.push_back(parent < 0 ? 0 : depth_[static_cast<size_t>(parent)] + 1);
+    node_included_.push_back(false);
+    edge_included_.push_back(false);
+  }
+}
+
+void NContextBuilder::IncludeNode(int v) {
+  if (!node_included_[static_cast<size_t>(v)]) {
+    node_included_[static_cast<size_t>(v)] = true;
+    touched_.push_back(v);
+    ++size_;
+    if (cur_root_ < 0 || depth_[static_cast<size_t>(v)] <
+                             depth_[static_cast<size_t>(cur_root_)]) {
+      cur_root_ = v;
     }
   }
-  return ctx;
+}
+
+void NContextBuilder::IncludeEdge(int v) {
+  if (!edge_included_[static_cast<size_t>(v)]) {
+    edge_included_[static_cast<size_t>(v)] = true;
+    touched_.push_back(v);
+    ++size_;
+  }
+}
+
+void NContextBuilder::ConnectNode(int v) {
+  if (node_included_[static_cast<size_t>(v)]) return;
+  if (cur_root_ < 0) {
+    IncludeNode(v);
+    return;
+  }
+  // Walk up from v; if we hit an included node, the prefix of the walk is
+  // the minimal connecting path.
+  int u = v;
+  while (u != -1 && !node_included_[static_cast<size_t>(u)]) {
+    u = tree_->node(u).parent;
+  }
+  if (u != -1) {
+    for (int w = v; w != u; w = tree_->node(w).parent) {
+      IncludeNode(w);
+      IncludeEdge(w);
+    }
+    return;
+  }
+  // No ancestor of v is included: connect through the LCA of v and the
+  // subtree root (capture it first — IncludeNode may shift cur_root_).
+  const int old_root = cur_root_;
+  int a = v, b = cur_root_;
+  while (depth_[static_cast<size_t>(a)] > depth_[static_cast<size_t>(b)]) {
+    a = tree_->node(a).parent;
+  }
+  while (depth_[static_cast<size_t>(b)] > depth_[static_cast<size_t>(a)]) {
+    b = tree_->node(b).parent;
+  }
+  while (a != b) {
+    a = tree_->node(a).parent;
+    b = tree_->node(b).parent;
+  }
+  const int lca = a;
+  for (int w = v; w != lca; w = tree_->node(w).parent) {
+    IncludeNode(w);
+    IncludeEdge(w);
+  }
+  IncludeNode(lca);
+  for (int w = old_root; w != lca; w = tree_->node(w).parent) {
+    IncludeEdge(w);
+    IncludeNode(tree_->node(w).parent);
+  }
+}
+
+void NContextBuilder::Extract(int t, int n, NContext* out) {
+  out->mutable_nodes()->clear();
+  out->set_root(-1);
+  out->set_focus(-1);
+  SyncToTree();
+  // Reset only what the previous extraction marked: the persistent flags
+  // are all-false outside `touched_`, so after this loop the scratch is
+  // exactly a fresh SubtreeBuilder's — without the O(tree) refill.
+  for (int v : touched_) {
+    node_included_[static_cast<size_t>(v)] = false;
+    edge_included_[static_cast<size_t>(v)] = false;
+  }
+  touched_.clear();
+  cur_root_ = -1;
+  size_ = 0;
+  if (t < 0 || t > tree_->num_steps() || n < 1) return;
+  IncludeNode(t);  // d_t (node id == step)
+  for (int k = t; k >= 1 && size_ < static_cast<size_t>(n); --k) {
+    // Element q_k plus whatever keeps the subtree connected, exactly as in
+    // the one-shot extractor above.
+    ConnectNode(k);
+    IncludeEdge(k);
+    IncludeNode(tree_->node(k).parent);
+  }
+  if (cur_root_ < 0) return;
+  EmitSubtree(*tree_, node_included_, edge_included_, cur_root_, -1, true,
+              out);
+  FinalizeContext(t, out);
 }
 
 namespace {

@@ -66,4 +66,57 @@ class NContext {
 /// 0 <= t <= tree.num_steps(), n >= 1.
 NContext ExtractNContext(const SessionTree& tree, int t, int n);
 
+/// Incremental n-context extraction for a growing session (DESIGN.md §14).
+///
+/// A fresh ExtractNContext call pays O(session nodes) before it touches
+/// the context at all: it allocates and fills per-node depth and inclusion
+/// scratch for the whole tree. A builder bound to one SessionTree keeps
+/// that scratch alive across calls, extends it by O(1) per appended step,
+/// and resets only the entries the previous extraction marked — so
+/// re-extracting after one append costs O(affected subtree) (the ≤ n
+/// included elements plus their connecting paths), independent of the
+/// session length.
+///
+/// The builder is a pure optimization: its output is bitwise identical to
+/// ExtractNContext(tree, t, n) for every reachable state (the one-shot
+/// function is kept as the oracle and the equivalence is pinned by
+/// tests/incremental_ncontext_test.cpp). Not thread-safe; one builder per
+/// session. The bound tree must outlive the builder and may only grow
+/// (ApplyFrom) between Extract calls.
+class NContextBuilder {
+ public:
+  /// Binds the builder to `tree` (no work happens until Extract).
+  explicit NContextBuilder(const SessionTree* tree) : tree_(tree) {}
+
+  /// Extracts the n-context of state S_t into `*out`, replacing its
+  /// contents but reusing its node storage. Same requirements and
+  /// degenerate-input behavior (empty context) as ExtractNContext.
+  void Extract(int t, int n, NContext* out);
+
+  const SessionTree& tree() const { return *tree_; }
+
+ private:
+  /// Extends the persistent per-node scratch to the tree's current size
+  /// (O(1) amortized per appended node).
+  void SyncToTree();
+  /// Marks node `v` included; maintains the shallowest-included root.
+  void IncludeNode(int v);
+  /// Marks the edge into `v` included.
+  void IncludeEdge(int v);
+  /// Adds node `v` plus the minimal connecting path to the included
+  /// subtree (reverse walk / LCA, mirroring the one-shot extractor).
+  void ConnectNode(int v);
+
+  const SessionTree* tree_;
+  /// Persistent scratch, indexed by session node id; grown on sync, and
+  /// only the `touched_` entries of the last extraction are ever reset.
+  std::vector<int> depth_;
+  std::vector<bool> node_included_;
+  std::vector<bool> edge_included_;
+  std::vector<int> touched_;
+  /// Per-extraction state (reset by Extract).
+  int cur_root_ = -1;
+  size_t size_ = 0;
+};
+
 }  // namespace ida

@@ -136,6 +136,10 @@ TEST_P(SessionPropertyTest, DistanceCacheIsTransparent) {
     contexts.push_back(ExtractNContext(*tree, t, 5));
   }
   SessionDistance warm;  // reused across pairs: cache fills up
+  // The shared cache only admits displays declared to outlive the metric.
+  for (const NContext& c : contexts) {
+    for (const auto& node : c.nodes()) warm.MarkStable(node.display.get());
+  }
   for (size_t i = 0; i < contexts.size(); ++i) {
     for (size_t j = 0; j < contexts.size(); ++j) {
       SessionDistance cold;  // fresh metric: no cache reuse

@@ -14,13 +14,69 @@
 #      can never silently fall behind the build.
 #
 # Usage: tools/docs_lint.sh [repo-root]   (defaults to the script's repo)
+#        tools/docs_lint.sh --self-test   (negative test: seeds a sandbox
+#          repo with one violation of every rule and asserts the linter
+#          catches each of them, then that a clean sandbox passes — run by
+#          CI's docs job so a silently broken checker cannot green-light
+#          broken docs)
 set -u
+
+note() { printf '%s\n' "$*" >&2; }
+
+self_test() {
+  sandbox="$(mktemp -d)"
+  trap 'rm -rf "$sandbox"' EXIT
+  mkdir -p "$sandbox/src/engine"
+
+  # One violation per rule.
+  printf '[gone](missing-file.md)\n' > "$sandbox/README.md"
+  {
+    printf 'class Undocumented {\n'   # rule 2b: no /// above, and since it
+    printf '};\n'                     # is line 1, no file comment either
+  } > "$sandbox/src/engine/bad.h"
+  printf 'add_library(ida_ghost ghost.cc)\n' \
+    > "$sandbox/src/engine/CMakeLists.txt"
+  printf '# Design\nNo inventory row for the ghost target.\n' \
+    > "$sandbox/DESIGN.md"
+
+  out="$("$0" "$sandbox" 2>&1)"
+  status=$?
+  bad=0
+  [ "$status" -eq 1 ] || { note "self-test: expected exit 1, got $status"; bad=1; }
+  for want in 'broken link' 'missing file-level comment' \
+              'without a preceding doc comment' 'not in DESIGN.md'; do
+    case "$out" in
+      *"$want"*) ;;
+      *) note "self-test: expected a finding matching '$want'"; bad=1 ;;
+    esac
+  done
+
+  # And the same sandbox, fixed, must pass.
+  printf '[here](DESIGN.md)\n' > "$sandbox/README.md"
+  {
+    printf '// A documented header.\n'
+    printf '/// A documented class.\n'
+    printf 'class Documented {\n};\n'
+  } > "$sandbox/src/engine/bad.h"
+  printf '# Design\nThe `ida_ghost` target.\n' > "$sandbox/DESIGN.md"
+  if ! "$0" "$sandbox" >/dev/null 2>&1; then
+    note "self-test: clean sandbox should pass"
+    bad=1
+  fi
+
+  if [ "$bad" -ne 0 ]; then
+    note "docs_lint --self-test: FAILED"
+    exit 1
+  fi
+  note "docs_lint --self-test: OK"
+  exit 0
+}
+
+[ "${1:-}" = "--self-test" ] && self_test
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 cd "$root" || exit 2
 failures=0
-
-note() { printf '%s\n' "$*" >&2; }
 
 # --- 1. Relative markdown links -------------------------------------------
 # Matches [text](target) and extracts target; ignores http(s), mailto and
