@@ -16,9 +16,18 @@
 #include "offline/labeling.h"
 #include "offline/training.h"
 #include "engine/config.h"
+#include "replay/stats.h"
 #include "synth/generator.h"
 
 namespace ida::bench {
+
+/// Latency-summary helpers shared with the load harness
+/// (src/replay/stats.h): the p50/p95/p99 shape the bench JSON lines use.
+/// The point helpers stay namespace-qualified (`replay::Percentile`,
+/// `replay::Median`) — stats/descriptive.h already exports same-named
+/// estimators with different conventions (midpoint vs interpolated).
+using replay::LatencySummary;
+using replay::Summarize;
 
 /// Bump when a change invalidates cached labelings (measure semantics,
 /// generator behavior, serialization format).

@@ -172,6 +172,12 @@ Predictor::Predictor(ModelConfig config, MeasureSet measures,
       measures_(std::move(measures)),
       knn_(std::move(knn)),
       obs_(obs) {
+  // Resolve the capture_path convenience knob into a recorder shared by
+  // every copy of this handle (obs/capture.h).
+  if (obs_.enabled && obs_.capture == nullptr && !obs_.capture_path.empty()) {
+    owned_capture_ = std::make_shared<obs::TraceRecorder>(obs_.capture_path);
+    obs_.capture = owned_capture_.get();
+  }
   if (obs_.metrics_on()) {
     obs::MetricsRegistry& reg = obs_.reg();
     metrics_.predictions = reg.GetCounter("ida.engine.predict.count");
@@ -290,13 +296,35 @@ void Predictor::RecordPredict(const Prediction& p, const PredictStats& stats,
   }
 }
 
+void Predictor::CapturePredict(const NContext& query, const Prediction& p,
+                               double start) const {
+  if (!obs_.capture_on()) return;
+  obs::CaptureRecord r;
+  r.kind = obs::CaptureKind::kPredict;
+  r.arrival_us = static_cast<uint64_t>(start * 1e6 + 0.5);
+  r.step = static_cast<int32_t>(query.size_elements());
+  r.context_digest = ContextDigest(query);
+  r.label = p.label;
+  r.confidence = p.confidence;
+  obs_.capture->Record(std::move(r));
+}
+
 Prediction Predictor::Predict(const NContext& query) const {
-  if (!obs_.metrics_on() && !obs_.trace_on()) return knn_->Predict(query);
+  if (!obs_.metrics_on() && !obs_.trace_on() && !obs_.capture_on()) {
+    return knn_->Predict(query);
+  }
   const double start = obs::ProcessSeconds();
+  if (!obs_.metrics_on() && !obs_.trace_on()) {
+    // Capture-only mode: skip the stats plumbing, record the request.
+    Prediction p = knn_->Predict(query);
+    CapturePredict(query, p, start);
+    return p;
+  }
   const obs::TracePoint t0 = obs::TraceNow();
   PredictStats stats;
   Prediction p = knn_->Predict(query, &stats);
   RecordPredict(p, stats, start, obs::SecondsSince(t0));
+  CapturePredict(query, p, start);
   return p;
 }
 

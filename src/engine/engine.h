@@ -176,11 +176,20 @@ class Predictor {
   /// Adds one query's index search counters onto the resolved
   /// `ida.index.*` handles (metrics-on only).
   void RecordIndexStats(const index::IndexStats& stats) const;
+  /// Appends one kPredict CaptureRecord when capture is on (obs/capture.h);
+  /// `start` is the request's arrival in process-relative seconds.
+  void CapturePredict(const NContext& query, const Prediction& p,
+                      double start) const;
 
   ModelConfig config_;
   MeasureSet measures_;
   std::shared_ptr<const IKnnClassifier> knn_;
   obs::ObsConfig obs_;
+  /// Keeps an `obs.capture_path`-resolved TraceRecorder alive across this
+  /// handle and all its copies (obs_.capture borrows it); the trace file
+  /// is flushed when the last copy is destroyed. Null when the caller
+  /// attached their own recorder or capture is off.
+  std::shared_ptr<obs::TraceRecorder> owned_capture_;
   ServeMetrics metrics_;
 };
 

@@ -1,0 +1,181 @@
+#include "obs/capture.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/binio.h"
+
+namespace ida::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'D', 'A', 'T', 'R', 'A', 'C', 'E'};
+constexpr uint32_t kVersion = 1;
+// kind + arrival + session len + step + parent + digest + label +
+// confidence + payload len: the least bytes one record can occupy, used
+// to bound the record count against the remaining payload.
+constexpr size_t kMinRecordBytes = 1 + 8 + 4 + 4 + 4 + 8 + 4 + 8 + 4;
+
+}  // namespace
+
+TraceRecorder::~TraceRecorder() {
+  if (path_.empty()) return;
+  Status st = WriteToFile(path_);
+  if (!st.ok()) {
+    std::fprintf(stderr, "TraceRecorder: flush to %s failed: %s\n",
+                 path_.c_str(), st.ToString().c_str());
+  }
+}
+
+void TraceRecorder::Record(CaptureRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+void TraceRecorder::SetWorld(const TraceWorld& world) {
+  std::lock_guard<std::mutex> lock(mu_);
+  world_ = world;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+Trace TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Trace trace;
+  trace.world = world_;
+  trace.records = records_;
+  return trace;
+}
+
+Status TraceRecorder::WriteToFile(const std::string& path) const {
+  return WriteTraceFile(Snapshot(), path);
+}
+
+std::string SerializeTrace(const Trace& trace) {
+  binio::Writer payload;
+  payload.U8(trace.world.has_value() ? 1 : 0);
+  if (trace.world.has_value()) {
+    payload.U32(trace.world->num_users);
+    payload.U32(trace.world->num_sessions);
+    payload.U32(trace.world->rows_per_dataset);
+    payload.U64(trace.world->seed);
+  }
+  payload.U32(static_cast<uint32_t>(trace.records.size()));
+  for (const CaptureRecord& r : trace.records) {
+    payload.U8(static_cast<uint8_t>(r.kind));
+    payload.U64(r.arrival_us);
+    payload.Str(r.session_id);
+    payload.I32(r.step);
+    payload.I32(r.parent);
+    payload.U64(r.context_digest);
+    payload.I32(r.label);
+    payload.F64(r.confidence);
+    payload.Str(r.payload);
+  }
+  std::string body = payload.Take();
+
+  binio::Writer out;
+  for (char c : kMagic) out.U8(static_cast<uint8_t>(c));
+  out.U32(kVersion);
+  std::string bytes = out.Take();
+  bytes.append(body);
+  binio::Writer tail;
+  tail.U64(binio::Fnv1a(body.data(), body.size()));
+  bytes.append(tail.Take());
+  return bytes;
+}
+
+Result<Trace> ParseTrace(const std::string& bytes) {
+  constexpr size_t kHeader = sizeof(kMagic) + sizeof(uint32_t);
+  constexpr size_t kFooter = sizeof(uint64_t);
+  if (bytes.size() < kHeader + kFooter ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "not an IDATRACE file (bad magic or too short)");
+  }
+  const char* payload = bytes.data() + kHeader;
+  const size_t payload_size = bytes.size() - kHeader - kFooter;
+  {
+    binio::Reader footer(bytes.data() + bytes.size() - kFooter, kFooter);
+    const uint64_t stored = footer.U64();
+    if (stored != binio::Fnv1a(payload, payload_size)) {
+      return Status::InvalidArgument(
+          "trace file checksum mismatch (truncated or corrupt)");
+    }
+  }
+  binio::Reader header(bytes.data() + sizeof(kMagic), sizeof(uint32_t));
+  const uint32_t version = header.U32();
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported trace version " +
+                                   std::to_string(version));
+  }
+
+  binio::Reader in(payload, payload_size);
+  Trace trace;
+  if (in.U8() != 0) {
+    TraceWorld world;
+    world.num_users = in.U32();
+    world.num_sessions = in.U32();
+    world.rows_per_dataset = in.U32();
+    world.seed = in.U64();
+    trace.world = world;
+  }
+  const uint32_t count = in.Count(kMinRecordBytes);
+  trace.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CaptureRecord r;
+    const uint8_t kind = in.U8();
+    if (kind > static_cast<uint8_t>(CaptureKind::kPredict)) {
+      in.Fail("capture kind " + std::to_string(kind));
+      break;
+    }
+    r.kind = static_cast<CaptureKind>(kind);
+    r.arrival_us = in.U64();
+    r.session_id = in.Str();
+    r.step = in.I32();
+    r.parent = in.I32();
+    r.context_digest = in.U64();
+    r.label = in.I32();
+    r.confidence = in.F64();
+    r.payload = in.Str();
+    if (!in.status().ok()) break;
+    trace.records.push_back(std::move(r));
+  }
+  IDA_RETURN_NOT_OK(in.status());
+  return trace;
+}
+
+Status WriteTraceFile(const Trace& trace, const std::string& path) {
+  const std::string bytes = SerializeTrace(trace);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<Trace> ReadTraceFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file " + path);
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, n);
+  }
+  std::fclose(f);
+  return ParseTrace(bytes);
+}
+
+}  // namespace ida::obs

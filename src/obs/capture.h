@@ -1,0 +1,131 @@
+// Serving-traffic capture (DESIGN.md §15): the record half of the
+// record→replay harness. A TraceRecorder is attached to an ObsConfig
+// (`ObsConfig::capture` / `ObsConfig::capture_path` in obs/obs.h); the
+// instrumented entry points — SessionManager::Open/Append/Advise/Close and
+// Predictor::Predict — then append one CaptureRecord per request: what
+// arrived (session id, step, serialized action or dataset id), when it
+// arrived (process-relative monotonic seconds), which n-context it was
+// answered from (an FNV-1a digest of the context fingerprint) and what the
+// advisor answered (label + confidence). The resulting trace file is the
+// workload contract for tools/loadgen: replaying it drives the serving
+// layer through the same lifecycle calls with open-loop arrivals.
+//
+// File format ("IDATRACE", version 1), built on common/binio.h exactly
+// like the model artifact: an 8-byte magic, a u32 version, a payload and a
+// trailing FNV-1a checksum of the payload. The payload starts with an
+// optional synthetic-world provenance block (the GeneratorOptions shape a
+// trace generated from src/synth/ sessions was captured against, so replay
+// can regenerate the exact DatasetRegistry without shipping the data) and
+// continues with length-prefixed records. All integers are host-endian and
+// timestamps are integral microseconds, so serialization is bitwise
+// deterministic: the same captured events always produce the same file.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ida::obs {
+
+/// What kind of serving event a CaptureRecord describes.
+enum class CaptureKind : uint8_t {
+  kOpen = 0,     ///< SessionManager::Open — payload carries the dataset id
+  kAppend = 1,   ///< SessionManager::Append — payload carries the action
+  kAdvise = 2,   ///< SessionManager::Advise — label/confidence carry the answer
+  kClose = 3,    ///< SessionManager::Close
+  kPredict = 4,  ///< one-shot Predictor::Predict (no session lifecycle)
+};
+
+/// One captured serving event. Field use varies by kind (see CaptureKind);
+/// unused fields keep their zero defaults so serialization stays uniform.
+struct CaptureRecord {
+  CaptureKind kind = CaptureKind::kAdvise;
+  /// Arrival time in integral microseconds on the process-relative
+  /// monotonic clock (obs::ProcessSeconds at entry).
+  uint64_t arrival_us = 0;
+  std::string session_id;  ///< empty for kPredict
+  /// Session step the event left the session at (tree node count - 1);
+  /// context element count for kPredict.
+  int32_t step = 0;
+  int32_t parent = -1;      ///< kAppend: the parent display node id
+  uint64_t context_digest = 0;  ///< FNV-1a of NContext::Fingerprint()
+  int32_t label = -1;           ///< kAdvise/kPredict: predicted label
+  double confidence = 0.0;      ///< kAdvise/kPredict: vote confidence
+  /// kOpen: dataset id. kAppend: Action::Serialize() one-line form.
+  std::string payload;
+};
+
+/// Synthetic-world provenance embedded in a trace: the GeneratorOptions
+/// shape (src/synth/generator.h) the captured sessions were generated
+/// from, so replay regenerates the identical datasets and training log.
+struct TraceWorld {
+  uint32_t num_users = 0;
+  uint32_t num_sessions = 0;
+  uint32_t rows_per_dataset = 0;
+  uint64_t seed = 0;
+};
+
+/// A parsed trace: optional world provenance plus the captured events in
+/// arrival order.
+struct Trace {
+  std::optional<TraceWorld> world;
+  std::vector<CaptureRecord> records;
+};
+
+/// Thread-safe capture sink: instrumented entry points append records
+/// under a mutex; the buffered trace is written out explicitly
+/// (WriteToFile) or, when constructed with a path, automatically on
+/// destruction (the `ObsConfig::capture_path` contract). Like the other
+/// obs sinks it is borrowed by ObsConfig, never owned — it must outlive
+/// every component configured with it.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  /// A recorder that flushes its buffered trace to `path` when destroyed.
+  /// A failed flush is reported on stderr (destructors cannot return
+  /// Status); call WriteToFile directly when the caller needs the error.
+  explicit TraceRecorder(std::string path) : path_(std::move(path)) {}
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Appends one captured event (thread-safe, arrival order = call order).
+  void Record(CaptureRecord record);
+
+  /// Stamps the world-provenance block embedded in the written trace.
+  void SetWorld(const TraceWorld& world);
+
+  /// Number of events captured so far.
+  size_t size() const;
+  /// Snapshot of the captured trace (world + records so far).
+  Trace Snapshot() const;
+
+  /// Serializes the captured trace to `path` (IDATRACE format).
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::string path_;  ///< auto-flush destination; empty = manual only
+  mutable std::mutex mu_;
+  std::optional<TraceWorld> world_;
+  std::vector<CaptureRecord> records_;
+};
+
+/// Serializes a trace into IDATRACE bytes (deterministic for equal input).
+std::string SerializeTrace(const Trace& trace);
+
+/// Parses IDATRACE bytes; rejects bad magic, unknown versions, truncation
+/// and checksum mismatches with InvalidArgument.
+Result<Trace> ParseTrace(const std::string& bytes);
+
+/// Writes `trace` to `path`.
+Status WriteTraceFile(const Trace& trace, const std::string& path);
+
+/// Reads and parses the trace file at `path`.
+Result<Trace> ReadTraceFile(const std::string& path);
+
+}  // namespace ida::obs

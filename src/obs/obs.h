@@ -20,15 +20,17 @@
 #include <utility>
 
 #include "common/status.h"
+#include "obs/capture.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace ida::obs {
 
 /// Observability configuration, passed by value alongside a ModelConfig.
-/// Copies are cheap (a bool and two borrowed pointers). The registry and
-/// sink are borrowed: both must outlive every component configured with
-/// them (the process-wide Default() registry trivially does).
+/// Copies are cheap (a bool, borrowed pointers and one usually-empty
+/// string). The registry and sinks are borrowed: all must outlive every
+/// component configured with them (the process-wide Default() registry
+/// trivially does).
 struct ObsConfig {
   /// Runtime master switch for metric recording and span emission.
   bool enabled = true;
@@ -37,6 +39,20 @@ struct ObsConfig {
   /// Optional per-session span sink; nullptr disables tracing. Must be
   /// thread-safe if the configured component is used from many threads.
   TraceSink* trace = nullptr;
+  /// Optional serving-traffic capture sink (obs/capture.h): when set (and
+  /// `enabled`), Predictor::Predict and the SessionManager lifecycle
+  /// methods append one CaptureRecord per request for later replay by
+  /// tools/loadgen. Borrowed and thread-safe, like `trace`; independent
+  /// of IDA_OBS — it only costs when a recorder is attached.
+  TraceRecorder* capture = nullptr;
+  /// Convenience knob for components that should own their recorder: a
+  /// non-empty path makes Predictor::Load / the SessionManager
+  /// constructor create a TraceRecorder(path) of their own (shared by
+  /// copies) when `capture` is null; the trace file is flushed when the
+  /// last sharing component is destroyed. Attach one explicit recorder
+  /// instead when several independently-constructed components must feed
+  /// a single trace.
+  std::string capture_path;
 
   /// True when metric recording is active (compiled in AND enabled).
   bool metrics_on() const {
@@ -50,6 +66,10 @@ struct ObsConfig {
   /// True when span emission is active (enabled AND a sink is attached).
   /// Tracing is independent of IDA_OBS: it only costs when a sink is set.
   bool trace_on() const { return enabled && trace != nullptr; }
+
+  /// True when request capture is active (enabled AND a recorder is
+  /// attached — directly or resolved from `capture_path`).
+  bool capture_on() const { return enabled && capture != nullptr; }
 
   /// The effective registry (Default() when none was injected).
   MetricsRegistry& reg() const {

@@ -1,0 +1,62 @@
+// Percentile and latency-summary helpers shared by the load harness
+// (replay/replay.h) and the bench binaries (bench/bench_common.h re-exports
+// them into ida::bench). The percentile definition is the linearly
+// interpolated rank p * (n - 1) over an ascending-sorted sample — the same
+// convention as numpy's default and the liric bench harness the repo's
+// bench format follows — so p50/p95/p99 lines are comparable across tools.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace ida::replay {
+
+/// Linearly interpolated percentile of an ascending-sorted sample.
+/// `p` is in [0, 1] (clamped); returns 0 for an empty sample, the single
+/// element for n == 1, and interpolates between the two straddling ranks
+/// otherwise: rank = p * (n - 1), value = v[lo] + frac * (v[lo+1] - v[lo]).
+inline double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 1.0) return sorted.back();
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+/// Median of an ascending-sorted sample (Percentile at p = 0.5).
+inline double Median(const std::vector<double>& sorted) {
+  return Percentile(sorted, 0.5);
+}
+
+/// One operation family's latency distribution, in the units of the input
+/// sample (the harness reports microseconds).
+struct LatencySummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes a sample (sorts a copy; the input order does not matter).
+inline LatencySummary Summarize(std::vector<double> values) {
+  LatencySummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  s.p50 = Percentile(values, 0.50);
+  s.p95 = Percentile(values, 0.95);
+  s.p99 = Percentile(values, 0.99);
+  s.max = values.back();
+  return s;
+}
+
+}  // namespace ida::replay

@@ -9,10 +9,26 @@
 
 namespace ida::serve {
 
+namespace {
+
+// Capture arrival timestamps: integral microseconds on the process-wide
+// monotonic epoch (matches CaptureRecord::arrival_us).
+uint64_t ArrivalMicros() {
+  return static_cast<uint64_t>(obs::ProcessSeconds() * 1e6 + 0.5);
+}
+
+}  // namespace
+
 SessionManager::SessionManager(
     std::shared_ptr<const engine::Predictor> predictor, ServeOptions options,
     obs::ObsConfig obs)
     : options_(options), obs_(obs), current_(std::move(predictor)) {
+  // Resolve the capture_path convenience knob into an owned recorder that
+  // flushes the trace file when the manager is destroyed.
+  if (obs_.enabled && obs_.capture == nullptr && !obs_.capture_path.empty()) {
+    owned_capture_ = std::make_shared<obs::TraceRecorder>(obs_.capture_path);
+    obs_.capture = owned_capture_.get();
+  }
   if (options_.num_shards < 1) options_.num_shards = 1;
   const size_t shards = static_cast<size_t>(options_.num_shards);
   shards_.reserve(shards);
@@ -81,6 +97,26 @@ void SessionManager::RefreshContext(LiveSession& s,
   }
 }
 
+void SessionManager::Capture(obs::CaptureKind kind, uint64_t arrival_us,
+                             const std::string& session_id,
+                             const LiveSession& s, int parent,
+                             const Prediction* answer,
+                             std::string payload) const {
+  obs::CaptureRecord r;
+  r.kind = kind;
+  r.arrival_us = arrival_us;
+  r.session_id = session_id;
+  r.step = s.tree.num_steps();
+  r.parent = parent;
+  r.context_digest = ContextDigest(s.context);
+  if (answer != nullptr) {
+    r.label = answer->label;
+    r.confidence = answer->confidence;
+  }
+  r.payload = std::move(payload);
+  obs_.capture->Record(std::move(r));
+}
+
 void SessionManager::Touch(Shard& shard, LiveSession& s) {
   if (s.lru != shard.lru.begin()) {
     shard.lru.splice(shard.lru.begin(), shard.lru, s.lru);
@@ -100,6 +136,7 @@ Status SessionManager::Open(const std::string& session_id, DisplayPtr root,
   if (root == nullptr) {
     return Status::InvalidArgument("session root display must not be null");
   }
+  const uint64_t arrival = obs_.capture_on() ? ArrivalMicros() : 0;
   Shard& shard = ShardFor(session_id);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.sessions.count(session_id) > 0) {
@@ -126,6 +163,10 @@ Status SessionManager::Open(const std::string& session_id, DisplayPtr root,
   // Prepare the root state eagerly so the first Advise is already served
   // from a warm context.
   RefreshContext(s, *Model(shard));
+  if (obs_.capture_on()) {
+    Capture(obs::CaptureKind::kOpen, arrival, session_id, s, -1, nullptr,
+            s.tree.dataset_id());
+  }
   if (metrics_.opens != nullptr) metrics_.opens->Increment();
   SetLiveGauge();
   return Status::OK();
@@ -135,6 +176,7 @@ Result<int> SessionManager::Append(const std::string& session_id,
                                    int parent_id, const Action& action) {
   const bool timed = obs_.metrics_on();
   const obs::TracePoint t0 = timed ? obs::TraceNow() : obs::TracePoint{};
+  const uint64_t arrival = obs_.capture_on() ? ArrivalMicros() : 0;
   Shard& shard = ShardFor(session_id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.sessions.find(session_id);
@@ -146,6 +188,10 @@ Result<int> SessionManager::Append(const std::string& session_id,
   // The incremental update: O(affected subtree), not O(session length).
   RefreshContext(s, *Model(shard));
   Touch(shard, s);
+  if (obs_.capture_on()) {
+    Capture(obs::CaptureKind::kAppend, arrival, session_id, s, parent_id,
+            nullptr, action.Serialize());
+  }
   if (timed) {
     metrics_.appends->Increment();
     metrics_.append_seconds->Observe(obs::SecondsSince(t0));
@@ -156,6 +202,7 @@ Result<int> SessionManager::Append(const std::string& session_id,
 Result<Prediction> SessionManager::Advise(const std::string& session_id) {
   const bool timed = obs_.metrics_on();
   const obs::TracePoint t0 = timed ? obs::TraceNow() : obs::TracePoint{};
+  const uint64_t arrival = obs_.capture_on() ? ArrivalMicros() : 0;
   Shard& shard = ShardFor(session_id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.sessions.find(session_id);
@@ -169,6 +216,9 @@ Result<Prediction> SessionManager::Advise(const std::string& session_id) {
   RefreshContext(s, *model);
   Prediction p = model->PredictPrepared(s.flat, s.scratch);
   Touch(shard, s);
+  if (obs_.capture_on()) {
+    Capture(obs::CaptureKind::kAdvise, arrival, session_id, s, -1, &p, {});
+  }
   if (timed) {
     metrics_.advises->Increment();
     metrics_.advise_seconds->Observe(obs::SecondsSince(t0));
@@ -178,6 +228,7 @@ Result<Prediction> SessionManager::Advise(const std::string& session_id) {
 
 Result<std::vector<Prediction>> SessionManager::AdviseBatch(
     const std::vector<std::string>& session_ids) {
+  const uint64_t arrival = obs_.capture_on() ? ArrivalMicros() : 0;
   std::vector<Prediction> out(session_ids.size());
   if (session_ids.empty()) return out;
   // Group request positions by shard, preserving input order within each
@@ -213,6 +264,13 @@ Result<std::vector<Prediction>> SessionManager::AdviseBatch(
     std::vector<Prediction> group_out = model->PredictBatch(queries);
     for (size_t gi = 0; gi < group.size(); ++gi) {
       out[group[gi]] = group_out[gi];
+      if (obs_.capture_on()) {
+        // Batch members replay as individual Advise calls; the capture
+        // stream needs no distinct batch kind.
+        const std::string& sid = session_ids[group[gi]];
+        Capture(obs::CaptureKind::kAdvise, arrival, sid,
+                *shard.sessions.find(sid)->second, -1, &group_out[gi], {});
+      }
     }
     if (metrics_.batch_calls != nullptr) {
       metrics_.batch_calls->Increment();
@@ -224,11 +282,16 @@ Result<std::vector<Prediction>> SessionManager::AdviseBatch(
 }
 
 Status SessionManager::Close(const std::string& session_id) {
+  const uint64_t arrival = obs_.capture_on() ? ArrivalMicros() : 0;
   Shard& shard = ShardFor(session_id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
     return Status::NotFound("session '" + session_id + "' is not live");
+  }
+  if (obs_.capture_on()) {
+    Capture(obs::CaptureKind::kClose, arrival, session_id, *it->second, -1,
+            nullptr, {});
   }
   shard.lru.erase(it->second->lru);
   shard.sessions.erase(it);

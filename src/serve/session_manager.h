@@ -73,6 +73,9 @@ class SessionManager {
   /// `obs` configures the service's `ida.serve.*` metrics; the predictor
   /// keeps recording its own `ida.engine.predict.*` under the ObsConfig
   /// it was loaded with. The registry/sink must outlive the manager.
+  /// When `obs.capture` is set (or `obs.capture_path` is non-empty, which
+  /// resolves into an owned recorder here), every Open/Append/Advise/
+  /// Close appends one CaptureRecord for later replay (DESIGN.md §15).
   explicit SessionManager(std::shared_ptr<const engine::Predictor> predictor,
                           ServeOptions options = {},
                           obs::ObsConfig obs = {});
@@ -182,6 +185,13 @@ class SessionManager {
   };
 
   Shard& ShardFor(const std::string& session_id);
+  /// Appends one request-capture record when capture is on (obs/capture.h).
+  /// `arrival_us` is the method-entry timestamp; label/confidence/payload
+  /// are kind-specific (see CaptureKind).
+  void Capture(obs::CaptureKind kind, uint64_t arrival_us,
+               const std::string& session_id, const LiveSession& s,
+               int parent, const Prediction* answer,
+               std::string payload) const;
   /// Returns the shard's cached predictor, refreshing it first when the
   /// global epoch has advanced. Caller must hold `shard.mu`.
   const std::shared_ptr<const engine::Predictor>& Model(Shard& shard);
@@ -195,6 +205,10 @@ class SessionManager {
 
   ServeOptions options_;
   obs::ObsConfig obs_;
+  /// Keeps an `obs.capture_path`-resolved recorder alive for the
+  /// manager's lifetime (obs_.capture borrows it). Null when the caller
+  /// attached their own recorder or capture is off.
+  std::shared_ptr<obs::TraceRecorder> owned_capture_;
   ServeMetrics metrics_;
   ActionExecutor exec_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "common/binio.h"
+
 namespace ida {
 
 namespace {
@@ -290,6 +292,11 @@ std::string NContext::Fingerprint() const {
   std::ostringstream os;
   FingerprintNode(*this, root_, &os);
   return os.str();
+}
+
+uint64_t ContextDigest(const NContext& context) {
+  const std::string fp = context.Fingerprint();
+  return binio::Fnv1a(fp.data(), fp.size());
 }
 
 }  // namespace ida

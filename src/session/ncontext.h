@@ -5,6 +5,7 @@
 // connected, and every pulled-in node/edge counts toward the size.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,6 +66,12 @@ class NContext {
 /// Extracts the n-context of session state S_t. Requirements:
 /// 0 <= t <= tree.num_steps(), n >= 1.
 NContext ExtractNContext(const SessionTree& tree, int t, int n);
+
+/// FNV-1a digest of the context's canonical Fingerprint() rendering —
+/// a compact structural identity for trace capture (obs/capture.h).
+/// Deterministic across processes; equal for structurally identical
+/// contexts regardless of how they were extracted.
+uint64_t ContextDigest(const NContext& context);
 
 /// Incremental n-context extraction for a growing session (DESIGN.md §14).
 ///

@@ -12,6 +12,10 @@
 #      in src/**/CMakeLists.txt must appear in DESIGN.md's module
 #      inventory (the "System inventory" table), so the architecture doc
 #      can never silently fall behind the build.
+#   4. Bench-baseline coverage — every checked-in BENCH_*.json baseline in
+#      the repo root must be mentioned in EXPERIMENTS.md, so each CI
+#      regression gate has a documented recipe for regenerating its
+#      baseline.
 #
 # Usage: tools/docs_lint.sh [repo-root]   (defaults to the script's repo)
 #        tools/docs_lint.sh --self-test   (negative test: seeds a sandbox
@@ -38,13 +42,17 @@ self_test() {
     > "$sandbox/src/engine/CMakeLists.txt"
   printf '# Design\nNo inventory row for the ghost target.\n' \
     > "$sandbox/DESIGN.md"
+  printf '{"bench":"ghost"}\n' > "$sandbox/BENCH_ghost.json"
+  printf '# Experiments\nNo mention of the ghost baseline.\n' \
+    > "$sandbox/EXPERIMENTS.md"
 
   out="$("$0" "$sandbox" 2>&1)"
   status=$?
   bad=0
   [ "$status" -eq 1 ] || { note "self-test: expected exit 1, got $status"; bad=1; }
   for want in 'broken link' 'missing file-level comment' \
-              'without a preceding doc comment' 'not in DESIGN.md'; do
+              'without a preceding doc comment' 'not in DESIGN.md' \
+              'not mentioned in EXPERIMENTS.md'; do
     case "$out" in
       *"$want"*) ;;
       *) note "self-test: expected a finding matching '$want'"; bad=1 ;;
@@ -59,6 +67,8 @@ self_test() {
     printf 'class Documented {\n};\n'
   } > "$sandbox/src/engine/bad.h"
   printf '# Design\nThe `ida_ghost` target.\n' > "$sandbox/DESIGN.md"
+  printf '# Experiments\nRegenerate `BENCH_ghost.json` like so.\n' \
+    > "$sandbox/EXPERIMENTS.md"
   if ! "$0" "$sandbox" >/dev/null 2>&1; then
     note "self-test: clean sandbox should pass"
     bad=1
@@ -142,6 +152,17 @@ else
     fi
   done
 fi
+
+# --- 4. Bench baselines vs EXPERIMENTS.md ---------------------------------
+# A committed baseline without a regeneration recipe is unmaintainable:
+# the first legitimate perf change would have nothing to follow.
+for baseline in BENCH_*.json; do
+  [ -e "$baseline" ] || continue
+  if [ ! -f EXPERIMENTS.md ] || ! grep -qF "$baseline" EXPERIMENTS.md; then
+    note "docs_lint: $baseline: baseline not mentioned in EXPERIMENTS.md"
+    failures=$((failures + 1))
+  fi
+done
 
 if [ "$failures" -gt 0 ]; then
   note "docs_lint: $failures problem(s) found"
