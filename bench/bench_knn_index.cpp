@@ -154,6 +154,15 @@ SizeResult RunSize(const engine::TrainedModel& full, size_t n,
   const double speedup = best_indexed > 0.0 ? best_brute / best_indexed
                                             : 0.0;
   const double nq = static_cast<double>(queries.size());
+  // Display-memo efficiency on the indexed serving path: probe counts per
+  // prediction and per lookup (the PHF-vs-open-addressing acceptance
+  // figure; every indexed Predict above flushed its TedTally here).
+  const double predictions = static_cast<double>(
+      registry.GetCounter("ida.engine.predict.count")->value());
+  const double memo_lookups = static_cast<double>(
+      registry.GetCounter("ida.distance.display_memo.lookups")->value());
+  const double memo_probes = static_cast<double>(
+      registry.GetCounter("ida.distance.display_memo.probes")->value());
   std::printf(
       "{\"bench\":\"knn_index\",\"n\":%zu,\"brute_per_query_us\":%.2f,"
       "\"indexed_per_query_us\":%.2f,\"speedup\":%.2f,"
@@ -163,6 +172,8 @@ SizeResult RunSize(const engine::TrainedModel& full, size_t n,
       "\"cascade_pruned_by_stage\":{\"size_pct\":%.1f,"
       "\"structure_pct\":%.1f,\"hist_pct\":%.1f,\"triangle_pct\":%.1f,"
       "\"core_pct\":%.1f,\"subtree_prunes_per_query\":%.1f},"
+      "\"display_memo\":{\"lookups_per_query\":%.1f,"
+      "\"probes_per_query\":%.1f,\"probes_per_lookup\":%.3f},"
       "\"pruned_pct\":%.1f,\"leaf_size\":%d,\"index_nodes\":%zu}\n",
       n, best_brute * 1e6 / nq, best_indexed * 1e6 / nq, speedup, n,
       exact_per_query, core_per_query,
@@ -172,6 +183,9 @@ SizeResult RunSize(const engine::TrainedModel& full, size_t n,
       stage_pct("ida.index.triangle_pruned"),
       stage_pct("ida.index.core_pruned"),
       per_query("ida.index.subtree_pruned"),
+      predictions > 0.0 ? memo_lookups / predictions : 0.0,
+      predictions > 0.0 ? memo_probes / predictions : 0.0,
+      memo_lookups > 0.0 ? memo_probes / memo_lookups : 0.0,
       100.0 * (1.0 - exact_per_query / static_cast<double>(n)),
       tree->leaf_size(), tree->num_nodes());
   std::fflush(stdout);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -27,10 +29,10 @@ double InterestProfile::covered_tuples() const {
   return total;
 }
 
-std::vector<double> InterestProfile::Probabilities() const {
-  std::vector<double> p(values.size(), 0.0);
+std::vector<double> NormalizedProbabilities(const double* values, size_t n) {
+  std::vector<double> p(n, 0.0);
   double total = 0.0;
-  for (size_t i = 0; i < values.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     double v = values[i];
     if (std::isfinite(v) && v > 0.0) {
       p[i] = v;
@@ -45,6 +47,52 @@ std::vector<double> InterestProfile::Probabilities() const {
   }
   for (double& x : p) x /= total;
   return p;
+}
+
+std::vector<double> InterestProfile::Probabilities() const {
+  return NormalizedProbabilities(values.data(), values.size());
+}
+
+uint64_t ContentFingerprint(const DisplayView& v) {
+  // Streaming FNV-1a over a canonical field encoding. Lengths are mixed in
+  // before variable-size fields, so ("ab", "c") and ("a", "bc") differ.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](const void* data, size_t n) {
+    const char* bytes = static_cast<const char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= static_cast<uint8_t>(bytes[i]);
+      h *= 0x100000001B3ULL;
+    }
+  };
+  auto mix_u64 = [&](uint64_t x) { mix(&x, sizeof(x)); };
+  mix_u64(static_cast<uint64_t>(v.kind));
+  mix_u64(v.num_rows);
+  mix_u64(v.column.size());
+  mix(v.column.data(), v.column.size());
+  mix_u64(v.num_labels);
+  for (uint32_t i = 0; i < v.num_labels; ++i) {
+    std::string_view l = v.label(i);
+    mix_u64(l.size());
+    mix(l.data(), l.size());
+  }
+  mix_u64(v.num_values);
+  mix(v.values, sizeof(double) * v.num_values);
+  return h;
+}
+
+bool ContentEquals(const DisplayView& a, const DisplayView& b) {
+  if (a.kind != b.kind || a.num_rows != b.num_rows ||
+      a.num_labels != b.num_labels || a.num_values != b.num_values ||
+      a.column != b.column) {
+    return false;
+  }
+  for (uint32_t i = 0; i < a.num_labels; ++i) {
+    if (a.label(i) != b.label(i)) return false;
+  }
+  // Raw bit comparison (memcmp of the doubles): the ground metric consumes
+  // the bits, so -0.0 vs 0.0 and NaN payloads count as different content.
+  return a.num_values == 0 ||
+         std::memcmp(a.values, b.values, sizeof(double) * a.num_values) == 0;
 }
 
 namespace {

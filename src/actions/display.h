@@ -10,8 +10,10 @@
 // numeric column).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "actions/action.h"
@@ -22,6 +24,66 @@ namespace ida {
 enum class DisplayKind { kRoot = 0, kRaw = 1, kAggregated = 2 };
 
 const char* DisplayKindName(DisplayKind k);
+
+class Display;
+
+/// Fixed-width reference to a string inside a flat character heap — the
+/// label encoding of the memory-mapped artifact v4 display pool
+/// (engine/artifact_v4.h). Plain old data; valid wherever the heap is.
+struct LabelRef {
+  uint32_t offset = 0;
+  uint32_t length = 0;
+};
+
+/// A zero-copy view of the display fields the distance layer consumes
+/// (DisplayContentDistance and the index's core metric read only kind,
+/// profile column, labels, values and row count — never the backing
+/// table). A view is backed either by a heap Display (`Display::View()`,
+/// labels are std::string objects) or by the flat arrays of a memory-
+/// mapped artifact v4 section (labels are LabelRef slices of a shared
+/// character heap) — the serving hot path reads both identically, which is
+/// what lets a mapped artifact serve queries without materializing any
+/// Display object.
+///
+/// `identity` is a stable cache key for the viewed content: the Display
+/// address in heap mode, the flat pool record address (cast, never
+/// dereferenced) in mapped mode. Two views with equal identity view the
+/// same storage; distinct identities may still view equal content.
+struct DisplayView {
+  DisplayKind kind = DisplayKind::kRoot;
+  uint32_t num_labels = 0;
+  uint32_t num_values = 0;
+  uint64_t num_rows = 0;
+  std::string_view column;
+  const double* values = nullptr;
+  /// Heap mode: array of `num_labels` std::string objects (exclusive with
+  /// the flat fields below).
+  const std::string* owned_labels = nullptr;
+  /// Flat mode: `num_labels` LabelRef entries into `str_heap`.
+  const LabelRef* flat_labels = nullptr;
+  const char* str_heap = nullptr;
+  /// Stable identity of the viewed storage (see above).
+  const Display* identity = nullptr;
+
+  std::string_view label(uint32_t i) const {
+    if (owned_labels != nullptr) return owned_labels[i];
+    const LabelRef& r = flat_labels[i];
+    return std::string_view(str_heap + r.offset, r.length);
+  }
+};
+
+/// FNV-1a fingerprint of a view's content-distance-relevant fields (kind,
+/// row count, column, labels, raw value bits). Equal content yields equal
+/// fingerprints regardless of the backing (heap or flat), so fit-time
+/// fingerprints index the artifact's perfect-hash display table and
+/// query-time fingerprints probe it. Collisions are possible; callers
+/// confirm with ContentEquals.
+uint64_t ContentFingerprint(const DisplayView& v);
+
+/// True when two views expose bitwise-identical content to the ground
+/// metric (same kind, row count, column, labels and value bits) — the
+/// exactness check behind every fingerprint match.
+bool ContentEquals(const DisplayView& a, const DisplayView& b);
 
 /// The aggregate vector a display exposes to interestingness measures.
 struct InterestProfile {
@@ -44,6 +106,11 @@ struct InterestProfile {
   /// clamped to 0; an all-zero vector yields the uniform distribution.
   std::vector<double> Probabilities() const;
 };
+
+/// Probabilities() over a raw value array — the exact arithmetic of
+/// InterestProfile::Probabilities, callable from a DisplayView so the flat
+/// and heap serving paths normalize bitwise identically.
+std::vector<double> NormalizedProbabilities(const double* values, size_t n);
 
 /// An immutable result screen. Created by ActionExecutor (or as the root),
 /// or reconstructed table-less from a model artifact (MakeDetached).
@@ -81,6 +148,22 @@ class Display {
   /// Short description for logs/examples ("aggregated over protocol, 6
   /// groups, 50176 rows covered").
   std::string Describe() const;
+
+  /// The zero-copy view of this display's content-distance fields (heap
+  /// mode: labels are this profile's strings, identity is `this`). The
+  /// display must outlive the view.
+  DisplayView View() const {
+    DisplayView v;
+    v.kind = kind_;
+    v.num_labels = static_cast<uint32_t>(profile_.labels.size());
+    v.num_values = static_cast<uint32_t>(profile_.values.size());
+    v.num_rows = static_cast<uint64_t>(num_rows());
+    v.column = profile_.column;
+    v.values = profile_.values.data();
+    v.owned_labels = profile_.labels.data();
+    v.identity = this;
+    return v;
+  }
 
  private:
   DisplayKind kind_;

@@ -1,0 +1,88 @@
+#include "common/mapped_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifdef _WIN32
+// No mmap on Windows builds of this library: Open always takes the heap
+// fallback there. (CreateFileMapping support is not worth the surface
+// for a research serving stack.)
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace ida {
+
+namespace {
+
+// Whole-file heap read, the portable fallback.
+Status ReadAll(const std::string& path, std::vector<uint8_t>* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  size_t got = 0;
+  while (got < out->size()) {
+    const size_t r = std::fread(out->data() + got, 1, out->size() - got, f);
+    if (r == 0) {
+      std::fclose(f);
+      return Status::IoError("short read of " + path);
+    }
+    got += r;
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
+  MappedArtifact out;
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0 &&
+        static_cast<uint64_t>(st.st_size) <= SIZE_MAX) {
+      void* base = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                          MAP_PRIVATE, fd, 0);
+      if (base != MAP_FAILED) {
+        out.map_base_ = base;
+        out.map_size_ = static_cast<size_t>(st.st_size);
+      }
+    }
+    ::close(fd);  // the mapping survives the descriptor
+    if (out.map_base_ != nullptr) return out;
+  }
+#endif
+  IDA_RETURN_NOT_OK(ReadAll(path, &out.heap_));
+  if (out.heap_.empty()) {
+    return Status::IoError("empty artifact file: " + path);
+  }
+  return out;
+}
+
+void MappedArtifact::Release() {
+#ifndef _WIN32
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_size_);
+  }
+#endif
+  map_base_ = nullptr;
+  map_size_ = 0;
+}
+
+}  // namespace ida

@@ -1,0 +1,105 @@
+#include "common/phf.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ida {
+
+namespace {
+
+// Average keys per bucket ~4: the classic CHD operating point — small
+// displacement table, displacement searches that converge in a handful
+// of tries.
+constexpr size_t kKeysPerBucket = 4;
+
+// Displacement search bound. Buckets are placed largest-first, so the
+// hardest placements happen while the table is emptiest; real key sets
+// converge orders of magnitude below this. Exhaustion means the key set
+// is adversarial (or contains duplicates) and the build reports failure.
+constexpr uint32_t kMaxDisplacement = 1u << 16;
+
+}  // namespace
+
+std::optional<PerfectHash> PerfectHash::Build(
+    const std::vector<uint64_t>& keys, const std::vector<uint32_t>& values) {
+  const size_t n = keys.size();
+  if (n == 0 || values.size() != n) return std::nullopt;
+
+  const size_t r = std::max<size_t>(1, (n + kKeysPerBucket - 1) / kKeysPerBucket);
+  std::vector<std::vector<uint32_t>> buckets(r);
+  for (size_t i = 0; i < n; ++i) {
+    buckets[phf_internal::BucketHash(keys[i]) % r].push_back(
+        static_cast<uint32_t>(i));
+  }
+
+  // Place largest buckets first (ties broken by bucket index, so the
+  // build order — and therefore the resulting tables — is deterministic).
+  std::vector<uint32_t> order(r);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (buckets[a].size() != buckets[b].size()) {
+      return buckets[a].size() > buckets[b].size();
+    }
+    return a < b;
+  });
+
+  PerfectHash out;
+  out.disp_.assign(r, 0);
+  out.keys_.assign(n, 0);
+  out.values_.assign(n, 0);
+  std::vector<bool> occupied(n, false);
+  std::vector<size_t> tentative;
+  for (uint32_t b : order) {
+    const std::vector<uint32_t>& bucket = buckets[b];
+    if (bucket.empty()) break;  // sorted: all remaining buckets are empty
+    bool placed = false;
+    for (uint32_t d = 0; d < kMaxDisplacement && !placed; ++d) {
+      tentative.clear();
+      bool ok = true;
+      for (uint32_t idx : bucket) {
+        const size_t slot =
+            static_cast<size_t>(phf_internal::SlotHash(keys[idx], d) % n);
+        if (occupied[slot]) {
+          ok = false;
+          break;
+        }
+        // Within-bucket collision (always the case for duplicate keys:
+        // they share every slot assignment, so no displacement works).
+        for (size_t t : tentative) {
+          if (t == slot) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+        tentative.push_back(slot);
+      }
+      if (!ok) continue;
+      for (size_t k = 0; k < bucket.size(); ++k) {
+        const size_t slot = tentative[k];
+        occupied[slot] = true;
+        out.keys_[slot] = keys[bucket[k]];
+        out.values_[slot] = values[bucket[k]];
+      }
+      out.disp_[b] = d;
+      placed = true;
+    }
+    if (!placed) return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<PerfectHash> PerfectHash::FromParts(
+    std::vector<uint32_t> disp, std::vector<uint64_t> keys,
+    std::vector<uint32_t> values) {
+  if (keys.empty() || keys.size() != values.size() || disp.empty()) {
+    return std::nullopt;
+  }
+  PerfectHash out;
+  out.disp_ = std::move(disp);
+  out.keys_ = std::move(keys);
+  out.values_ = std::move(values);
+  return out;
+}
+
+}  // namespace ida

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "stats/descriptive.h"
@@ -78,22 +81,23 @@ double ActionDistance(const std::optional<Action>& a,
   return ActionSyntaxDistance(*a, *b);
 }
 
-double DisplayContentDistance(const Display& a, const Display& b) {
+double DisplayContentDistance(const DisplayView& a, const DisplayView& b) {
   double d = 0.0;
-  if (a.kind() != b.kind()) d += 0.2;
-  const InterestProfile& pa = a.profile();
-  const InterestProfile& pb = b.profile();
-  if (pa.column != pb.column) d += 0.2;
+  if (a.kind != b.kind) d += 0.2;
+  if (a.column != b.column) d += 0.2;
 
   // Label-aligned profile distributions; JSD in bits is bounded by 1.
-  std::map<std::string, std::pair<double, double>> aligned;
-  std::vector<double> prob_a = pa.Probabilities();
-  std::vector<double> prob_b = pb.Probabilities();
-  for (size_t j = 0; j < pa.labels.size(); ++j) {
-    aligned[pa.labels[j]].first = prob_a[j];
+  // Keyed by string_view: lexicographic ordering matches the std::string
+  // map this replaced, so the alignment — and the arithmetic below — is
+  // bitwise-identical to the pre-view implementation.
+  std::map<std::string_view, std::pair<double, double>> aligned;
+  std::vector<double> prob_a = NormalizedProbabilities(a.values, a.num_values);
+  std::vector<double> prob_b = NormalizedProbabilities(b.values, b.num_values);
+  for (uint32_t j = 0; j < a.num_labels; ++j) {
+    aligned[a.label(j)].first = prob_a[j];
   }
-  for (size_t j = 0; j < pb.labels.size(); ++j) {
-    aligned[pb.labels[j]].second = prob_b[j];
+  for (uint32_t j = 0; j < b.num_labels; ++j) {
+    aligned[b.label(j)].second = prob_b[j];
   }
   if (!aligned.empty()) {
     std::vector<double> va, vb, mix;
@@ -110,11 +114,15 @@ double DisplayContentDistance(const Display& a, const Display& b) {
     d += 0.4 * std::clamp(jsd, 0.0, 1.0);
   }
 
-  double la = std::log2(static_cast<double>(a.num_rows()) + 1.0);
-  double lb = std::log2(static_cast<double>(b.num_rows()) + 1.0);
+  double la = std::log2(static_cast<double>(a.num_rows) + 1.0);
+  double lb = std::log2(static_cast<double>(b.num_rows) + 1.0);
   constexpr double kSizeCap = 12.0;  // ~4k rows
   d += 0.2 * std::min(std::fabs(la - lb), kSizeCap) / kSizeCap;
   return std::clamp(d, 0.0, 1.0);
+}
+
+double DisplayContentDistance(const Display& a, const Display& b) {
+  return DisplayContentDistance(a.View(), b.View());
 }
 
 }  // namespace ida

@@ -28,7 +28,10 @@ double ActionDistance(const std::optional<Action>& a,
 /// Content distance between two displays in [0, 1], combining display kind
 /// (weight 0.2), profile column (0.2), Jensen-Shannon divergence between
 /// the label-aligned profile distributions (0.4), and log-scale size
-/// difference (0.2).
+/// difference (0.2). The DisplayView form is the canonical implementation:
+/// it reads only the view fields, so heap displays and memory-mapped
+/// artifact-v4 pool records produce bitwise-identical distances.
+double DisplayContentDistance(const DisplayView& a, const DisplayView& b);
 double DisplayContentDistance(const Display& a, const Display& b);
 
 }  // namespace ida

@@ -27,7 +27,11 @@ int FlattenVisit(const NContext& ctx, int node, FlatContext* out) {
   }
   int my_pos = static_cast<int>(out->post.size());
   if (leftmost_pos < 0) leftmost_pos = my_pos;  // leaf
-  out->post.push_back({n.display.get(), &n.incoming, leftmost_pos});
+  FlatContext::Node flat;
+  flat.display = n.display->View();
+  flat.incoming = &n.incoming;
+  flat.leftmost = leftmost_pos;
+  out->post.push_back(flat);
   return leftmost_pos;
 }
 
@@ -58,7 +62,7 @@ GroundTables BuildGroundTables(const std::vector<FlatContext>& flat,
   std::unordered_map<const Display*, int> display_ids;
   std::unordered_map<std::string, int> action_ids;
   std::unordered_map<int64_t, int> node_ids;
-  std::vector<const Display*> displays;
+  std::vector<DisplayView> displays;
   std::vector<const Action*> actions;
   std::vector<std::pair<int, int>> nodes;  // node id -> (display, action)
   g.node_id.resize(flat.size());
@@ -66,7 +70,7 @@ GroundTables BuildGroundTables(const std::vector<FlatContext>& flat,
     g.node_id[c].reserve(flat[c].size());
     for (const FlatContext::Node& node : flat[c].post) {
       auto [dit, dnew] =
-          display_ids.try_emplace(node.display,
+          display_ids.try_emplace(node.display.identity,
                                   static_cast<int>(displays.size()));
       if (dnew) displays.push_back(node.display);
       int aid = -1;  // -1 = no incoming action (context root)
@@ -185,9 +189,9 @@ FlatContext SessionDistance::Prepare(const NContext& ctx) {
   for (int i = 0; i < static_cast<int>(t.size()); ++i) {
     FlatContext::Node& node = t.post[static_cast<size_t>(i)];
     node.log_rows =
-        std::log2(static_cast<double>(node.display->num_rows()) + 1.0);
+        std::log2(static_cast<double>(node.display.num_rows) + 1.0);
     if (node.leftmost == i) ++t.num_leaves;
-    ++t.kind_hist[static_cast<size_t>(node.display->kind())];
+    ++t.kind_hist[static_cast<size_t>(node.display.kind)];
     const size_t action_class =
         node.incoming->has_value()
             ? 1 + static_cast<size_t>((*node.incoming)->type())
@@ -216,13 +220,72 @@ double SessionDistance::TreeEditDistance(const FlatContext& ta,
   if (ta.empty()) return options_.indel_cost * static_cast<double>(tb.size());
   if (tb.empty()) return options_.indel_cost * static_cast<double>(ta.size());
   IDA_OBS_TALLY(++ws->tally.ted_calls);
+
+  // Memo epoch checks, between pairs only (never mid-pair). The L1 memo
+  // is only valid for the metric cache it was filled against and for one
+  // pool id space at a time; switching either resets the affected state.
+  if (ws->cache_owner_ != cache_.get()) {
+    ws->display_memo_.Clear();
+    ws->eph_ids_.clear();
+    ws->eph_inserts_ = 0;
+    ws->cache_owner_ = cache_.get();
+    ws->pool_owner_ = 0;
+  }
+  uint64_t pool = ta.pool != 0 ? ta.pool : tb.pool;
+  if (ta.pool != 0 && tb.pool != 0 && ta.pool != tb.pool) pool = 0;
+  if (pool != 0 && pool != ws->pool_owner_) {
+    if (ws->pool_owner_ != 0) {
+      // Adopting a different pool: drop entries keyed under the old id
+      // space (pool ids are only unique within one space). Adopting a
+      // first pool over a memo holding only ephemeral keys is safe as-is.
+      ws->display_memo_.Clear();
+      ws->eph_inserts_ = 0;
+    }
+    ws->pool_owner_ = pool;
+  }
+  // Ephemeral-id wrap guard: after 2^31 issuances the counter would
+  // collide with pool ids; restart the ephemeral epoch here, where no
+  // resolved ids are live. (A single pair can never wrap mid-resolution:
+  // it issues at most one id per node.)
+  if (ws->next_eph_ < internal::kEphemeralIdBase) {
+    ws->display_memo_.Clear();
+    ws->eph_ids_.clear();
+    ws->eph_inserts_ = 0;
+    ws->next_eph_ = internal::kEphemeralIdBase;
+  }
+
+  // Resolve per-node display ids: pool ids where the node carries one and
+  // its context belongs to the adopted pool, workspace ephemeral ids
+  // otherwise (grouped by identity, so the equal-id shortcut still fires
+  // for repeated ad-hoc displays).
+  const size_t n = ta.size();
+  const size_t m = tb.size();
+  if (ws->aid_.size() < n) ws->aid_.resize(n);
+  if (ws->bid_.size() < m) ws->bid_.resize(m);
+  const bool a_pool = ta.pool != 0 && ta.pool == ws->pool_owner_;
+  const bool b_pool = tb.pool != 0 && tb.pool == ws->pool_owner_;
+  for (size_t i = 0; i < n; ++i) {
+    const FlatContext::Node& node = ta.post[i];
+    ws->aid_[i] = (a_pool && node.display_id >= 0)
+                      ? static_cast<uint32_t>(node.display_id)
+                      : ws->EphemeralId(node.display.identity);
+  }
+  for (size_t j = 0; j < m; ++j) {
+    const FlatContext::Node& node = tb.post[j];
+    ws->bid_[j] = (b_pool && node.display_id >= 0)
+                      ? static_cast<uint32_t>(node.display_id)
+                      : ws->EphemeralId(node.display.identity);
+  }
+
   const double dw = options_.display_weight;
   const FlatContext::Node* an = ta.post.data();
   const FlatContext::Node* bn = tb.post.data();
+  const uint32_t* aid = ws->aid_.data();
+  const uint32_t* bid = ws->bid_.data();
   return ZhangShashaCompute(
       ta, tb, options_.indel_cost, ws, [&](int pi, int pj) {
-        const double dd =
-            CachedDisplayDistance(an[pi].display, bn[pj].display, ws);
+        const double dd = MemoDisplayDistance(an[pi].display, bn[pj].display,
+                                              aid[pi], bid[pj], ws);
         const double da = ActionDistance(*an[pi].incoming, *bn[pj].incoming);
         return dw * dd + (1.0 - dw) * da;
       });
@@ -239,24 +302,39 @@ double SessionDistance::TreeEditDistance(const NContext& a,
   return TreeEditDistance(ta, tb, &ws);
 }
 
-double SessionDistance::CachedDisplayDistance(const Display* a,
-                                              const Display* b,
-                                              TedWorkspace* ws) const {
-  if (a == b) return 0.0;
-  const internal::DisplayPair key =
-      a < b ? internal::DisplayPair(a, b) : internal::DisplayPair(b, a);
-  // The L1 memo is only valid for the cache it was filled against;
-  // reusing a workspace with a different metric resets it so stale
-  // pointer keys never outlive a display.
-  if (ws->cache_owner_ != cache_.get()) {
-    ws->display_memo_.Clear();
-    ws->cache_owner_ = cache_.get();
-  }
-  if (const double* hit = ws->display_memo_.Find(key)) {
+double SessionDistance::MemoDisplayDistance(const DisplayView& a,
+                                            const DisplayView& b, uint32_t ia,
+                                            uint32_t ib,
+                                            TedWorkspace* ws) const {
+  // Equal resolved ids mean the same identity, or a query display the
+  // classifier proved content-identical to this pool representative —
+  // either way the ground distance is exactly 0 (DisplayContentDistance
+  // of content-equal views computes bitwise 0.0).
+  if (ia == ib) return 0.0;
+  const uint64_t key = ia < ib ? (static_cast<uint64_t>(ia) << 32) | ib
+                               : (static_cast<uint64_t>(ib) << 32) | ia;
+  IDA_OBS_TALLY(++ws->tally.display_memo_lookups);
+  if (const double* hit =
+          ws->display_memo_.Find(key, &ws->tally.display_memo_probes)) {
     IDA_OBS_TALLY(++ws->tally.display_l1_hits);
     return *hit;
   }
+  const double d = CachedDisplayDistance(a, b, ws);
+  ws->display_memo_.Insert(key, d);
+  if (ia >= internal::kEphemeralIdBase || ib >= internal::kEphemeralIdBase) {
+    ++ws->eph_inserts_;
+  }
+  return d;
+}
 
+double SessionDistance::CachedDisplayDistance(const DisplayView& a,
+                                              const DisplayView& b,
+                                              TedWorkspace* ws) const {
+  if (a.identity == b.identity) return 0.0;
+  const bool a_low = a.identity < b.identity;
+  const DisplayView& lo = a_low ? a : b;
+  const DisplayView& hi = a_low ? b : a;
+  const internal::DisplayPair key(lo.identity, hi.identity);
   // Only pairs of displays declared stable (MarkStable) may touch the
   // shared cache: its entries outlive any single query, so a key holding
   // an ephemeral display would serve the old pair's distance to whatever
@@ -270,7 +348,6 @@ double SessionDistance::CachedDisplayDistance(const Display* a,
     auto sit = shard.map.find(key);
     if (sit != shard.map.end()) {
       IDA_OBS_TALLY(++ws->tally.display_shared_hits);
-      ws->display_memo_.Insert(key, sit->second);
       return sit->second;
     }
   }
@@ -278,14 +355,13 @@ double SessionDistance::CachedDisplayDistance(const Display* a,
   // Compute outside the lock (a racing thread may duplicate the work but
   // arrives at the identical value: the arguments are canonically
   // ordered, so the result never depends on scheduling).
-  const double d = DisplayContentDistance(*key.first, *key.second);
+  const double d = DisplayContentDistance(lo, hi);
   if (shared_ok) {
     DisplayCacheShard& shard =
         (*cache_)[internal::DisplayPairHash{}(key) % kCacheShards];
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.emplace(key, d);
   }
-  ws->display_memo_.Insert(key, d);
   return d;
 }
 
@@ -334,6 +410,14 @@ void FlushTedTally(const TedTally& tally, const obs::ObsConfig& obs) {
   if (tally.display_computes > 0) {
     reg.GetCounter("ida.distance.display_cache.computes")
         ->Add(tally.display_computes);
+  }
+  if (tally.display_memo_lookups > 0) {
+    reg.GetCounter("ida.distance.display_memo.lookups")
+        ->Add(tally.display_memo_lookups);
+  }
+  if (tally.display_memo_probes > 0) {
+    reg.GetCounter("ida.distance.display_memo.probes")
+        ->Add(tally.display_memo_probes);
   }
   if (tally.workspace_grows > 0) {
     reg.GetCounter("ida.distance.workspace.grows")

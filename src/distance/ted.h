@@ -37,8 +37,8 @@ namespace internal {
 /// serve the OLD pair's distance for the new display (ABA). The shared
 /// cache therefore only admits pairs of displays explicitly declared
 /// stable (SessionDistance::MarkStable — guaranteed to outlive the
-/// metric); everything else lives in the per-workspace L1 memo, whose
-/// owner scopes it to the displays' lifetime.
+/// metric); everything else lives in the per-workspace id-keyed L1 memo
+/// (IdPairMemo), whose keys are immune to address recycling.
 using DisplayPair = std::pair<const Display*, const Display*>;
 
 /// Hash for DisplayPair cache keys: golden-ratio mixing of the two
@@ -53,32 +53,52 @@ struct DisplayPairHash {
   }
 };
 
+/// Display ids at or above this value are workspace-scoped ephemeral ids
+/// (issued by TedWorkspace for displays outside the model's interned
+/// pool); ids below it are dense pool ids assigned by the id-space owner
+/// (the kNN classifier). The two ranges never collide, so one memo can
+/// hold both kinds of pair.
+constexpr uint32_t kEphemeralIdBase = 0x80000000u;
+
 /// Open-addressing (linear probe, power-of-two capacity, <= 50% load)
-/// display-pair memo: the DP consults one entry per alter cell, so probe
-/// cost sits directly on the serving hot path — a flat probe is several
-/// times cheaper than a node-based unordered_map lookup. Values are a
-/// pure memo of a deterministic function, so the table never influences
-/// results, only how often they are recomputed.
-class FlatDisplayMemo {
+/// memo from packed display-id pairs to ground distances: the DP consults
+/// one entry per alter cell, so probe cost sits directly on the serving
+/// hot path. Keys are (lo_id << 32) | hi_id with lo_id < hi_id — equal
+/// ids short-circuit to distance 0 before the memo — so the all-ones
+/// word can never be a real key and serves as the empty sentinel. Unlike
+/// a pointer-pair memo, id keys are immune to allocator address reuse
+/// (ABA): pool ids are fixed for the model's lifetime and ephemeral ids
+/// are issued monotonically and never recycled, which is what lets the
+/// memo persist across queries instead of being dropped per query.
+/// Values are a pure memo of a deterministic function, so the table never
+/// influences results, only how often they are recomputed.
+class IdPairMemo {
  public:
+  static constexpr uint64_t kEmpty = ~0ULL;
+
   /// Returns the memoized value for `key`, or nullptr when absent.
-  const double* Find(const DisplayPair& key) const {
+  /// `probes` (observability builds) accumulates the number of slots
+  /// examined, the memo-efficiency figure the serving bench reports.
+  const double* Find(uint64_t key, uint64_t* probes) const {
+    (void)probes;
     if (keys_.empty()) return nullptr;
     const size_t mask = keys_.size() - 1;
-    size_t slot = DisplayPairHash{}(key) & mask;
-    while (keys_[slot].first != nullptr) {
+    size_t slot = static_cast<size_t>(Mix(key)) & mask;
+    IDA_OBS_TALLY(++*probes);
+    while (keys_[slot] != kEmpty) {
       if (keys_[slot] == key) return &vals_[slot];
       slot = (slot + 1) & mask;
+      IDA_OBS_TALLY(++*probes);
     }
     return nullptr;
   }
 
   /// Inserts a key Find just reported absent.
-  void Insert(const DisplayPair& key, double value) {
+  void Insert(uint64_t key, double value) {
     if (keys_.empty() || 2 * (count_ + 1) > keys_.size()) Grow();
     const size_t mask = keys_.size() - 1;
-    size_t slot = DisplayPairHash{}(key) & mask;
-    while (keys_[slot].first != nullptr) slot = (slot + 1) & mask;
+    size_t slot = static_cast<size_t>(Mix(key)) & mask;
+    while (keys_[slot] != kEmpty) slot = (slot + 1) & mask;
     keys_[slot] = key;
     vals_[slot] = value;
     ++count_;
@@ -86,29 +106,39 @@ class FlatDisplayMemo {
 
   /// Forgets every entry but keeps the capacity.
   void Clear() {
-    std::fill(keys_.begin(), keys_.end(), DisplayPair(nullptr, nullptr));
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
     count_ = 0;
   }
 
   size_t size() const { return count_; }
 
  private:
+  /// splitmix64 finalizer: full-avalanche mixing of the packed id pair.
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
   void Grow() {
-    std::vector<DisplayPair> old_keys = std::move(keys_);
+    std::vector<uint64_t> old_keys = std::move(keys_);
     std::vector<double> old_vals = std::move(vals_);
     const size_t cap =
         old_keys.empty() ? kInitialCapacity : old_keys.size() * 2;
-    keys_.assign(cap, DisplayPair(nullptr, nullptr));
+    keys_.assign(cap, kEmpty);
     vals_.assign(cap, 0.0);
     count_ = 0;
     for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i].first != nullptr) Insert(old_keys[i], old_vals[i]);
+      if (old_keys[i] != kEmpty) Insert(old_keys[i], old_vals[i]);
     }
   }
 
   static constexpr size_t kInitialCapacity = 256;  // power of two
 
-  std::vector<DisplayPair> keys_;
+  std::vector<uint64_t> keys_;
   std::vector<double> vals_;
   size_t count_ = 0;
 };
@@ -138,7 +168,15 @@ struct SessionDistanceOptions {
 /// mutated while the FlatContext is in use.
 struct FlatContext {
   struct Node {
-    const Display* display = nullptr;
+    /// Zero-copy view of the node's display content (actions/display.h):
+    /// heap-backed for prepared NContexts, mapping-backed for contexts
+    /// served in place from an artifact v4. The distance layer reads only
+    /// the view, so both backings are interchangeable bitwise.
+    DisplayView display;
+    /// Dense id of this display in the model's interned pool, or -1 when
+    /// the display is not a pool member (ad-hoc queries). Pool ids key the
+    /// workspace display memo; see TedWorkspace.
+    int32_t display_id = -1;
     /// Action on the edge from the parent node (empty optional at the
     /// context root); compared with ActionDistance.
     const std::optional<Action>* incoming = nullptr;
@@ -167,6 +205,13 @@ struct FlatContext {
   /// (context root), slots 1.. = ActionType (filter / group-by / back).
   std::array<int32_t, 4> action_hist{};
 
+  /// Process-unique token of the display-id space the nodes' display_id
+  /// values belong to (0 = no pool: every display_id is -1). Tokens are
+  /// drawn from a monotonic process-wide counter, never an address, so a
+  /// recycled allocation can never impersonate a dead id space. The
+  /// workspace memo uses this to detect id-space switches (TedWorkspace).
+  uint64_t pool = 0;
+
   size_t size() const { return post.size(); }
   bool empty() const { return post.empty(); }
 };
@@ -183,6 +228,8 @@ struct TedTally {
   uint64_t display_l1_hits = 0;      ///< display pairs served by the L1 memo
   uint64_t display_shared_hits = 0;  ///< ... by the shared sharded cache
   uint64_t display_computes = 0;     ///< ... computed from scratch
+  uint64_t display_memo_lookups = 0;  ///< L1 memo Find calls
+  uint64_t display_memo_probes = 0;   ///< slots examined across those Finds
   uint64_t workspace_grows = 0;      ///< Reserve calls that reallocated
   uint64_t workspace_reuses = 0;     ///< Reserve calls served from capacity
 
@@ -196,6 +243,8 @@ struct TedTally {
     d.display_l1_hits = display_l1_hits - earlier.display_l1_hits;
     d.display_shared_hits = display_shared_hits - earlier.display_shared_hits;
     d.display_computes = display_computes - earlier.display_computes;
+    d.display_memo_lookups = display_memo_lookups - earlier.display_memo_lookups;
+    d.display_memo_probes = display_memo_probes - earlier.display_memo_probes;
     d.workspace_grows = workspace_grows - earlier.workspace_grows;
     d.workspace_reuses = workspace_reuses - earlier.workspace_reuses;
     return d;
@@ -221,17 +270,37 @@ class TedWorkspace {
   /// Event tallies since the last Clear (observability; see TedTally).
   TedTally tally;
 
-  /// Drops the L1 display memo. A reused workspace must invalidate before
-  /// a query whose display lifetimes it cannot vouch for (one-shot
-  /// Predict's thread-local scratch: the previous query's displays may be
-  /// freed and their addresses recycled). Caller-scoped scratch whose
-  /// query displays provably outlive it — a live session's
-  /// PredictScratch (serve/session_manager.h) — keeps the memo across
-  /// steps; that retained reuse is the stateful-serving win.
-  void InvalidateDisplayMemo() { display_memo_.Clear(); }
+  /// Invalidates state keyed by caller display lifetimes. A reused
+  /// workspace must call this before a query whose display lifetimes it
+  /// cannot vouch for (one-shot Predict's thread-local scratch: the
+  /// previous query's displays may be freed and their addresses
+  /// recycled). The ephemeral identity->id map holds raw pointers, so it
+  /// is always dropped; the id-keyed distance memo itself only needs to
+  /// go when it holds entries under ephemeral ids (stale ephemeral ids
+  /// are never reissued, but their entries would pin memory forever).
+  /// Pool-id-only contents survive — that retained reuse across queries
+  /// is the stateful-serving win. Caller-scoped scratch whose query
+  /// displays provably outlive it — a live session's PredictScratch
+  /// (serve/session_manager.h) — need not invalidate at all.
+  void InvalidateDisplayMemo() {
+    eph_ids_.clear();
+    if (eph_inserts_ > 0) {
+      display_memo_.Clear();
+      eph_inserts_ = 0;
+    }
+  }
 
  private:
   friend class SessionDistance;
+
+  /// Workspace-scoped id for a display outside the current pool: issued
+  /// once per identity from a monotonic counter (never recycled), so an
+  /// id observed by the memo can never later mean a different display.
+  uint32_t EphemeralId(const Display* identity) {
+    auto [it, inserted] = eph_ids_.try_emplace(identity, next_eph_);
+    if (inserted) ++next_eph_;
+    return it->second;
+  }
 
   std::vector<double> treedist_;
   std::vector<double> fd_;
@@ -242,11 +311,26 @@ class TedWorkspace {
   std::vector<double> alter_;
   /// Contiguous copy of tb's leftmost-leaf positions (length m).
   std::vector<int32_t> bleft_;
-  /// L1 display-distance memo, valid only for the metric cache identified
-  /// by `cache_owner_` (reset when the workspace is reused with another
-  /// metric, so stale pointer keys can never leak across lifetimes).
-  internal::FlatDisplayMemo display_memo_;
+  /// Per-pair resolved display ids for the two contexts (pool ids where
+  /// the context belongs to the workspace's adopted pool, ephemeral ids
+  /// otherwise), refilled at each TreeEditDistance entry.
+  std::vector<uint32_t> aid_;
+  std::vector<uint32_t> bid_;
+  /// L1 display-distance memo keyed by resolved id pairs. Valid only for
+  /// the metric cache identified by `cache_owner_` and the pool id space
+  /// identified by `pool_owner_`; switching either clears it.
+  internal::IdPairMemo display_memo_;
+  /// Ephemeral identity->id assignments (see EphemeralId). Pointer keys
+  /// are only sound while the displays live; InvalidateDisplayMemo drops
+  /// them.
+  std::unordered_map<const Display*, uint32_t> eph_ids_;
+  uint32_t next_eph_ = internal::kEphemeralIdBase;
+  /// Memo insertions whose key involves an ephemeral id since the last
+  /// clear: tells InvalidateDisplayMemo whether the memo holds anything
+  /// beyond pool-pair entries.
+  size_t eph_inserts_ = 0;
   const void* cache_owner_ = nullptr;
+  uint64_t pool_owner_ = 0;
 };
 
 /// Session distance metric over n-contexts.
@@ -274,9 +358,13 @@ class SessionDistance {
   /// setup-phase operation: not thread-safe against concurrent Distance
   /// calls on the same cache.
   void MarkStable(const Display* d) const { stable_->insert(d); }
-  /// Marks every display of a flattened context stable.
+  /// Marks every display of a flattened context stable (by identity; a
+  /// mapping-backed context's identities are its pool record addresses,
+  /// which live exactly as long as the mapping the caller holds).
   void MarkStable(const FlatContext& ctx) const {
-    for (const FlatContext::Node& n : ctx.post) stable_->insert(n.display);
+    for (const FlatContext::Node& n : ctx.post) {
+      stable_->insert(n.display.identity);
+    }
   }
 
   /// Prepare phase: flattens a context into postorder arrays. The result
@@ -307,7 +395,7 @@ class SessionDistance {
   /// shared sharded cache). Exposed so the matrix builder's serial table
   /// precompute warms — and is served by — the same cache as the per-pair
   /// path.
-  double DisplayGroundDistance(const Display* a, const Display* b,
+  double DisplayGroundDistance(const DisplayView& a, const DisplayView& b,
                                TedWorkspace* ws) const {
     return CachedDisplayDistance(a, b, ws);
   }
@@ -327,12 +415,22 @@ class SessionDistance {
   static constexpr size_t kCacheShards = 16;
   using DisplayCache = std::array<DisplayCacheShard, kCacheShards>;
 
-  /// Memoized display ground distance, via the workspace's L1 memo and
-  /// the shared sharded cache. Always computed in canonical (lo, hi)
-  /// argument order, so the value is independent of call order and of
-  /// thread scheduling.
-  double CachedDisplayDistance(const Display* a, const Display* b,
+  /// Memoized display ground distance via the shared sharded cache (the
+  /// per-workspace L1 sits above this; see MemoDisplayDistance). Always
+  /// computed in canonical (lo, hi) identity order, so the value is
+  /// independent of call order and of thread scheduling.
+  double CachedDisplayDistance(const DisplayView& a, const DisplayView& b,
                                TedWorkspace* ws) const;
+
+  /// Display ground distance through the workspace's id-keyed L1 memo:
+  /// equal resolved ids short-circuit to 0 (same identity or
+  /// content-identical pool representative), a memo hit is one probe
+  /// sequence, and a miss falls through to CachedDisplayDistance. `ia`
+  /// and `ib` are the resolved ids of `a` and `b` for the workspace's
+  /// current pool epoch.
+  double MemoDisplayDistance(const DisplayView& a, const DisplayView& b,
+                             uint32_t ia, uint32_t ib,
+                             TedWorkspace* ws) const;
 
   SessionDistanceOptions options_;
   /// Shared across copies (pure-function memo), sharded for concurrency.

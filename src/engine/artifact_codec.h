@@ -1,0 +1,62 @@
+// Internal binary codecs shared by the two artifact writers/readers: the
+// versions-1..3 monolithic payload (engine/model.cc) and the version-4
+// flat section layout (engine/artifact_v4.cc). One definition of every
+// field encoder is what keeps the v4 HEAP compatibility sections
+// byte-compatible with the v3 payload — both serializers call the exact
+// same functions. Not part of the public engine API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+#include "engine/config.h"
+
+namespace ida::engine::internal {
+
+/// Encodes a ModelConfig at artifact format `version` (fields are
+/// version-gated; see the history in engine/model.h).
+void WriteConfig(const ModelConfig& c, uint32_t version, binio::Writer* w);
+
+/// Inverse of WriteConfig; absent (older-version) fields keep defaults.
+Status ReadConfig(binio::Reader* r, uint32_t version, ModelConfig* c);
+
+/// Encodes one interned display (kind, row counts, full interest profile).
+void WriteDisplay(const Display& d, binio::Writer* w);
+
+/// Inverse of WriteDisplay: a detached display (no backing table).
+Result<DisplayPtr> ReadDisplay(binio::Reader* r);
+
+/// Encodes one action syntax (the interning key of the action pool).
+void WriteAction(const Action& a, binio::Writer* w);
+
+/// Inverse of WriteAction.
+Result<Action> ReadAction(binio::Reader* r);
+
+/// Interning pools for the payload: unique displays by pointer identity
+/// (displays are shared between overlapping n-contexts) and unique action
+/// syntaxes by serialized form — mirroring the dense ground tables of the
+/// distance engine (DESIGN.md §8).
+struct InternPools {
+  std::vector<const Display*> displays;
+  std::unordered_map<const Display*, uint32_t> display_index;
+  std::vector<std::string> actions;  ///< encoded bytes, deduplicated
+  std::unordered_map<std::string, uint32_t> action_index;
+
+  uint32_t Intern(const Display* d);
+  uint32_t Intern(const Action& a);
+};
+
+/// Encodes one n-context against the pools (interning as it goes).
+void WriteContext(const NContext& ctx, InternPools* pools, binio::Writer* w);
+
+/// Inverse of WriteContext; nodes share DisplayPtr via the pool exactly as
+/// the writer interned them.
+Result<NContext> ReadContext(binio::Reader* r,
+                             const std::vector<DisplayPtr>& displays,
+                             const std::vector<Action>& actions);
+
+}  // namespace ida::engine::internal

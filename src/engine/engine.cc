@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "distance/ted.h"
+#include "engine/artifact_v4.h"
 #include "eval/loocv.h"
 #include "offline/training.h"
 
@@ -246,6 +249,30 @@ Result<Predictor> Predictor::Load(TrainedModel model, obs::ObsConfig obs) {
                    obs);
 }
 
+Result<Predictor> Predictor::LoadMapped(
+    std::shared_ptr<const MappedArtifact> art, ModelConfig config,
+    obs::ObsConfig obs) {
+  IDA_RETURN_NOT_OK(ValidateConfig(config));
+  IDA_ASSIGN_OR_RETURN(MeasureSet measures, ResolveMeasures(config.measures));
+  IDA_ASSIGN_OR_RETURN(FlatTrainingSet flat,
+                       v4::LoadServing(std::move(art), config));
+  const int num_classes = static_cast<int>(measures.size());
+  for (const TrainingSample& s : flat.meta) {
+    if (s.label < 0 || s.label >= num_classes) {
+      return Status::FailedPrecondition(
+          "trained model has a sample label outside the measure set (" +
+          std::to_string(s.label) + " of " + std::to_string(num_classes) +
+          " measures)");
+    }
+  }
+  if (!config.use_index) flat.index = nullptr;
+  auto knn = std::make_shared<const IKnnClassifier>(
+      std::move(flat), SessionDistance(config.distance), config.knn,
+      config.approx);
+  return Predictor(std::move(config), std::move(measures), std::move(knn),
+                   obs);
+}
+
 Result<Predictor> Predictor::LoadFromFile(const std::string& path,
                                           obs::ObsConfig obs) {
   obs::ScopedTimer timer(
@@ -253,13 +280,43 @@ Result<Predictor> Predictor::LoadFromFile(const std::string& path,
       obs.metrics_on()
           ? obs.reg().GetHistogram("ida.engine.model.load_seconds")
           : nullptr);
-  IDA_ASSIGN_OR_RETURN(TrainedModel model, TrainedModel::LoadFromFile(path));
+  const auto wrap = [&path](const Status& s) {
+    return Status(s.code(), path + ": " + s.message());
+  };
+  IDA_ASSIGN_OR_RETURN(MappedArtifact mapped, MappedArtifact::Open(path));
+  if (v4::IsV4(mapped.data(), mapped.size())) {
+    Result<ModelConfig> config = v4::PeekConfig(mapped);
+    if (!config.ok()) return wrap(config.status());
+    bool use_mmap = config->load.prefer_mmap;
+    if (const char* env = std::getenv("IDA_MMAP"); env != nullptr) {
+      use_mmap =
+          std::string_view(env) != "off" && std::string_view(env) != "0";
+    }
+    if (use_mmap) {
+      auto art = std::make_shared<const MappedArtifact>(std::move(mapped));
+      Result<Predictor> served =
+          LoadMapped(std::move(art), std::move(*config), obs);
+      if (!served.ok()) return wrap(served.status());
+      if (obs.metrics_on()) {
+        obs.reg().GetCounter("ida.engine.model.loads")->Increment();
+        obs.reg().GetCounter("ida.engine.model.load_samples")
+            ->Add(served->train_size());
+      }
+      return served;
+    }
+  }
+  // Heap path: versions 1..3, and v4 artifacts with mapped serving
+  // deselected (string's iterator constructor — this file never casts
+  // artifact bytes).
+  std::string bytes(mapped.data(), mapped.data() + mapped.size());
+  Result<TrainedModel> model = TrainedModel::Deserialize(bytes);
+  if (!model.ok()) return wrap(model.status());
   if (obs.metrics_on()) {
     obs.reg().GetCounter("ida.engine.model.loads")->Increment();
     obs.reg().GetCounter("ida.engine.model.load_samples")
-        ->Add(model.size());
+        ->Add(model->size());
   }
-  return Load(std::move(model), obs);
+  return Load(std::move(*model), obs);
 }
 
 void Predictor::RecordPredict(const Prediction& p, const PredictStats& stats,
@@ -358,7 +415,7 @@ std::vector<Prediction> Predictor::PredictBatch(
   return out;
 }
 
-Prediction Predictor::PredictPrepared(const FlatContext& query,
+Prediction Predictor::PredictPrepared(FlatContext& query,
                                       PredictScratch& scratch) const {
   if (!obs_.metrics_on() && !obs_.trace_on()) {
     return knn_->PredictFlat(query, scratch);

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mapped_file.h"
 #include "engine/model.h"
 #include "eval/metrics.h"
 #include "measures/measure.h"
@@ -110,8 +111,24 @@ class Predictor {
   static Result<Predictor> Load(TrainedModel model, obs::ObsConfig obs = {});
   /// Loads the artifact at `path` and builds a serving handle. Records
   /// `ida.engine.model.loads` / `load_seconds` when metrics are on.
+  /// Version-4 artifacts are served zero-copy off a read-only file mapping
+  /// (LoadMapped below) when the artifact's `load.prefer_mmap` knob — or
+  /// the `IDA_MMAP` environment override ("off"/"0" forces the heap path,
+  /// any other value forces the mapped path) — selects it; versions 1..3,
+  /// and v4 with the mapped path deselected, deserialize onto the heap.
+  /// Both paths produce bitwise-identical predictions.
   static Result<Predictor> LoadFromFile(const std::string& path,
                                         obs::ObsConfig obs = {});
+  /// Zero-copy load of a version-4 artifact mapping (DESIGN.md §16):
+  /// validates the section directory and flat structures, then serves
+  /// queries directly off `art`'s bytes, keeping the mapping alive for the
+  /// predictor's lifetime (and that of every copy). `config` must be the
+  /// artifact's own configuration (v4::PeekConfig) — it carries the
+  /// eager-vs-lazy checksum policy. Bitwise-identical predictions to the
+  /// heap path over the same artifact.
+  static Result<Predictor> LoadMapped(std::shared_ptr<const MappedArtifact> art,
+                                      ModelConfig config,
+                                      obs::ObsConfig obs = {});
 
   /// Predicts the dominant-measure label for a query n-context. The label
   /// indexes into measures(); -1 = abstained.
@@ -128,9 +145,10 @@ class Predictor {
   /// (PredictScratch), recording the same observability as Predict. The
   /// prepare phase is absent — the caller maintains the flattened context
   /// incrementally (see serve/session_manager.h) — so the prepare span is
-  /// reported as zero. Bitwise-identical to Predict on the equivalent
-  /// NContext.
-  Prediction PredictPrepared(const FlatContext& query,
+  /// reported as zero. The query's display ids are resolved against the
+  /// model's pool in place (the only mutation of `query`).
+  /// Bitwise-identical to Predict on the equivalent NContext.
+  Prediction PredictPrepared(FlatContext& query,
                              PredictScratch& scratch) const;
 
   const ModelConfig& config() const { return config_; }

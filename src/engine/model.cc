@@ -6,17 +6,19 @@
 #include <unordered_map>
 
 #include "common/binio.h"
+#include "engine/artifact_codec.h"
+#include "engine/artifact_v4.h"
 
 namespace ida::engine {
-
-namespace {
 
 using binio::Fnv1a;
 using binio::Reader;
 using binio::Writer;
 
 // ---------------------------------------------------------------------------
-// Section encoders
+// Section encoders (shared with the v4 writer via engine/artifact_codec.h)
+
+namespace internal {
 
 void WriteConfig(const ModelConfig& c, uint32_t version, Writer* w) {
   w->I32(c.n_context_size);
@@ -29,6 +31,10 @@ void WriteConfig(const ModelConfig& c, uint32_t version, Writer* w) {
     w->U8(c.approx.enabled ? 1 : 0);
     w->F64(c.approx.epsilon);
     w->F64(c.approx.recall_target);
+  }
+  if (version >= 4) {
+    w->U8(c.load.prefer_mmap ? 1 : 0);
+    w->U8(c.load.eager_checksums ? 1 : 0);
   }
   w->U8(static_cast<uint8_t>(c.method));
   w->F64(c.distance.indel_cost);
@@ -62,6 +68,14 @@ Status ReadConfig(Reader* r, uint32_t version, ModelConfig* c) {
     c->approx.recall_target = r->F64();
   } else {
     c->approx = ApproxOptions{};
+  }
+  // Pre-version-4 artifacts predate the loading-policy knobs; they load
+  // with the defaults (and have no flat sections to map anyway).
+  if (version >= 4) {
+    c->load.prefer_mmap = r->U8() != 0;
+    c->load.eager_checksums = r->U8() != 0;
+  } else {
+    c->load = LoadOptions{};
   }
   uint8_t method = r->U8();
   c->distance.indel_cost = r->F64();
@@ -232,31 +246,21 @@ Result<Action> ReadAction(Reader* r) {
   }
 }
 
-/// Interning pools for the payload: unique displays by pointer identity
-/// (displays are shared between overlapping n-contexts) and unique action
-/// syntaxes by serialized form — mirroring the dense ground tables of the
-/// distance engine (DESIGN.md §8).
-struct InternPools {
-  std::vector<const Display*> displays;
-  std::unordered_map<const Display*, uint32_t> display_index;
-  std::vector<std::string> actions;  ///< encoded bytes, deduplicated
-  std::unordered_map<std::string, uint32_t> action_index;
+uint32_t InternPools::Intern(const Display* d) {
+  auto [it, inserted] =
+      display_index.emplace(d, static_cast<uint32_t>(displays.size()));
+  if (inserted) displays.push_back(d);
+  return it->second;
+}
 
-  uint32_t Intern(const Display* d) {
-    auto [it, inserted] =
-        display_index.emplace(d, static_cast<uint32_t>(displays.size()));
-    if (inserted) displays.push_back(d);
-    return it->second;
-  }
-  uint32_t Intern(const Action& a) {
-    Writer w;
-    WriteAction(a, &w);
-    auto [it, inserted] =
-        action_index.emplace(w.Take(), static_cast<uint32_t>(actions.size()));
-    if (inserted) actions.push_back(it->first);
-    return it->second;
-  }
-};
+uint32_t InternPools::Intern(const Action& a) {
+  Writer w;
+  WriteAction(a, &w);
+  auto [it, inserted] =
+      action_index.emplace(w.Take(), static_cast<uint32_t>(actions.size()));
+  if (inserted) actions.push_back(it->first);
+  return it->second;
+}
 
 void WriteContext(const NContext& ctx, InternPools* pools, Writer* w) {
   w->I32(ctx.root());
@@ -324,10 +328,23 @@ Result<NContext> ReadContext(Reader* r, const std::vector<DisplayPtr>& displays,
   return ctx;
 }
 
-}  // namespace
+}  // namespace internal
+
+using internal::InternPools;
+using internal::ReadAction;
+using internal::ReadConfig;
+using internal::ReadContext;
+using internal::ReadDisplay;
+using internal::WriteConfig;
+using internal::WriteContext;
+using internal::WriteDisplay;
 
 std::string TrainedModel::Serialize(uint32_t version) const {
   version = std::clamp(version, kMinArtifactVersion, kArtifactVersion);
+  // Version 4 is a different physical layout entirely (flat sections,
+  // engine/artifact_v4.cc); versions 1..3 share the monolithic payload
+  // below.
+  if (version >= 4) return v4::Serialize(*this);
   // Payload first: config, samples (contexts referencing pool indices),
   // then the interned pools themselves. Pools are filled while the samples
   // are encoded, so samples are buffered into their own writer.
@@ -393,6 +410,9 @@ Result<TrainedModel> TrainedModel::Deserialize(const std::string& bytes) {
         std::to_string(kMinArtifactVersion) + ".." +
         std::to_string(kArtifactVersion) + ")");
   }
+  // Version 4: flat section layout, parsed by the v4 reader (which always
+  // verifies every section checksum on this heap path).
+  if (version >= 4) return v4::Deserialize(bytes.data(), bytes.size());
   const char* payload = bytes.data() + kHeader;
   const size_t payload_size = bytes.size() - kHeader - kFooter;
   uint64_t stored_checksum = 0;
@@ -459,8 +479,9 @@ Result<TrainedModel> TrainedModel::Deserialize(const std::string& bytes) {
   return TrainedModel(std::move(config), std::move(samples), std::move(index));
 }
 
-Status TrainedModel::SaveToFile(const std::string& path) const {
-  std::string bytes = Serialize();
+Status TrainedModel::SaveToFile(const std::string& path,
+                                uint32_t version) const {
+  std::string bytes = Serialize(version);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IoError("cannot open " + path + " for writing");

@@ -26,6 +26,16 @@
 //   3 — adds the approximate-serving knobs (`approx.enabled`, `.epsilon`,
 //       `.recall_target`) to the config section. Older artifacts load
 //       with the knob off, i.e. exact serving.
+//   4 — flat, zero-copy layout (engine/artifact_v4.h, DESIGN.md §16):
+//       after the magic and version comes a section directory of
+//       {tag, offset, length, checksum} entries, and every serving
+//       structure (interned display pool, flattened contexts, labels,
+//       VP-tree node/entry arrays, perfect-hash display memo) is a flat,
+//       position-independent, 8-byte-aligned section valid in place — a
+//       read-only file mapping serves queries without parsing. A
+//       versions-1..3-compatible heap payload rides along in dedicated
+//       sections, so the heap deserializer round-trips v4 losslessly.
+//       Serialize(3) still emits the previous format (rollback support).
 #pragma once
 
 #include <cstdint>
@@ -47,7 +57,7 @@ inline constexpr char kArtifactMagic[8] = {'I', 'D', 'A', 'M',
 /// Current artifact format version. Bump on any layout change; readers
 /// accept kMinArtifactVersion..kArtifactVersion and reject the rest with
 /// an explicit message.
-inline constexpr uint32_t kArtifactVersion = 3;
+inline constexpr uint32_t kArtifactVersion = 4;
 /// Oldest artifact version this build still reads.
 inline constexpr uint32_t kMinArtifactVersion = 1;
 
@@ -80,7 +90,9 @@ class TrainedModel {
   /// descriptive Status.
   static Result<TrainedModel> Deserialize(const std::string& bytes);
 
-  Status SaveToFile(const std::string& path) const;
+  /// Serialize(version) to `path` (default: the current format).
+  Status SaveToFile(const std::string& path,
+                    uint32_t version = kArtifactVersion) const;
   static Result<TrainedModel> LoadFromFile(const std::string& path);
 
  private:

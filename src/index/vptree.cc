@@ -43,8 +43,8 @@ uint64_t Mix64(uint64_t x) {
 double CoreDisplayDistance(const FlatContext::Node& a,
                            const FlatContext::Node& b) {
   double d = 0.0;
-  if (a.display->kind() != b.display->kind()) d += 0.2;
-  if (a.display->profile().column != b.display->profile().column) d += 0.2;
+  if (a.display.kind != b.display.kind) d += 0.2;
+  if (a.display.column != b.display.column) d += 0.2;
   constexpr double kSizeCap = 12.0;  // keep in sync with ground.cc
   d += 0.2 * std::min(std::fabs(a.log_rows - b.log_rows), kSizeCap) / kSizeCap;
   return d;
@@ -135,14 +135,18 @@ VpTree VpTree::Build(const std::vector<FlatContext>& prepared,
   std::vector<uint32_t> ids(prepared.size());
   std::iota(ids.begin(), ids.end(), 0u);
   tree.BuildNode(ids, /*depth=*/0, &state);
+  tree.nodes_ = tree.owned_nodes_.data();
+  tree.num_nodes_ = tree.owned_nodes_.size();
+  tree.entries_ = tree.owned_entries_.data();
+  tree.num_entries_ = tree.owned_entries_.size();
   return tree;
 }
 
 std::array<uint32_t, 3> VpTree::BuildNode(std::vector<uint32_t>& ids,
                                           uint64_t depth, BuildState* state) {
   const std::vector<FlatContext>& prepared = *state->prepared;
-  const uint32_t index = static_cast<uint32_t>(nodes_.size());
-  nodes_.emplace_back();
+  const uint32_t index = static_cast<uint32_t>(owned_nodes_.size());
+  owned_nodes_.emplace_back();
 
   // Deterministic pivot: a fixed hash of the partition's (depth, size,
   // smallest id). The partition contents are themselves a deterministic
@@ -159,24 +163,28 @@ std::array<uint32_t, 3> VpTree::BuildNode(std::vector<uint32_t>& ids,
   uint32_t max_size = min_size;
 
   if (ids.size() <= static_cast<size_t>(leaf_size_)) {
-    Node& node = nodes_[index];
-    node.pivot = static_cast<int32_t>(pivot);
-    node.entries.reserve(ids.size());
+    state->ranked.clear();
+    state->ranked.reserve(ids.size());
     for (uint32_t id : ids) {
       const double d = CoreTreeEditDistance(prepared[pivot], prepared[id],
                                             state->options, &state->ws);
-      node.entries.emplace_back(id, d);
+      state->ranked.emplace_back(d, id);
       const uint32_t s = static_cast<uint32_t>(prepared[id].size());
       min_size = std::min(min_size, s);
       max_size = std::max(max_size, s);
     }
     // Sorted by (core distance, id): deterministic layout and the same
-    // near-first evaluation order the search benefits from.
-    std::sort(node.entries.begin(), node.entries.end(),
-              [](const auto& a, const auto& b) {
-                return a.second != b.second ? a.second < b.second
-                                            : a.first < b.first;
-              });
+    // near-first evaluation order the search benefits from. Entries of
+    // successive leaves are appended contiguously, so each leaf's slice is
+    // [entries_begin, entries_begin + entry_count).
+    std::sort(state->ranked.begin(), state->ranked.end());
+    FlatNode& node = owned_nodes_[index];
+    node.pivot = static_cast<int32_t>(pivot);
+    node.entries_begin = static_cast<uint32_t>(owned_entries_.size());
+    node.entry_count = static_cast<uint32_t>(state->ranked.size());
+    for (const auto& [d, id] : state->ranked) {
+      owned_entries_.push_back(VpEntry{id, 0, d});
+    }
     return {index, min_size, max_size};
   }
 
@@ -206,7 +214,7 @@ std::array<uint32_t, 3> VpTree::BuildNode(std::vector<uint32_t>& ids,
   const std::array<uint32_t, 3> inner = BuildNode(inner_ids, depth + 1, state);
   const std::array<uint32_t, 3> outer = BuildNode(outer_ids, depth + 1, state);
 
-  Node& node = nodes_[index];  // re-resolve: recursion may reallocate
+  FlatNode& node = owned_nodes_[index];  // re-resolve: recursion may reallocate
   node.pivot = static_cast<int32_t>(pivot);
   node.inner = static_cast<int32_t>(inner[0]);
   node.outer = static_cast<int32_t>(outer[0]);
@@ -243,6 +251,11 @@ struct VpTree::SearchState {
   /// Approximate-serving bound scale (>= 1.0; exactly 1.0 in exact mode,
   /// where multiplying by it is a bitwise no-op).
   double inflation = 1.0;
+  /// Whether the degree/leaf-count cascade stage runs (see Search). When
+  /// query and corpus are all single-leaf chains, StructureLowerBound
+  /// degenerates to exactly the size bound that already ran, so the stage
+  /// cannot prune and is skipped.
+  bool structure_stage = true;
 
   /// Current pruning threshold: the abstain radius, tightened to the k-th
   /// best (distance, id) once k candidates are held. A lower bound that
@@ -300,7 +313,8 @@ struct VpTree::SearchState {
   /// candidate was pruned (and counts the stage that did it).
   bool CascadePrunes(const FlatContext& ctx, double cn) {
     const double tau = Tau();
-    if (NormBound(StructureLowerBound(*query, ctx, indel), cn) > tau) {
+    if (structure_stage &&
+        NormBound(StructureLowerBound(*query, ctx, indel), cn) > tau) {
       ++stats.structure_pruned;
       return true;
     }
@@ -318,9 +332,10 @@ void VpTree::Search(const FlatContext& query,
                     const SessionDistance& metric, int k, double radius,
                     int exclude, TedWorkspace* ws,
                     std::vector<std::pair<double, size_t>>* out,
-                    IndexStats* stats, double bound_inflation) const {
+                    IndexStats* stats, double bound_inflation,
+                    bool structure_stage) const {
   out->clear();
-  if (k <= 0 || radius < 0.0 || nodes_.empty()) {
+  if (k <= 0 || radius < 0.0 || num_nodes_ == 0) {
     if (stats != nullptr) ++stats->searches;
     return;
   }
@@ -338,6 +353,7 @@ void VpTree::Search(const FlatContext& query,
   state.qn = static_cast<double>(query.size());
   state.indel = metric.options().indel_cost;
   state.inflation = std::max(1.0, bound_inflation);
+  state.structure_stage = structure_stage;
 
   VisitNode(0, &state);
 
@@ -346,7 +362,7 @@ void VpTree::Search(const FlatContext& query,
 }
 
 void VpTree::VisitNode(uint32_t node_index, SearchState* state) const {
-  const Node& node = nodes_[node_index];
+  const FlatNode& node = nodes_[node_index];
   ++state->stats.nodes_visited;
   const std::vector<FlatContext>& prepared = *state->prepared;
   const FlatContext& query = *state->query;
@@ -378,7 +394,10 @@ void VpTree::VisitNode(uint32_t node_index, SearchState* state) const {
   }
 
   if (node.is_leaf()) {
-    for (const auto& [id, core_px] : node.entries) {
+    const VpEntry* slice = entries_ + node.entries_begin;
+    for (uint32_t e = 0; e < node.entry_count; ++e) {
+      const uint32_t id = slice[e].id;
+      const double core_px = slice[e].dist;
       if (static_cast<int>(id) == state->exclude) continue;
       const FlatContext& ctx = prepared[id];
       const double cn = static_cast<double>(ctx.size());
@@ -464,8 +483,9 @@ std::string VpTree::Serialize() const {
   binio::Writer w;
   w.U64(static_cast<uint64_t>(num_samples_));
   w.I32(leaf_size_);
-  w.U32(static_cast<uint32_t>(nodes_.size()));
-  for (const Node& node : nodes_) {
+  w.U32(static_cast<uint32_t>(num_nodes_));
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    const FlatNode& node = nodes_[i];
     w.I32(node.pivot);
     w.I32(node.inner);
     w.I32(node.outer);
@@ -477,10 +497,11 @@ std::string VpTree::Serialize() const {
     w.U32(node.inner_max_size);
     w.U32(node.outer_min_size);
     w.U32(node.outer_max_size);
-    w.U32(static_cast<uint32_t>(node.entries.size()));
-    for (const auto& [id, dist] : node.entries) {
-      w.U32(id);
-      w.F64(dist);
+    w.U32(node.entry_count);
+    const VpEntry* slice = entries_ + node.entries_begin;
+    for (uint32_t e = 0; e < node.entry_count; ++e) {
+      w.U32(slice[e].id);
+      w.F64(slice[e].dist);
     }
   }
   return w.Take();
@@ -495,11 +516,117 @@ Status IndexCorrupt(const std::string& what) {
 bool FiniteNonNegative(double v) { return std::isfinite(v) && v >= 0.0; }
 }  // namespace
 
+Status VpTree::ValidateFlat(const FlatNode* nodes, size_t num_nodes,
+                            const VpEntry* entries, size_t num_entries,
+                            size_t num_samples, int leaf_size) {
+  if (leaf_size < 1) {
+    return IndexCorrupt("leaf size " + std::to_string(leaf_size));
+  }
+  if (num_samples == 0) {
+    if (num_nodes != 0 || num_entries != 0) {
+      return IndexCorrupt("nonempty tree over zero samples");
+    }
+    return Status::OK();
+  }
+  if (num_nodes == 0) {
+    return IndexCorrupt("empty tree over " + std::to_string(num_samples) +
+                        " samples");
+  }
+
+  std::vector<bool> id_seen(num_samples, false);
+  std::vector<uint8_t> child_refs(num_nodes, 0);
+  size_t ids_covered = 0;
+  const auto claim_id = [&](int64_t id) -> Status {
+    if (id < 0 || static_cast<uint64_t>(id) >= num_samples) {
+      return IndexCorrupt("sample id " + std::to_string(id) +
+                          " out of range");
+    }
+    if (id_seen[static_cast<size_t>(id)]) {
+      return IndexCorrupt("sample id " + std::to_string(id) +
+                          " appears twice");
+    }
+    id_seen[static_cast<size_t>(id)] = true;
+    ++ids_covered;
+    return Status::OK();
+  };
+
+  // Leaf slices must tile the entry array in node order: both producers
+  // (Build and the v3 byte-stream parser) lay entries out that way, and
+  // exact tiling makes out-of-bounds and overlapping slices in an
+  // adversarial mapped section impossible by construction.
+  size_t entry_cursor = 0;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    const FlatNode& node = nodes[i];
+    IDA_RETURN_NOT_OK(claim_id(node.pivot));
+    if ((node.inner < 0) != (node.outer < 0)) {
+      return IndexCorrupt("node " + std::to_string(i) +
+                          " has exactly one child");
+    }
+    if (!node.is_leaf()) {
+      for (int32_t child : {node.inner, node.outer}) {
+        // Children strictly after the parent: links are acyclic by
+        // construction and recursion over them terminates.
+        if (child <= static_cast<int64_t>(i) ||
+            static_cast<size_t>(child) >= num_nodes) {
+          return IndexCorrupt("node " + std::to_string(i) + " child link " +
+                              std::to_string(child) + " out of order");
+        }
+        ++child_refs[static_cast<uint32_t>(child)];
+      }
+      if (node.entry_count != 0) {
+        return IndexCorrupt("internal node " + std::to_string(i) +
+                            " carries leaf entries");
+      }
+      if (!FiniteNonNegative(node.inner_lo) ||
+          !FiniteNonNegative(node.inner_hi) ||
+          !FiniteNonNegative(node.outer_lo) ||
+          !FiniteNonNegative(node.outer_hi) ||
+          node.inner_lo > node.inner_hi || node.outer_lo > node.outer_hi) {
+        return IndexCorrupt("node " + std::to_string(i) +
+                            " has invalid distance ranges");
+      }
+      if (node.inner_min_size > node.inner_max_size ||
+          node.outer_min_size > node.outer_max_size) {
+        return IndexCorrupt("node " + std::to_string(i) +
+                            " has invalid size ranges");
+      }
+    } else {
+      if (node.entries_begin != entry_cursor ||
+          node.entry_count > num_entries - entry_cursor) {
+        return IndexCorrupt("node " + std::to_string(i) +
+                            " has an invalid leaf entry slice");
+      }
+      for (uint32_t e = 0; e < node.entry_count; ++e) {
+        const VpEntry& entry = entries[entry_cursor + e];
+        IDA_RETURN_NOT_OK(claim_id(static_cast<int64_t>(entry.id)));
+        if (!FiniteNonNegative(entry.dist)) {
+          return IndexCorrupt("leaf entry distance is not finite");
+        }
+      }
+      entry_cursor += node.entry_count;
+    }
+  }
+  if (entry_cursor != num_entries) {
+    return IndexCorrupt("unreferenced trailing leaf entries");
+  }
+  for (size_t i = 1; i < num_nodes; ++i) {
+    if (child_refs[i] != 1) {
+      return IndexCorrupt("node " + std::to_string(i) + " referenced " +
+                          std::to_string(child_refs[i]) + " times");
+    }
+  }
+  if (ids_covered != num_samples) {
+    return IndexCorrupt("tree covers " + std::to_string(ids_covered) +
+                        " of " + std::to_string(num_samples) + " samples");
+  }
+  return Status::OK();
+}
+
 Result<VpTree> VpTree::Deserialize(std::string_view bytes,
                                    size_t num_samples) {
   binio::Reader r(bytes.data(), bytes.size());
   // Reader failures (truncation, hostile counts) are reported under the
-  // index-section banner like every structural defect found below.
+  // index-section banner like every structural defect ValidateFlat finds.
   const auto reader_ok = [&r]() -> Status {
     if (r.status().ok()) return Status::OK();
     return IndexCorrupt(std::string(r.status().message()));
@@ -529,26 +656,12 @@ Result<VpTree> VpTree::Deserialize(std::string_view bytes,
                         " samples");
   }
 
-  std::vector<bool> id_seen(num_samples, false);
-  std::vector<uint8_t> child_refs(num_nodes, 0);
-  size_t ids_covered = 0;
-  const auto claim_id = [&](int64_t id) -> Status {
-    if (id < 0 || static_cast<uint64_t>(id) >= num_samples) {
-      return IndexCorrupt("sample id " + std::to_string(id) +
-                          " out of range");
-    }
-    if (id_seen[static_cast<size_t>(id)]) {
-      return IndexCorrupt("sample id " + std::to_string(id) +
-                          " appears twice");
-    }
-    id_seen[static_cast<size_t>(id)] = true;
-    ++ids_covered;
-    return Status::OK();
-  };
-
-  tree.nodes_.resize(num_nodes);
+  // Stream parse into the owned flat arrays — only byte-level failures
+  // (truncation, hostile counts) are detected here; everything structural
+  // is ValidateFlat's job, shared with the mapped-section WrapFlat path.
+  tree.owned_nodes_.resize(num_nodes);
   for (uint32_t i = 0; i < num_nodes; ++i) {
-    Node& node = tree.nodes_[i];
+    FlatNode& node = tree.owned_nodes_[i];
     node.pivot = r.I32();
     node.inner = r.I32();
     node.outer = r.I32();
@@ -562,66 +675,62 @@ Result<VpTree> VpTree::Deserialize(std::string_view bytes,
     node.outer_max_size = r.U32();
     const uint32_t num_entries = r.Count(kEntryBytes);
     IDA_RETURN_NOT_OK(reader_ok());
-    IDA_RETURN_NOT_OK(claim_id(node.pivot));
-    if ((node.inner < 0) != (node.outer < 0)) {
-      return IndexCorrupt("node " + std::to_string(i) +
-                          " has exactly one child");
+    // Canonical form (matches Build): only leaves carry an entry slice;
+    // internal nodes keep entries_begin = 0. Keeping the reader aligned
+    // with the builder makes re-serialization byte-stable across versions.
+    node.entries_begin =
+        node.is_leaf() ? static_cast<uint32_t>(tree.owned_entries_.size()) : 0;
+    node.entry_count = num_entries;
+    for (uint32_t e = 0; e < num_entries; ++e) {
+      const uint32_t id = r.U32();
+      const double dist = r.F64();
+      tree.owned_entries_.push_back(VpEntry{id, 0, dist});
     }
-    if (!node.is_leaf()) {
-      for (int32_t child : {node.inner, node.outer}) {
-        // Children strictly after the parent: links are acyclic by
-        // construction and recursion over them terminates.
-        if (child <= static_cast<int32_t>(i) ||
-            static_cast<uint32_t>(child) >= num_nodes) {
-          return IndexCorrupt("node " + std::to_string(i) + " child link " +
-                              std::to_string(child) + " out of order");
-        }
-        ++child_refs[static_cast<uint32_t>(child)];
-      }
-      if (num_entries != 0) {
-        return IndexCorrupt("internal node " + std::to_string(i) +
-                            " carries leaf entries");
-      }
-      if (!FiniteNonNegative(node.inner_lo) ||
-          !FiniteNonNegative(node.inner_hi) ||
-          !FiniteNonNegative(node.outer_lo) ||
-          !FiniteNonNegative(node.outer_hi) ||
-          node.inner_lo > node.inner_hi || node.outer_lo > node.outer_hi) {
-        return IndexCorrupt("node " + std::to_string(i) +
-                            " has invalid distance ranges");
-      }
-      if (node.inner_min_size > node.inner_max_size ||
-          node.outer_min_size > node.outer_max_size) {
-        return IndexCorrupt("node " + std::to_string(i) +
-                            " has invalid size ranges");
-      }
-    } else {
-      node.entries.resize(num_entries);
-      for (auto& [id, dist] : node.entries) {
-        id = r.U32();
-        dist = r.F64();
-        IDA_RETURN_NOT_OK(reader_ok());
-        IDA_RETURN_NOT_OK(claim_id(static_cast<int64_t>(id)));
-        if (!FiniteNonNegative(dist)) {
-          return IndexCorrupt("leaf entry distance is not finite");
-        }
-      }
-    }
+    IDA_RETURN_NOT_OK(reader_ok());
   }
-  IDA_RETURN_NOT_OK(reader_ok());
   if (r.remaining() != 0) {
     return IndexCorrupt("trailing bytes after tree");
   }
-  for (uint32_t i = 1; i < num_nodes; ++i) {
-    if (child_refs[i] != 1) {
-      return IndexCorrupt("node " + std::to_string(i) + " referenced " +
-                          std::to_string(child_refs[i]) + " times");
-    }
-  }
-  if (ids_covered != num_samples) {
-    return IndexCorrupt("tree covers " + std::to_string(ids_covered) +
-                        " of " + std::to_string(num_samples) + " samples");
-  }
+  tree.nodes_ = tree.owned_nodes_.data();
+  tree.num_nodes_ = tree.owned_nodes_.size();
+  tree.entries_ = tree.owned_entries_.data();
+  tree.num_entries_ = tree.owned_entries_.size();
+  IDA_RETURN_NOT_OK(ValidateFlat(tree.nodes_, tree.num_nodes_, tree.entries_,
+                                 tree.num_entries_, num_samples,
+                                 tree.leaf_size_));
+  return tree;
+}
+
+Result<VpTree> VpTree::WrapFlat(const FlatNode* nodes, size_t num_nodes,
+                                const VpEntry* entries, size_t num_entries,
+                                size_t num_samples, int leaf_size) {
+  IDA_RETURN_NOT_OK(
+      ValidateFlat(nodes, num_nodes, entries, num_entries, num_samples,
+                   leaf_size));
+  VpTree tree;
+  tree.nodes_ = nodes;
+  tree.num_nodes_ = num_nodes;
+  tree.entries_ = entries;
+  tree.num_entries_ = num_entries;
+  tree.num_samples_ = num_samples;
+  tree.leaf_size_ = leaf_size;
+  return tree;
+}
+
+Result<VpTree> VpTree::FromFlat(std::vector<FlatNode> nodes,
+                                std::vector<VpEntry> entries,
+                                size_t num_samples, int leaf_size) {
+  IDA_RETURN_NOT_OK(ValidateFlat(nodes.data(), nodes.size(), entries.data(),
+                                 entries.size(), num_samples, leaf_size));
+  VpTree tree;
+  tree.owned_nodes_ = std::move(nodes);
+  tree.owned_entries_ = std::move(entries);
+  tree.nodes_ = tree.owned_nodes_.data();
+  tree.num_nodes_ = tree.owned_nodes_.size();
+  tree.entries_ = tree.owned_entries_.data();
+  tree.num_entries_ = tree.owned_entries_.size();
+  tree.num_samples_ = num_samples;
+  tree.leaf_size_ = leaf_size;
   return tree;
 }
 

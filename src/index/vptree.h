@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,49 @@
 #include "obs/obs.h"
 
 namespace ida::index {
+
+/// One VP-tree node in the flat, position-independent layout (also the
+/// record format of the artifact v4 VPTN section, DESIGN.md §16): all
+/// references are indices — children into the node array, leaf entries a
+/// [entries_begin, entries_begin + entry_count) slice of the entry array
+/// — so the arrays are valid wherever they sit, including inside a
+/// read-only file mapping served in place. Fixed 72-byte little-endian
+/// records, 8-byte aligned fields.
+///
+/// Semantics are unchanged from the original node layout: the pivot is
+/// itself a candidate (every sample id appears exactly once, as a pivot
+/// or as a leaf entry); internal nodes keep, per child, the subtree's
+/// core-distance range to this pivot and its context-node-count range —
+/// both consumed as O(1) subtree lower bounds; leaves keep the exact core
+/// distance of every entry to the leaf pivot for the per-candidate
+/// triangle bound.
+struct FlatNode {
+  int32_t pivot = -1;
+  int32_t inner = -1;  ///< child node index, -1 = leaf
+  int32_t outer = -1;
+  int32_t pad = 0;
+  double inner_lo = 0.0, inner_hi = 0.0;
+  double outer_lo = 0.0, outer_hi = 0.0;
+  uint32_t inner_min_size = 0, inner_max_size = 0;
+  uint32_t outer_min_size = 0, outer_max_size = 0;
+  uint32_t entries_begin = 0;
+  uint32_t entry_count = 0;
+
+  bool is_leaf() const { return inner < 0; }
+};
+
+/// One leaf entry: (sample id, core distance to the leaf pivot). 16-byte
+/// record of the artifact v4 VPTE section.
+struct VpEntry {
+  uint32_t id = 0;
+  uint32_t pad = 0;
+  double dist = 0.0;
+};
+
+static_assert(sizeof(FlatNode) == 72, "v4 VPTN record layout");
+static_assert(sizeof(VpEntry) == 16, "v4 VPTE record layout");
+static_assert(std::is_trivially_copyable_v<FlatNode>);
+static_assert(std::is_trivially_copyable_v<VpEntry>);
 
 /// The metric-core alter cost between two flattened context nodes: the
 /// pointwise lower bound of the serving alter cost described above.
@@ -126,21 +170,31 @@ class VpTree {
   /// its threshold comparison — the approximate-serving knob
   /// (DESIGN.md §13): 1.0 multiplies exactly and keeps the search
   /// bitwise-exact; larger values prune more aggressively and may drop
-  /// true neighbors.
+  /// true neighbors. `structure_stage` toggles the degree/leaf-count
+  /// cascade stage: the classifier disables it when the query and the
+  /// whole corpus are single-leaf chains (the bound is identically zero
+  /// there — pure overhead). Skipping a pruning stage is always sound:
+  /// strictly fewer prunes, identical results.
   void Search(const FlatContext& query,
               const std::vector<FlatContext>& prepared,
               const SessionDistance& metric, int k, double radius,
               int exclude, TedWorkspace* ws,
               std::vector<std::pair<double, size_t>>* out,
               IndexStats* stats = nullptr,
-              double bound_inflation = 1.0) const;
+              double bound_inflation = 1.0,
+              bool structure_stage = true) const;
 
   /// Number of indexed samples.
   size_t size() const { return num_samples_; }
   bool empty() const { return num_samples_ == 0; }
   /// Number of tree nodes (introspection for tests/benchmarks).
-  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
   int leaf_size() const { return leaf_size_; }
+
+  /// The flat node/entry arrays (artifact v4 writer input; see FlatNode).
+  const FlatNode* nodes_data() const { return nodes_; }
+  const VpEntry* entries_data() const { return entries_; }
+  size_t num_entries() const { return num_entries_; }
 
   /// Serializes into a self-contained blob (embedded in the model
   /// artifact's index section).
@@ -153,30 +207,42 @@ class VpTree {
   static Result<VpTree> Deserialize(std::string_view bytes,
                                     size_t num_samples);
 
+  /// Wraps externally-owned flat arrays — typically the VPTN/VPTE sections
+  /// of a mapped artifact v4 — WITHOUT copying them; the caller must keep
+  /// the arrays alive and unchanged for the tree's lifetime. Runs the
+  /// exact same exhaustive structural validation as Deserialize, so an
+  /// adversarial mapped section is rejected with a descriptive Status.
+  static Result<VpTree> WrapFlat(const FlatNode* nodes, size_t num_nodes,
+                                 const VpEntry* entries, size_t num_entries,
+                                 size_t num_samples, int leaf_size);
+
+  /// Owning counterpart of WrapFlat: adopts flat arrays copied off an
+  /// artifact v4's VPTN/VPTE sections (the heap deserialization path).
+  /// Same exhaustive validation; the arrays are preserved verbatim, so
+  /// re-serializing reproduces the original sections bitwise.
+  static Result<VpTree> FromFlat(std::vector<FlatNode> nodes,
+                                 std::vector<VpEntry> entries,
+                                 size_t num_samples, int leaf_size);
+
+  /// Moving keeps span validity (owned vectors transfer their heap
+  /// buffers); copying would leave the spans dangling, so it is deleted.
+  VpTree(VpTree&&) noexcept = default;
+  VpTree& operator=(VpTree&&) noexcept = default;
+  VpTree(const VpTree&) = delete;
+  VpTree& operator=(const VpTree&) = delete;
+
  private:
-  /// One tree node. The pivot is itself a candidate (every sample id
-  /// appears exactly once: as a pivot or as a leaf entry). Internal nodes
-  /// split the remaining partition at the median (core distance, id) rank
-  /// and keep, per child, the subtree's core-distance range to this pivot
-  /// and its context-node-count range — both consumed as O(1) subtree
-  /// lower bounds. Leaves keep the exact core distance of every entry to
-  /// the leaf pivot for the per-candidate triangle bound.
-  struct Node {
-    int32_t pivot = -1;
-    int32_t inner = -1;  ///< child node index, -1 = leaf
-    int32_t outer = -1;
-    double inner_lo = 0.0, inner_hi = 0.0;
-    double outer_lo = 0.0, outer_hi = 0.0;
-    uint32_t inner_min_size = 0, inner_max_size = 0;
-    uint32_t outer_min_size = 0, outer_max_size = 0;
-    /// Leaf payload: (sample id, core distance to pivot).
-    std::vector<std::pair<uint32_t, double>> entries;
-
-    bool is_leaf() const { return inner < 0; }
-  };
-
   struct BuildState;
   struct SearchState;
+
+  /// The shared structural validator behind Deserialize and WrapFlat:
+  /// sample ids in range and covered exactly once (pivot or entry), child
+  /// links strictly forward and each non-root node referenced exactly
+  /// once, leaves vs internals well-formed, finite ordered distance
+  /// ranges, entry slices in bounds and non-overlapping.
+  static Status ValidateFlat(const FlatNode* nodes, size_t num_nodes,
+                             const VpEntry* entries, size_t num_entries,
+                             size_t num_samples, int leaf_size);
 
   /// Recursive build over the id partition; returns (node index, subtree
   /// min node count, subtree max node count).
@@ -184,7 +250,14 @@ class VpTree {
                                     uint64_t depth, BuildState* state);
   void VisitNode(uint32_t node_index, SearchState* state) const;
 
-  std::vector<Node> nodes_;
+  /// Serving spans: point into owned_* after Build/Deserialize, into the
+  /// caller's (e.g. mapped) arrays after WrapFlat.
+  const FlatNode* nodes_ = nullptr;
+  size_t num_nodes_ = 0;
+  const VpEntry* entries_ = nullptr;
+  size_t num_entries_ = 0;
+  std::vector<FlatNode> owned_nodes_;
+  std::vector<VpEntry> owned_entries_;
   size_t num_samples_ = 0;
   int leaf_size_ = 0;
 };

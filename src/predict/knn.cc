@@ -1,6 +1,7 @@
 #include "predict/knn.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "common/parallel.h"
@@ -9,6 +10,15 @@
 namespace ida {
 
 namespace {
+
+// Display-id-space tokens (FlatContext::pool): monotonic and
+// process-unique, so a token can never be impersonated by a later
+// classifier the way a recycled address could. Token values never
+// influence predictions — they only key workspace memo epochs.
+uint64_t NextPoolToken() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 // The vote core, shared verbatim by every serving path (matrix-based
 // KnnVote, the brute-force scan, the indexed search): consumes a candidate
@@ -140,6 +150,104 @@ IKnnClassifier::IKnnClassifier(std::vector<TrainingSample> train,
   if (index != nullptr && index->size() == train_->size()) {
     index_ = std::move(index);
   }
+
+  // Intern the training displays into a dense id pool (one id per
+  // identity, first-seen order) and stamp every prepared context with
+  // this classifier's id-space token: the workspace display memo is then
+  // keyed by small stable ids instead of addresses, which is what lets
+  // it survive across queries (see TedWorkspace).
+  pool_token_ = NextPoolToken();
+  for (FlatContext& ctx : prepared_) {
+    // num_leaves <= 1 (chain or empty): the structure bound for any pair
+    // of such contexts is exactly the size bound (leaf and internal-node
+    // count differences are both dominated by the size difference).
+    if (ctx.num_leaves > 1) corpus_branched_ = true;
+    for (FlatContext::Node& node : ctx.post) {
+      auto [it, inserted] = display_id_by_identity_.try_emplace(
+          node.display.identity, static_cast<int32_t>(pool_views_.size()));
+      if (inserted) pool_views_.push_back(node.display);
+      node.display_id = it->second;
+    }
+    ctx.pool = pool_token_;
+  }
+  // Build the minimal perfect hash over the pool's content fingerprints
+  // (content-duplicate displays share their first id as representative:
+  // resolving a query onto the representative yields bitwise-identical
+  // distances, since the ground metric reads only content). Build failure
+  // just means queries resolve by identity alone.
+  if (!pool_views_.empty()) {
+    std::unordered_map<uint64_t, uint32_t> rep;
+    std::vector<uint64_t> keys;
+    std::vector<uint32_t> values;
+    keys.reserve(pool_views_.size());
+    values.reserve(pool_views_.size());
+    for (size_t id = 0; id < pool_views_.size(); ++id) {
+      const uint64_t fp = ContentFingerprint(pool_views_[id]);
+      if (rep.try_emplace(fp, static_cast<uint32_t>(id)).second) {
+        keys.push_back(fp);
+        values.push_back(static_cast<uint32_t>(id));
+      }
+    }
+    display_phf_ = PerfectHash::Build(keys, values);
+  }
+}
+
+IKnnClassifier::IKnnClassifier(FlatTrainingSet flat, SessionDistance metric,
+                               KnnOptions options, ApproxOptions approx)
+    : train_(std::make_shared<const std::vector<TrainingSample>>(
+          std::move(flat.meta))),
+      prepared_(std::move(flat.contexts)),
+      pool_views_(std::move(flat.pool_views)),
+      display_phf_(std::move(flat.phf)),
+      metric_(std::move(metric)),
+      options_(options),
+      approx_(approx),
+      bound_inflation_(approx.BoundInflation()) {
+  // Adopt the pre-built storage: the action pool the nodes' `incoming`
+  // pointers target (vector moves keep the heap buffer, so the pointers
+  // stay valid) and the mapping every view borrows.
+  flat_actions_ = std::move(flat.actions);
+  storage_ = std::move(flat.storage);
+  if (flat.index != nullptr && flat.index->size() == train_->size()) {
+    index_ = std::move(flat.index);
+  }
+  // The contexts arrive flattened and display-id-stamped in this pool's
+  // id order; only the per-classifier steps remain: the id-space token,
+  // the branchiness summary (see the heap constructor) and marking the
+  // pool displays cache-stable.
+  pool_token_ = NextPoolToken();
+  for (FlatContext& ctx : prepared_) {
+    if (ctx.num_leaves > 1) corpus_branched_ = true;
+    ctx.pool = pool_token_;
+    metric_.MarkStable(ctx);
+  }
+  // Identity map over the mapped pool records: queries never carry mapped
+  // identities (they resolve via the PHF content probe), but PredictLoo
+  // re-resolves prepared contexts and must find their own ids.
+  for (size_t id = 0; id < pool_views_.size(); ++id) {
+    display_id_by_identity_.emplace(pool_views_[id].identity,
+                                    static_cast<int32_t>(id));
+  }
+}
+
+void IKnnClassifier::ResolveQueryDisplayIds(FlatContext* query) const {
+  for (FlatContext::Node& node : query->post) {
+    node.display_id = -1;
+    const auto it = display_id_by_identity_.find(node.display.identity);
+    if (it != display_id_by_identity_.end()) {
+      node.display_id = it->second;
+      continue;
+    }
+    if (display_phf_.has_value()) {
+      const std::optional<uint32_t> id =
+          display_phf_->view().Lookup(ContentFingerprint(node.display));
+      if (id.has_value() &&
+          ContentEquals(node.display, pool_views_[*id])) {
+        node.display_id = static_cast<int32_t>(*id);
+      }
+    }
+  }
+  query->pool = pool_token_;
 }
 
 namespace {
@@ -166,7 +274,7 @@ size_t CollectBrute(const FlatContext& q,
                     const SessionDistance& metric, const KnnOptions& options,
                     double bound_inflation, int exclude, TedWorkspace& ws,
                     std::vector<std::pair<double, size_t>>& order,
-                    index::IndexStats* istats) {
+                    index::IndexStats* istats, bool structure_stage) {
   order.clear();
   const SessionDistanceOptions& dopts = metric.options();
   const double indel = dopts.indel_cost;
@@ -190,10 +298,11 @@ size_t CollectBrute(const FlatContext& q,
       ++lb_pruned;
       continue;
     }
-    if (bound_inflation *
-            NormalizedCascadeBound(StructureLowerBound(q, c, indel), qn, cn,
-                                   indel) >
-        tau()) {
+    if (structure_stage &&
+        bound_inflation *
+                NormalizedCascadeBound(StructureLowerBound(q, c, indel), qn,
+                                       cn, indel) >
+            tau()) {
       ++structure_pruned;
       continue;
     }
@@ -237,16 +346,20 @@ Prediction IKnnClassifier::PredictPrepared(
   if (options_.k < 1 || train_->empty()) {
     return Prediction();
   }
+  // The degree/leaf-count cascade stage only ever prunes when some
+  // involved context branches (see corpus_branched_).
+  const bool structure_stage = corpus_branched_ || q.num_leaves > 1;
   if (stats == nullptr) {
     size_t count;
     if (index_ != nullptr) {
       index_->Search(q, prepared_, metric_, options_.k,
                      options_.distance_threshold, exclude, &ws, &order,
-                     /*stats=*/nullptr, bound_inflation_);
+                     /*stats=*/nullptr, bound_inflation_, structure_stage);
       count = order.size();
     } else {
       count = CollectBrute(q, prepared_, metric_, options_, bound_inflation_,
-                           exclude, ws, order, /*istats=*/nullptr);
+                           exclude, ws, order, /*istats=*/nullptr,
+                           structure_stage);
     }
     return VoteOnSorted(order.data(), count, *train_, options_, nullptr);
   }
@@ -258,11 +371,11 @@ Prediction IKnnClassifier::PredictPrepared(
   if (index_ != nullptr) {
     index_->Search(q, prepared_, metric_, options_.k,
                    options_.distance_threshold, exclude, &ws, &order,
-                   &istats, bound_inflation_);
+                   &istats, bound_inflation_, structure_stage);
     count = order.size();
   } else {
     count = CollectBrute(q, prepared_, metric_, options_, bound_inflation_,
-                         exclude, ws, order, &istats);
+                         exclude, ws, order, &istats, structure_stage);
   }
   const auto vote_start = obs::TraceNow();
   VoteStats vote;
@@ -296,20 +409,23 @@ Prediction IKnnClassifier::Predict(const NContext& query,
   // the caller vouches for its query displays' lifetime.)
   ws.InvalidateDisplayMemo();
   if (stats == nullptr) {
-    const FlatContext q = SessionDistance::Prepare(query);
+    FlatContext q = SessionDistance::Prepare(query);
+    ResolveQueryDisplayIds(&q);
     return PredictPrepared(q, /*exclude=*/-1, ws, order, nullptr);
   }
   *stats = PredictStats();
   const auto prepare_start = obs::TraceNow();
-  const FlatContext q = SessionDistance::Prepare(query);
+  FlatContext q = SessionDistance::Prepare(query);
+  ResolveQueryDisplayIds(&q);
   stats->prepare_seconds = obs::SecondsSince(prepare_start);
   return PredictPrepared(q, /*exclude=*/-1, ws, order, stats);
 }
 
-Prediction IKnnClassifier::PredictFlat(const FlatContext& query,
+Prediction IKnnClassifier::PredictFlat(FlatContext& query,
                                        PredictScratch& scratch,
                                        PredictStats* stats) const {
   if (stats != nullptr) *stats = PredictStats();
+  ResolveQueryDisplayIds(&query);
   return PredictPrepared(query, /*exclude=*/-1, scratch.ws_, scratch.order_,
                          stats);
 }
@@ -337,6 +453,7 @@ std::vector<Prediction> IKnnClassifier::PredictBatch(
   flat.reserve(queries.size());
   for (const NContext& q : queries) {
     flat.push_back(SessionDistance::Prepare(q));
+    ResolveQueryDisplayIds(&flat.back());
   }
   ThreadPool pool(metric_.options().num_threads);
   std::vector<TedWorkspace> scratch(static_cast<size_t>(pool.num_threads()));

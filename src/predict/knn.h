@@ -14,9 +14,14 @@
 // lower bound proves they cannot be admitted).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "common/mapped_file.h"
+#include "common/phf.h"
 #include "distance/ted.h"
 #include "index/vptree.h"
 #include "offline/training.h"
@@ -153,6 +158,35 @@ Prediction KnnVote(const std::vector<double>& distances,
                    const KnnOptions& options, int exclude = -1,
                    VoteStats* stats = nullptr);
 
+/// Zero-copy construction input of the classifier (DESIGN.md §16),
+/// assembled by the artifact-v4 mapped loader (engine/artifact_v4.cc):
+/// everything the serving hot path touches, already flat. The prepared
+/// contexts' display views and the index's node/entry arrays borrow the
+/// mapped artifact's bytes (`storage` keeps the mapping alive); the
+/// metadata samples carry labels/provenance only — their NContexts are
+/// EMPTY, which is fine because serving reads contexts exclusively
+/// through the prepared FlatContexts. Node `incoming` pointers must point
+/// into `actions` (or any storage outliving the classifier).
+struct FlatTrainingSet {
+  /// Per-sample label/provenance metadata (empty contexts; see above).
+  std::vector<TrainingSample> meta;
+  /// Prepared (flattened) training contexts, mapping-backed.
+  std::vector<FlatContext> contexts;
+  /// Interned incoming-action pool the contexts' nodes point into.
+  std::vector<std::optional<Action>> actions;
+  /// Interned display pool, in artifact id order (nodes' display_id
+  /// values index it).
+  std::vector<DisplayView> pool_views;
+  /// Content-fingerprint -> representative pool id perfect hash (nullopt:
+  /// queries resolve by identity only).
+  std::optional<PerfectHash> phf;
+  /// Serving index wrapped over the mapped node/entry sections (nullptr =
+  /// brute-force scan).
+  std::shared_ptr<const index::VpTree> index;
+  /// Keep-alive of the storage every view above borrows.
+  std::shared_ptr<const MappedArtifact> storage;
+};
+
 /// The full model: owns the training set and the distance metric.
 ///
 /// The training set is held behind a shared_ptr and its contexts are
@@ -169,6 +203,15 @@ class IKnnClassifier {
                  std::shared_ptr<const index::VpTree> index = nullptr,
                  ApproxOptions approx = {});
 
+  /// Zero-copy construction from a mapped artifact's flat sections: no
+  /// context re-preparation, no display materialization, no index
+  /// rebuild — the classifier adopts the pre-flattened views and serves
+  /// them in place. Predictions are bitwise identical to a classifier
+  /// built from the equivalent heap model (the distance layer reads only
+  /// DisplayView content, which both backings expose identically).
+  IKnnClassifier(FlatTrainingSet flat, SessionDistance metric,
+                 KnnOptions options, ApproxOptions approx = {});
+
   /// Predicts the dominant-measure label for a query n-context. `stats`,
   /// when non-null, receives the query's observability detail (phase
   /// times, nearest distance, distance-engine tallies); passing nullptr
@@ -178,12 +221,27 @@ class IKnnClassifier {
 
   /// Stateful-serving entry point: predicts over an already-flattened
   /// query using caller-owned scratch, skipping the per-query flatten
-  /// (stats->prepare_seconds stays 0). `query`'s borrowed storage must
-  /// stay alive and unchanged for the call; `scratch` must not be used
+  /// (stats->prepare_seconds stays 0). Resolves the query's display ids
+  /// against this model's pool in place (ResolveQueryDisplayIds) — the
+  /// only mutation; `query`'s borrowed storage must stay alive and
+  /// otherwise unchanged for the call; `scratch` must not be used
   /// concurrently. Bitwise-identical to Predict on the equivalent
   /// NContext.
-  Prediction PredictFlat(const FlatContext& query, PredictScratch& scratch,
+  Prediction PredictFlat(FlatContext& query, PredictScratch& scratch,
                          PredictStats* stats = nullptr) const;
+
+  /// Resolves each query node's display to this model's interned display
+  /// pool and stamps the context with the pool's id-space token: exact
+  /// identity matches via the pointer map, content matches via a
+  /// single-probe minimal-perfect-hash lookup on the display's content
+  /// fingerprint (verified with a full content compare, so a fingerprint
+  /// collision degrades to "unresolved", never to a wrong id); everything
+  /// else stays -1 and is served under workspace-ephemeral ids.
+  /// Resolution only affects memo keying — predictions are bitwise
+  /// independent of it (a content-matched pool display computes exactly
+  /// the distances the query's own display would). Called by every
+  /// predict path; idempotent.
+  void ResolveQueryDisplayIds(FlatContext* query) const;
 
   /// Leave-one-out prediction for training sample `exclude_index`: the
   /// sample's own context is the query and the sample is excluded from
@@ -216,12 +274,36 @@ class IKnnClassifier {
   /// Prepared (flattened) view of each training context; borrows storage
   /// from *train_.
   std::vector<FlatContext> prepared_;
+  /// Process-unique token of this classifier's display-id space (stamped
+  /// on prepared_ and on resolved queries; see FlatContext::pool).
+  uint64_t pool_token_ = 0;
+  /// Identity -> dense pool id over the training displays.
+  std::unordered_map<const Display*, int32_t> display_id_by_identity_;
+  /// Pool id -> display view (for content verification of PHF hits).
+  std::vector<DisplayView> pool_views_;
+  /// Minimal perfect hash: content fingerprint -> representative pool id
+  /// (first id per distinct fingerprint). nullopt when construction
+  /// failed; queries then resolve by identity only (slower, identical
+  /// predictions).
+  std::optional<PerfectHash> display_phf_;
+  /// True when any training context branches (num_leaves > 1). When the
+  /// whole corpus is single-leaf chains (or empty) AND the query is too,
+  /// the degree/leaf-count cascade stage degenerates to the size bound
+  /// that already ran, so both search paths skip it (identical results,
+  /// strictly less work). Computed once at construction.
+  bool corpus_branched_ = false;
   SessionDistance metric_;
   KnnOptions options_;
   ApproxOptions approx_;
   /// approx_.BoundInflation(), resolved once (exactly 1.0 in exact mode).
   double bound_inflation_ = 1.0;
   std::shared_ptr<const index::VpTree> index_;
+  /// Flat-mode storage (empty/null for heap-built classifiers): the
+  /// interned incoming-action pool the prepared contexts' nodes point
+  /// into, and the mapped artifact backing every display view and the
+  /// index's flat arrays.
+  std::vector<std::optional<Action>> flat_actions_;
+  std::shared_ptr<const MappedArtifact> storage_;
 };
 
 }  // namespace ida

@@ -335,8 +335,8 @@ TEST(KernelEquivalence, RealPathContextsMatchTheReferenceDpBitwise) {
       const FlatContext& a = prepared[i];
       const FlatContext& b = prepared[j];
       auto unit = [&](int pi, int pj) {
-        return a.post[static_cast<size_t>(pi)].display ==
-                       b.post[static_cast<size_t>(pj)].display
+        return a.post[static_cast<size_t>(pi)].display.identity ==
+                       b.post[static_cast<size_t>(pj)].display.identity
                    ? 0.0
                    : 1.0;
       };

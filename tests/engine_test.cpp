@@ -285,8 +285,10 @@ TEST_F(EngineTest, OutOfRangeSerializeVersionsClampToSupportedRange) {
 TEST_F(EngineTest, CorruptedIndexSectionRejectedWithValidChecksum) {
   // Bypass the checksum (recompute it after the corruption) so the index
   // section's own structural validation is what rejects the artifact.
+  // Hand-crafted against the version-3 monolithic layout (the v4 flat
+  // layout gets its own adversarial suite in artifact_v4_test.cpp).
   ASSERT_NE(model_->index(), nullptr);
-  std::string bytes = model_->Serialize();
+  std::string bytes = model_->Serialize(3);
   const size_t blob_len = model_->index()->Serialize().size();
   ASSERT_GT(blob_len, 16u);
   const size_t blob_start = bytes.size() - sizeof(uint64_t) - blob_len;

@@ -56,7 +56,7 @@ void ExpectSameFlat(const FlatContext& got, const FlatContext& want,
   EXPECT_EQ(got.kind_hist, want.kind_hist) << where;
   EXPECT_EQ(got.action_hist, want.action_hist) << where;
   for (size_t i = 0; i < want.post.size(); ++i) {
-    EXPECT_EQ(got.post[i].display, want.post[i].display)
+    EXPECT_EQ(got.post[i].display.identity, want.post[i].display.identity)
         << where << " post " << i;
     EXPECT_EQ(got.post[i].leftmost, want.post[i].leftmost)
         << where << " post " << i;

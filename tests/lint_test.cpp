@@ -321,6 +321,67 @@ TEST(SanitizerHostileRuleTest, AllowsJoinedThreads) {
 }
 
 // ---------------------------------------------------------------------------
+// byte-cast
+// ---------------------------------------------------------------------------
+
+TEST(ByteCastRuleTest, FlagsPointerCastOnByteBuffer) {
+  const char* fixture =
+      "uint32_t PeekCount(const char* bytes) {\n"
+      "  return *reinterpret_cast<const uint32_t*>(bytes + 12);\n"
+      "}\n";
+  EXPECT_TRUE(
+      HasRule(LintSource("src/fake/peek.cc", fixture), "byte-cast", 2));
+}
+
+TEST(ByteCastRuleTest, FlagsWrappedCastAcrossLines) {
+  const char* fixture =
+      "const Record* Records(const uint8_t* base) {\n"
+      "  return reinterpret_cast<\n"
+      "      const Record*>(base);\n"
+      "}\n";
+  EXPECT_TRUE(
+      HasRule(LintSource("src/fake/records.cc", fixture), "byte-cast", 2));
+}
+
+TEST(ByteCastRuleTest, IgnoresIntegralTargets) {
+  // The ted.h display-pair hash casts pointers to uintptr_t — an integral
+  // target never re-types memory, so it must stay clean.
+  const char* fixture =
+      "size_t HashPair(const Display* a, const Display* b) {\n"
+      "  size_t h = reinterpret_cast<uintptr_t>(a) * 0x9E3779B97F4A7C15ULL;\n"
+      "  h ^= reinterpret_cast<uintptr_t>(b) + (h << 6) + (h >> 2);\n"
+      "  return h;\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(LintSource("src/fake/pair_hash.cc", fixture), "byte-cast"));
+}
+
+TEST(ByteCastRuleTest, ExemptsSanctionedByteReaders) {
+  const char* fixture =
+      "const double* Doubles(const uint8_t* base) {\n"
+      "  return reinterpret_cast<const double*>(base);\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(LintSource("src/common/binio.h", fixture), "byte-cast"));
+  EXPECT_FALSE(
+      HasRule(LintSource("src/common/mapped_file.cc", fixture), "byte-cast"));
+  EXPECT_FALSE(
+      HasRule(LintSource("src/engine/artifact_v4.cc", fixture), "byte-cast"));
+  EXPECT_TRUE(
+      HasRule(LintSource("src/engine/model.cc", fixture), "byte-cast"));
+}
+
+TEST(ByteCastRuleTest, SuppressibleWithAllow) {
+  const char* fixture =
+      "void* ThreadKey(const Worker* w) {\n"
+      "  // ida-lint: allow(byte-cast): opaque key, never dereferenced\n"
+      "  return reinterpret_cast<void*>(const_cast<Worker*>(w));\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(LintSource("src/fake/key.cc", fixture), "byte-cast"));
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions, comment stripping, formatting
 // ---------------------------------------------------------------------------
 

@@ -1,22 +1,33 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for the serve-SLO harness (DESIGN.md §15).
+"""Bench-regression gate for the serve-SLO harness (DESIGN.md §15) and
+the artifact load study (DESIGN.md §16).
 
-Compares a candidate loadgen JSON-lines output against a checked-in
-baseline (BENCH_serve_slo.json) and fails when serving latency or
-throughput regressed beyond the tolerance band:
+Compares a candidate JSON-lines output against a checked-in baseline
+(BENCH_serve_slo.json or BENCH_load.json) and fails when serving
+latency, throughput, or artifact load time regressed beyond the
+tolerance band:
 
     tools/check_bench.py --baseline BENCH_serve_slo.json \
         --candidate /tmp/serve_slo.json \
         [--max-p99-ratio 2.5] [--min-throughput-ratio 0.4]
 
-Lines are matched by their (bench, mode, run) key, so a baseline with a
-"paced" and an "unthrottled" replay line gates both runs independently.
-For every matched pair the gate checks:
+    tools/check_bench.py --baseline BENCH_load.json \
+        --candidate /tmp/bench_load.json [--max-load-ratio 3.0]
+
+Replay lines are matched by their (bench, mode, run) key, so a baseline
+with a "paced" and an "unthrottled" replay line gates both runs
+independently. For every matched pair the gate checks:
 
   * candidate errors == 0,
   * candidate advise-service p99 <= baseline p99 * max-p99-ratio,
   * candidate throughput >= baseline * min-throughput-ratio (both
     events/sec and advise qps).
+
+Load lines (bench_train_serve --load) are matched by (mode, n); each
+candidate best_load_ms must stay within max-load-ratio of the baseline,
+and the candidate's verdict line must report meets_target (the v4
+mapped path's speedup over the v3 heap deserialize at the largest
+size).
 
 The band is deliberately wide: CI machines are noisy, and the absolute
 SLO verdict emitted by loadgen itself (--slo-p99-us) covers the "is this
@@ -56,6 +67,31 @@ def replay_lines(lines):
         key = (line.get("bench"), line.get("mode"), line.get("run"))
         keyed[key] = line
     return keyed
+
+
+def load_study_lines(lines):
+    """Maps (mode, n) -> line for the artifact load measurement lines."""
+    keyed = {}
+    for line in lines:
+        if line.get("bench") != "load" or line.get("config") == "verdict":
+            continue
+        key = (line.get("mode"), line.get("n"))
+        keyed[key] = line
+    return keyed
+
+
+def check_load_pair(key, base, cand, args, failures):
+    """Applies the load-time ratio gate to one (mode, n) pair."""
+    label = "load/" + "/".join(str(k) for k in key)
+    base_ms = base.get("best_load_ms")
+    cand_ms = cand.get("best_load_ms")
+    if base_ms is None or cand_ms is None:
+        failures.append(f"{label}: missing best_load_ms")
+    elif base_ms > 0 and cand_ms > base_ms * args.max_load_ratio:
+        failures.append(
+            f"{label}: best_load_ms {cand_ms:.3f} > "
+            f"{args.max_load_ratio:g}x baseline ({base_ms:.3f})"
+        )
 
 
 def check_pair(key, base, cand, args, failures):
@@ -105,14 +141,27 @@ def main():
         help="candidate throughput must be at least this fraction of the "
         "baseline",
     )
+    parser.add_argument(
+        "--max-load-ratio",
+        type=float,
+        default=3.0,
+        help="candidate artifact load time may be at most this multiple of "
+        "the baseline",
+    )
     args = parser.parse_args()
 
-    baseline = replay_lines(load_lines(args.baseline))
-    candidate = replay_lines(load_lines(args.candidate))
-    if not baseline:
-        raise SystemExit(f"{args.baseline}: no replay measurement lines")
-    if not candidate:
+    baseline_raw = load_lines(args.baseline)
+    candidate_raw = load_lines(args.candidate)
+    baseline = replay_lines(baseline_raw)
+    candidate = replay_lines(candidate_raw)
+    baseline_load = load_study_lines(baseline_raw)
+    candidate_load = load_study_lines(candidate_raw)
+    if not baseline and not baseline_load:
+        raise SystemExit(f"{args.baseline}: no measurement lines")
+    if baseline and not candidate:
         raise SystemExit(f"{args.candidate}: no replay measurement lines")
+    if baseline_load and not candidate_load:
+        raise SystemExit(f"{args.candidate}: no load measurement lines")
 
     failures = []
     matched = 0
@@ -126,16 +175,39 @@ def main():
         matched += 1
         check_pair(key, base, cand, args, failures)
 
+    for key, base in sorted(
+        baseline_load.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+    ):
+        cand = candidate_load.get(key)
+        if cand is None:
+            failures.append(
+                "load/" + "/".join(str(k) for k in key)
+                + ": missing from candidate"
+            )
+            continue
+        matched += 1
+        check_load_pair(key, base, cand, args, failures)
+
     # Determinism and verdict lines are authoritative in the candidate:
     # loadgen already exits nonzero on them, but double-check here so a
     # tee'd file can be gated standalone.
-    for line in load_lines(args.candidate):
+    for line in candidate_raw:
         if line.get("config") == "determinism" and not line.get(
             "bitwise_identical", True
         ):
             failures.append("candidate determinism check failed")
         if line.get("config") == "verdict" and not line.get("ok", True):
             failures.append("candidate verdict line reports ok=false")
+        if (
+            line.get("bench") == "load"
+            and line.get("config") == "verdict"
+            and not line.get("meets_target", True)
+        ):
+            failures.append(
+                "candidate load verdict misses the mapped-load speedup "
+                f"target ({line.get('mmap_speedup_vs_v3_heap')}x < "
+                f"{line.get('target_speedup')}x)"
+            )
 
     if failures:
         print(f"check_bench: FAIL ({matched} run(s) compared)")

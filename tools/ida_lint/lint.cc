@@ -455,6 +455,12 @@ const char* kSanitizerHostileMsg =
     "construct breaks -fsanitize instrumentation (TSan/ASan cannot model "
     "it); join threads instead of detaching and avoid "
     "setjmp/longjmp/vfork/alloca";
+const char* kByteCastMsg =
+    "reinterpret_cast to a pointer type: re-typing raw bytes risks "
+    "alignment and strict-aliasing UB on artifact buffers; read through "
+    "binio::Reader or the sanctioned flat readers (common/binio.h, "
+    "common/mapped_file.*, engine/artifact_v4.*), or annotate a vetted "
+    "cast with ida-lint: allow(byte-cast)";
 
 // ---------------------------------------------------------------------------
 // Rules
@@ -600,6 +606,49 @@ void CheckSanitizerHostile(const Source& src, Reporter* reporter) {
   }
 }
 
+void CheckByteCast(const std::string& path, const Source& src,
+                   Reporter* reporter) {
+  // The sanctioned byte-reading layer: the binio codec, the mmap wrapper,
+  // and the v4 flat-artifact reader, where every cast sits behind the
+  // bounds/alignment checks of the section directory.
+  if (path.find("common/binio.h") != std::string::npos ||
+      path.find("common/mapped_file.") != std::string::npos ||
+      path.find("engine/artifact_v4.") != std::string::npos) {
+    return;
+  }
+  static const std::regex kCastOpen(R"(\breinterpret_cast\s*<)");
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    const std::string& line = src.code[li];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kCastOpen);
+         it != std::sregex_iterator(); ++it) {
+      // Collect the target type up to the matching '>', across a few
+      // lines if the cast wraps.
+      std::string target;
+      size_t row = li;
+      size_t pos = static_cast<size_t>(it->position(0) + it->length(0));
+      int angle = 1;
+      while (row < src.code.size() && angle > 0 && row - li <= 3) {
+        const std::string& cur = src.code[row];
+        for (; pos < cur.size() && angle > 0; ++pos) {
+          if (cur[pos] == '<') ++angle;
+          if (cur[pos] == '>' && --angle == 0) break;
+          target.push_back(cur[pos]);
+        }
+        if (angle > 0) {
+          ++row;
+          pos = 0;
+        }
+      }
+      // Only pointer targets re-type memory; integral targets such as
+      // reinterpret_cast<uintptr_t> (pointer hashing) are harmless.
+      if (target.find('*') != std::string::npos) {
+        reporter->Report(li, "byte-cast", kByteCastMsg);
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
 bool IsHeaderPath(const std::string& path) {
   return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
 }
@@ -627,6 +676,10 @@ const std::vector<RuleInfo>& Rules() {
       {"sanitizer-hostile",
        "no setjmp/longjmp/vfork/alloca/thread-detach: they break "
        "-fsanitize instrumentation"},
+      {"byte-cast",
+       "no reinterpret_cast to pointer types outside the sanctioned "
+       "byte-reading layer (common/binio.h, common/mapped_file.*, "
+       "engine/artifact_v4.*)"},
   };
   return kRules;
 }
@@ -652,6 +705,7 @@ std::vector<Finding> LintSource(std::string_view path,
   CheckWallClock(src, &reporter);
   CheckFloatEq(src, &reporter);
   CheckSanitizerHostile(src, &reporter);
+  CheckByteCast(path_str, src, &reporter);
   if (IsHeaderPath(path_str)) {
     CheckIncludeGuard(src, &reporter);
     CheckDocComment(src, &reporter);

@@ -25,6 +25,11 @@
 //                      document every top-level class/struct
 //   sanitizer-hostile  setjmp/longjmp/vfork/alloca/thread detach — these
 //                      break -fsanitize instrumentation
+//   byte-cast          reinterpret_cast to a pointer type outside the
+//                      sanctioned byte-reading layer (common/binio.h,
+//                      common/mapped_file.*, engine/artifact_v4.*) —
+//                      alignment / strict-aliasing UB trap on artifact
+//                      buffers (integral targets like uintptr_t are fine)
 //
 // Suppression: a finding on line N is suppressed when line N or line N-1
 // contains `ida-lint: allow(<rule>)`, optionally with a justification
