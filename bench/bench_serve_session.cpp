@@ -143,16 +143,16 @@ void RunLiveScaling(std::shared_ptr<const engine::Predictor> predictor,
     return SecondsSince(start);
   };
   time_pass();  // warm the per-session scratch
-  double best = std::numeric_limits<double>::infinity();
+  double best_seconds = std::numeric_limits<double>::infinity();
   for (size_t trial = 0; trial < kTrials; ++trial) {
-    best = std::min(best, time_pass());
+    best_seconds = std::min(best_seconds, time_pass());
   }
   std::printf(
       "{\"bench\":\"serve_session\",\"mode\":\"live_scaling\","
       "\"live_sessions\":%zu,\"shards\":%d,\"session_steps\":%zu,"
       "\"advise_us\":%.2f,\"open_us_per_session\":%.2f}\n",
       live, manager.options().num_shards, kTargetLength,
-      best * 1e6 / static_cast<double>(kAdviseReps),
+      best_seconds * 1e6 / static_cast<double>(kAdviseReps),
       open_seconds * 1e6 / static_cast<double>(live));
   std::fflush(stdout);
 }

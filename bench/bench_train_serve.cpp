@@ -286,8 +286,10 @@ void RunLoad() {
 
     // All three paths must answer the probe query identically.
     if (v4_heap.label != v3_heap.label || v4_mmap.label != v3_heap.label ||
-        v4_heap.confidence != v3_heap.confidence ||
-        v4_mmap.confidence != v3_heap.confidence) {
+        // Exact float comparison is deliberate here: bitwise-identical
+        // serving across the load paths is the contract under test.
+        v4_heap.confidence != v3_heap.confidence ||  // ida-lint: allow(float-eq)
+        v4_mmap.confidence != v3_heap.confidence) {  // ida-lint: allow(float-eq)
       std::printf(
           "{\"bench\":\"load\",\"n\":%zu,\"error\":\"load paths "
           "disagree on the probe prediction\"}\n",

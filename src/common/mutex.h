@@ -1,0 +1,58 @@
+// Annotated mutex primitives for classes that carry thread-safety
+// annotations (common/thread_annotations.h).
+//
+// std::mutex works fine at runtime but carries no capability attribute,
+// so clang's -Wthread-safety cannot track what it protects. ida::Mutex is
+// a zero-overhead wrapper that adds the attribute; ida::MutexLock is the
+// matching scoped lock. Condition waits use std::condition_variable_any,
+// which accepts any BasicLockable — write the predicate as an explicit
+// `while (!cond) cv.wait(lock);` loop so the guarded reads happen in the
+// annotated scope rather than inside a lambda (clang analyzes lambda
+// bodies as separate, unannotated functions).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace ida {
+
+/// Annotated std::mutex wrapper: a clang "mutex" capability that
+/// IDA_GUARDED_BY / IDA_REQUIRES expressions can name.
+class IDA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IDA_ACQUIRE() { mu_.lock(); }
+  void unlock() IDA_RELEASE() { mu_.unlock(); }
+  bool try_lock() IDA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over ida::Mutex. Also satisfies BasicLockable (lock /
+/// unlock), so it can be passed to std::condition_variable_any::wait,
+/// which releases and reacquires the mutex around the block.
+class IDA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) IDA_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() IDA_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() IDA_ACQUIRE() { mu_->lock(); }
+  void unlock() IDA_RELEASE() { mu_->unlock(); }
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable usable with MutexLock (BasicLockable interface).
+using CondVar = std::condition_variable_any;
+
+}  // namespace ida

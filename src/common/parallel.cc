@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -39,15 +39,14 @@ void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock,
-                     [&] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && generation_ == seen) start_cv_.wait(lock);
       if (shutdown_) return;
       seen = generation_;
     }
     RunChunks(worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (--active_ == 0) done_cv_.notify_one();
     }
   }
@@ -62,7 +61,7 @@ void ThreadPool::ParallelFor(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     n_ = n;
     chunk_ = std::max<size_t>(1, chunk);
     body_ = &body;
@@ -73,8 +72,8 @@ void ThreadPool::ParallelFor(
   start_cv_.notify_all();
   RunChunks(0);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return active_ == 0; });
+    MutexLock lock(&mu_);
+    while (active_ != 0) done_cv_.wait(lock);
     body_ = nullptr;
   }
 }

@@ -10,12 +10,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ida {
 
@@ -58,12 +59,15 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  uint64_t generation_ = 0;  ///< Bumped once per ParallelFor; guarded by mu_.
-  int active_ = 0;           ///< Workers still draining the current loop.
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  /// Bumped once per ParallelFor so sleeping workers can tell a new loop
+  /// from a spurious wake.
+  uint64_t generation_ IDA_GUARDED_BY(mu_) = 0;
+  /// Workers still draining the current loop.
+  int active_ IDA_GUARDED_BY(mu_) = 0;
+  bool shutdown_ IDA_GUARDED_BY(mu_) = false;
 
   // Current-loop state, written before the generation bump and read-only
   // while workers run.

@@ -1,0 +1,69 @@
+// Thread-safety annotation macros, following the clang -Wthread-safety
+// attribute vocabulary (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+//
+// Under clang the macros expand to the real attributes, so the annotated
+// targets can be compiled with -Wthread-safety and every lock-discipline
+// claim below is checked by the compiler (the CI thread-safety leg does
+// exactly that). Under every other compiler they expand to nothing — but
+// the macro tokens remain visible in the source, and ida_lint's
+// lock-discipline pass (tools/ida_lint, DESIGN.md section 12) reads them
+// lexically, so a guarded field accessed outside a scope that acquires its
+// mutex is flagged even in a GCC-only build.
+//
+// Conventions used in this codebase:
+//   - Fields protected by a mutex carry IDA_GUARDED_BY(mu) on their
+//     declaration (same line or the immediately following continuation).
+//   - Functions whose callers must already hold a mutex carry
+//     IDA_REQUIRES(mu) on the declaration.
+//   - Use ida::Mutex / ida::MutexLock (common/mutex.h) rather than bare
+//     std::mutex for annotated classes: std::mutex itself carries no
+//     capability attribute, so clang cannot track it.
+#pragma once
+
+#if defined(__clang__)
+#define IDA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IDA_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper). The
+/// argument names the capability kind in diagnostics, e.g. "mutex".
+#define IDA_CAPABILITY(x) IDA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (e.g. ida::MutexLock).
+#define IDA_SCOPED_CAPABILITY IDA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field may only be read or written while holding `x`.
+#define IDA_GUARDED_BY(x) IDA_THREAD_ANNOTATION(guarded_by(x))
+
+/// As IDA_GUARDED_BY, but guards the data pointed to rather than the
+/// pointer itself.
+#define IDA_PT_GUARDED_BY(x) IDA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that callers must hold the listed capabilities on entry (and
+/// that the function does not release them).
+#define IDA_REQUIRES(...) IDA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the listed capabilities (empty
+/// argument list on a scoped-capability member means "the wrapped one").
+#define IDA_ACQUIRE(...) IDA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Declares that the function releases the listed capabilities.
+#define IDA_RELEASE(...) IDA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Declares a function that acquires the capability only when it returns
+/// the given value (e.g. try_lock returning true).
+#define IDA_TRY_ACQUIRE(...) IDA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the listed capabilities on entry
+/// (deadlock prevention for self-locking functions).
+#define IDA_EXCLUDES(...) IDA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given capability.
+#define IDA_RETURN_CAPABILITY(x) IDA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the clang analysis for one function. Use only
+/// with a comment explaining why the discipline cannot be expressed.
+#define IDA_NO_THREAD_SAFETY_ANALYSIS \
+  IDA_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -344,7 +344,7 @@ double SessionDistance::CachedDisplayDistance(const DisplayView& a,
   if (shared_ok) {
     DisplayCacheShard& shard =
         (*cache_)[internal::DisplayPairHash{}(key) % kCacheShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto sit = shard.map.find(key);
     if (sit != shard.map.end()) {
       IDA_OBS_TALLY(++ws->tally.display_shared_hits);
@@ -359,7 +359,7 @@ double SessionDistance::CachedDisplayDistance(const DisplayView& a,
   if (shared_ok) {
     DisplayCacheShard& shard =
         (*cache_)[internal::DisplayPairHash{}(key) % kCacheShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.map.emplace(key, d);
   }
   return d;
@@ -387,7 +387,7 @@ double SessionDistance::Distance(const NContext& a, const NContext& b) const {
 size_t SessionDistance::cache_size() const {
   size_t total = 0;
   for (DisplayCacheShard& shard : *cache_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     total += shard.map.size();
   }
   return total;

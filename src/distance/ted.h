@@ -16,12 +16,13 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/obs.h"
 #include "session/ncontext.h"
 
@@ -406,10 +407,10 @@ class SessionDistance {
 
  private:
   struct DisplayCacheShard {
-    std::mutex mu;
+    Mutex mu;
     std::unordered_map<internal::DisplayPair, double,
                        internal::DisplayPairHash>
-        map;
+        map IDA_GUARDED_BY(mu);
   };
 
   static constexpr size_t kCacheShards = 16;

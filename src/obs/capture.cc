@@ -29,22 +29,22 @@ TraceRecorder::~TraceRecorder() {
 }
 
 void TraceRecorder::Record(CaptureRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   records_.push_back(std::move(record));
 }
 
 void TraceRecorder::SetWorld(const TraceWorld& world) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   world_ = world;
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return records_.size();
 }
 
 Trace TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Trace trace;
   trace.world = world_;
   trace.records = records_;

@@ -22,12 +22,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ida::obs {
 
@@ -110,9 +111,9 @@ class TraceRecorder {
 
  private:
   std::string path_;  ///< auto-flush destination; empty = manual only
-  mutable std::mutex mu_;
-  std::optional<TraceWorld> world_;
-  std::vector<CaptureRecord> records_;
+  mutable Mutex mu_;
+  std::optional<TraceWorld> world_ IDA_GUARDED_BY(mu_);
+  std::vector<CaptureRecord> records_ IDA_GUARDED_BY(mu_);
 };
 
 /// Serializes a trace into IDATRACE bytes (deterministic for equal input).

@@ -186,14 +186,14 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = counters_.try_emplace(name);
   if (inserted) it->second = std::make_unique<Counter>();
   return it->second.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = gauges_.try_emplace(name);
   if (inserted) it->second = std::make_unique<Gauge>();
   return it->second.get();
@@ -201,7 +201,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = histograms_.try_emplace(name);
   if (inserted) {
     if (bounds.empty()) bounds = DefaultLatencyBuckets();
@@ -212,7 +212,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snap.counters.push_back({name, counter->value()});
@@ -231,7 +231,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ida::obs {
 
@@ -25,13 +27,18 @@ namespace ida::obs {
 #endif
 
 // Statement-level tally hook for non-atomic, thread-local counting deep in
-// compute kernels (e.g. the TED workspace tallies): expands to nothing
-// when observability is compiled out.
+// compute kernels (e.g. the TED workspace tallies). When observability is
+// compiled out the statement sits behind `if (false)` instead of vanishing:
+// it still type-checks (and keeps parameters it touches "used" under
+// -Werror=unused-parameter) but is dead-code-eliminated.
 #if IDA_OBS_ENABLED
 #define IDA_OBS_TALLY(stmt) stmt
 #else
 #define IDA_OBS_TALLY(stmt) \
   do {                      \
+    if (false) {            \
+      stmt;                 \
+    }                       \
   } while (false)
 #endif
 
@@ -186,10 +193,12 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      IDA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ IDA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      IDA_GUARDED_BY(mu_);
 };
 
 #else  // !IDA_OBS_ENABLED — compile-time no-op stubs with the same API.

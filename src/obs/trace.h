@@ -12,9 +12,11 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ida::obs {
 
@@ -44,24 +46,24 @@ class TraceSink {
 class VectorTraceSink : public TraceSink {
  public:
   void OnSpan(const TraceSpan& span) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     spans_.push_back(span);
   }
 
   /// Copy of the spans recorded so far, in arrival order.
   std::vector<TraceSpan> spans() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return spans_;
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     spans_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ IDA_GUARDED_BY(mu_);
 };
 
 /// Monotonic clock reading used for all span timestamps.

@@ -22,6 +22,8 @@ uint64_t ArrivalMicros() {
 SessionManager::SessionManager(
     std::shared_ptr<const engine::Predictor> predictor, ServeOptions options,
     obs::ObsConfig obs)
+    // ida-lint: allow(lock-discipline): member initialization happens
+    // before the object can be shared, so no lock is needed yet
     : options_(options), obs_(obs), current_(std::move(predictor)) {
   // Resolve the capture_path convenience knob into an owned recorder that
   // flushes the trace file when the manager is destroyed.
@@ -74,7 +76,7 @@ const std::shared_ptr<const engine::Predictor>& SessionManager::Model(
   // ordering is deadlock-free.
   const uint64_t published = epoch_.load(std::memory_order_acquire);
   if (shard.epoch != published) {
-    std::lock_guard<std::mutex> lock(model_mu_);
+    MutexLock lock(&model_mu_);
     shard.predictor = current_;
     shard.epoch = epoch_.load(std::memory_order_acquire);
   }
@@ -138,7 +140,7 @@ Status SessionManager::Open(const std::string& session_id, DisplayPtr root,
   }
   const uint64_t arrival = obs_.capture_on() ? ArrivalMicros() : 0;
   Shard& shard = ShardFor(session_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   if (shard.sessions.count(session_id) > 0) {
     return Status::AlreadyExists("session '" + session_id +
                                  "' is already open");
@@ -178,7 +180,7 @@ Result<int> SessionManager::Append(const std::string& session_id,
   const obs::TracePoint t0 = timed ? obs::TraceNow() : obs::TracePoint{};
   const uint64_t arrival = obs_.capture_on() ? ArrivalMicros() : 0;
   Shard& shard = ShardFor(session_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
     return Status::NotFound("session '" + session_id + "' is not live");
@@ -204,7 +206,7 @@ Result<Prediction> SessionManager::Advise(const std::string& session_id) {
   const obs::TracePoint t0 = timed ? obs::TraceNow() : obs::TracePoint{};
   const uint64_t arrival = obs_.capture_on() ? ArrivalMicros() : 0;
   Shard& shard = ShardFor(session_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
     return Status::NotFound("session '" + session_id + "' is not live");
@@ -243,7 +245,7 @@ Result<std::vector<Prediction>> SessionManager::AdviseBatch(
     const std::vector<size_t>& group = by_shard[si];
     if (group.empty()) continue;
     Shard& shard = *shards_[si];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     const std::shared_ptr<const engine::Predictor>& model = Model(shard);
     std::vector<NContext> queries;
     queries.reserve(group.size());
@@ -284,7 +286,7 @@ Result<std::vector<Prediction>> SessionManager::AdviseBatch(
 Status SessionManager::Close(const std::string& session_id) {
   const uint64_t arrival = obs_.capture_on() ? ArrivalMicros() : 0;
   Shard& shard = ShardFor(session_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) {
     return Status::NotFound("session '" + session_id + "' is not live");
@@ -306,7 +308,7 @@ Status SessionManager::Reload(engine::TrainedModel model) {
   // fails validation leaves the served epoch untouched.
   obs::ObsConfig predictor_obs;
   {
-    std::lock_guard<std::mutex> lock(model_mu_);
+    MutexLock lock(&model_mu_);
     predictor_obs = current_->obs();
   }
   IDA_ASSIGN_OR_RETURN(engine::Predictor loaded,
@@ -315,7 +317,7 @@ Status SessionManager::Reload(engine::TrainedModel model) {
   auto next = std::make_shared<const engine::Predictor>(std::move(loaded));
   uint64_t epoch = 0;
   {
-    std::lock_guard<std::mutex> lock(model_mu_);
+    MutexLock lock(&model_mu_);
     current_ = std::move(next);
     epoch = epoch_.load(std::memory_order_relaxed) + 1;
     epoch_.store(epoch, std::memory_order_release);
@@ -344,7 +346,7 @@ ServeInfo SessionManager::Info() const {
 }
 
 std::shared_ptr<const engine::Predictor> SessionManager::predictor() const {
-  std::lock_guard<std::mutex> lock(model_mu_);
+  MutexLock lock(&model_mu_);
   return current_;
 }
 

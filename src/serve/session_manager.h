@@ -33,12 +33,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "actions/executor.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/engine.h"
 #include "obs/obs.h"
 #include "predict/knn.h"
@@ -160,11 +161,12 @@ class SessionManager {
   /// One lock stripe: its sessions, their LRU order (front = most
   /// recently used), and the lazily refreshed epoch predictor cache.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, std::unique_ptr<LiveSession>> sessions;
-    std::list<std::string> lru;
-    std::shared_ptr<const engine::Predictor> predictor;
-    uint64_t epoch = 0;
+    mutable Mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<LiveSession>> sessions
+        IDA_GUARDED_BY(mu);
+    std::list<std::string> lru IDA_GUARDED_BY(mu);
+    std::shared_ptr<const engine::Predictor> predictor IDA_GUARDED_BY(mu);
+    uint64_t epoch IDA_GUARDED_BY(mu) = 0;
   };
 
   /// Metric handles resolved once at construction (nullptr = metrics off).
@@ -194,13 +196,15 @@ class SessionManager {
                std::string payload) const;
   /// Returns the shard's cached predictor, refreshing it first when the
   /// global epoch has advanced. Caller must hold `shard.mu`.
-  const std::shared_ptr<const engine::Predictor>& Model(Shard& shard);
+  const std::shared_ptr<const engine::Predictor>& Model(Shard& shard)
+      IDA_REQUIRES(shard.mu);
   /// Re-extracts `s`'s live context at its tree's current state when the
   /// cached one is stale (step advanced, or the model's n changed across
   /// a reload). Caller must hold the owning shard's lock.
   void RefreshContext(LiveSession& s, const engine::Predictor& model);
-  /// Moves `s` to the front of the shard's LRU list.
-  static void Touch(Shard& shard, LiveSession& s);
+  /// Moves `s` to the front of the shard's LRU list. Caller must hold
+  /// `shard.mu`.
+  static void Touch(Shard& shard, LiveSession& s) IDA_REQUIRES(shard.mu);
   void SetLiveGauge() const;
 
   ServeOptions options_;
@@ -216,8 +220,8 @@ class SessionManager {
 
   /// The published model: swapped under `model_mu_`; `epoch_` is the
   /// lock-free "a new epoch exists" signal the shards poll.
-  mutable std::mutex model_mu_;
-  std::shared_ptr<const engine::Predictor> current_;
+  mutable Mutex model_mu_;
+  std::shared_ptr<const engine::Predictor> current_ IDA_GUARDED_BY(model_mu_);
   std::atomic<uint64_t> epoch_{1};
 
   std::atomic<size_t> live_sessions_{0};

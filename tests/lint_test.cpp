@@ -7,6 +7,8 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -30,10 +32,37 @@ bool HasRule(const std::vector<Finding>& findings, const std::string& rule,
                      });
 }
 
+bool HasFinding(const std::vector<Finding>& findings, const std::string& file,
+                const std::string& rule, int line = -1) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       return f.file == file && f.rule == rule &&
+                              (line < 0 || f.line == line);
+                     });
+}
+
+// Cross-file lint of a single in-memory file with the default options
+// (lock-discipline and suppression audit on, layering off).
+std::vector<Finding> LintProjectOne(const std::string& path,
+                                    const std::string& content) {
+  return LintProjectSources({SourceFile{path, content}}, ProjectOptions{});
+}
+
+ProjectOptions LayeredOptions(const std::string& table) {
+  ProjectOptions options;
+  options.src_root = "src";
+  options.layering_path = "layering.txt";
+  options.layering_table = table;
+  return options;
+}
+
 TEST(LintRegistryTest, RulesAreRegisteredAndKnown) {
-  EXPECT_GE(Rules().size(), 7u);
+  EXPECT_GE(Rules().size(), 11u);
   EXPECT_TRUE(IsKnownRule("unordered-iter"));
   EXPECT_TRUE(IsKnownRule("float-eq"));
+  EXPECT_TRUE(IsKnownRule("lock-discipline"));
+  EXPECT_TRUE(IsKnownRule("layering"));
+  EXPECT_TRUE(IsKnownRule("stale-suppression"));
   EXPECT_FALSE(IsKnownRule("no-such-rule"));
 }
 
@@ -459,6 +488,293 @@ TEST(LintSourceTest, FindingsAreSortedByLine) {
   for (size_t i = 1; i < findings.size(); ++i) {
     EXPECT_LE(findings[i - 1].line, findings[i].line);
   }
+}
+
+// ---------------------------------------------------------------------------
+// raw string literals
+// ---------------------------------------------------------------------------
+
+TEST(RawStringTest, TokensInsideRawStringsDoNotTrigger) {
+  const char* fixture =
+      "const char* kA = R\"(rand() and std::system_clock::now())\";\n"
+      "const char* kB = uR\"sep(time(nullptr) \")\" still inside)sep\";\n";
+  auto findings = LintSource("src/fake/raw.cc", fixture);
+  EXPECT_FALSE(HasRule(findings, "raw-random"));
+  EXPECT_FALSE(HasRule(findings, "wall-clock"));
+}
+
+TEST(RawStringTest, MultiLineRawStringIsStripped) {
+  const char* fixture =
+      "const char* kDoc = R\"(\n"
+      "  rand() on an interior line\n"
+      ")\";\n"
+      "int F() { return rand(); }\n";
+  auto findings = LintSource("src/fake/raw2.cc", fixture);
+  EXPECT_TRUE(HasRule(findings, "raw-random", 4));
+  EXPECT_FALSE(HasRule(findings, "raw-random", 2));
+}
+
+TEST(RawStringTest, CodeAfterRawStringOnSameLineStillChecked) {
+  const char* fixture =
+      "int F() { const char* s = R\"(x)\"; return rand(); }\n";
+  EXPECT_TRUE(
+      HasRule(LintSource("src/fake/raw3.cc", fixture), "raw-random", 1));
+}
+
+TEST(SuppressionTest, DirectiveInsideStringLiteralIsIgnored) {
+  const char* fixture =
+      "const char* k = \"ida-lint: allow(raw-random)\"; int s = rand();\n";
+  EXPECT_TRUE(
+      HasRule(LintSource("src/fake/strdir.cc", fixture), "raw-random", 1));
+}
+
+// ---------------------------------------------------------------------------
+// lock-discipline (cross-file stage)
+// ---------------------------------------------------------------------------
+
+TEST(LockDisciplineTest, FlagsAccessWithoutLockAndAcceptsMutexLock) {
+  const char* fixture =
+      "class Box {\n"
+      " public:\n"
+      "  void Bump() { v_ += 1; }\n"
+      "  int Get() {\n"
+      "    MutexLock lock(&mu_);\n"
+      "    return v_;\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int v_ IDA_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  auto findings = LintProjectOne("src/fake/box.cc", fixture);
+  EXPECT_TRUE(HasRule(findings, "lock-discipline", 3));
+  EXPECT_FALSE(HasRule(findings, "lock-discipline", 6));
+}
+
+TEST(LockDisciplineTest, StdScopedAndGuardLocksCount) {
+  const char* fixture =
+      "class C {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::scoped_lock lock(mu_, aux_);\n"
+      "    v_ += 1;\n"
+      "  }\n"
+      "  void G() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    v_ += 1;\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  Mutex aux_;\n"
+      "  int v_ IDA_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_FALSE(HasRule(LintProjectOne("src/fake/std.cc", fixture),
+                       "lock-discipline"));
+}
+
+TEST(LockDisciplineTest, ManualLockAndUnlockAreTracked) {
+  const char* fixture =
+      "class C {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    mu_.lock();\n"
+      "    v_ = 1;\n"
+      "    mu_.unlock();\n"
+      "    v_ = 2;\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int v_ IDA_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  auto findings = LintProjectOne("src/fake/manual.cc", fixture);
+  EXPECT_FALSE(HasRule(findings, "lock-discipline", 5));
+  EXPECT_TRUE(HasRule(findings, "lock-discipline", 7));
+}
+
+TEST(LockDisciplineTest, LambdaInheritsTheEnclosingScope) {
+  const char* fixture =
+      "class W {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock lock(&mu_);\n"
+      "    auto g = [&] { v_ += 1; };\n"
+      "    g();\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int v_ IDA_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_FALSE(HasRule(LintProjectOne("src/fake/lambda.cc", fixture),
+                       "lock-discipline"));
+}
+
+TEST(LockDisciplineTest, QualifiedAccessThroughTypedVariable) {
+  const char* fixture =
+      "struct Shard {\n"
+      "  Mutex mu;\n"
+      "  int count IDA_GUARDED_BY(mu) = 0;\n"
+      "};\n"
+      "void Bad(Shard& shard) { shard.count += 1; }\n"
+      "void Good(Shard& shard) {\n"
+      "  MutexLock lock(&shard.mu);\n"
+      "  shard.count += 1;\n"
+      "}\n";
+  auto findings = LintProjectOne("src/fake/shard.cc", fixture);
+  EXPECT_TRUE(HasRule(findings, "lock-discipline", 5));
+  EXPECT_FALSE(HasRule(findings, "lock-discipline", 8));
+}
+
+TEST(LockDisciplineTest, CrossFileRequiresAnnotationFromHeader) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile{
+      "src/fake/w.h",
+      "// fake/w.h — lock-discipline fixture.\n"
+      "#pragma once\n"
+      "/// A widget whose counter is mutex-guarded.\n"
+      "class Widget {\n"
+      " public:\n"
+      "  void Refresh() IDA_REQUIRES(mu_);\n"
+      "  void Broken();\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int n_ IDA_GUARDED_BY(mu_) = 0;\n"
+      "};\n"});
+  files.push_back(SourceFile{
+      "src/fake/w.cc",
+      "#include \"fake/w.h\"\n"
+      "void Widget::Refresh() { n_ += 1; }\n"
+      "void Widget::Broken() { n_ += 1; }\n"});
+  auto findings = LintProjectSources(files, ProjectOptions{});
+  EXPECT_FALSE(HasFinding(findings, "src/fake/w.cc", "lock-discipline", 2));
+  EXPECT_TRUE(HasFinding(findings, "src/fake/w.cc", "lock-discipline", 3));
+}
+
+// ---------------------------------------------------------------------------
+// layering (cross-file stage)
+// ---------------------------------------------------------------------------
+
+TEST(LayeringTest, AllowedAndForbiddenEdges) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile{"src/a/a.cc", "#include \"b/b.h\"\n"});
+  files.push_back(SourceFile{"src/b/b.cc", "#include \"a/a.h\"\n"});
+  auto findings = LintProjectSources(files, LayeredOptions("a: b\nb:\n"));
+  EXPECT_FALSE(HasFinding(findings, "src/a/a.cc", "layering"));
+  EXPECT_TRUE(HasFinding(findings, "src/b/b.cc", "layering", 1));
+}
+
+TEST(LayeringTest, SelfAndLocalIncludesAreAlwaysAllowed) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile{
+      "src/a/x.cc", "#include \"a/y.h\"\n#include \"helpers.h\"\n"});
+  EXPECT_TRUE(LintProjectSources(files, LayeredOptions("a:\n")).empty());
+}
+
+TEST(LayeringTest, CycleInTheTableIsReported) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile{"src/a/a.cc", "int x = 0;\n"});
+  auto findings =
+      LintProjectSources(files, LayeredOptions("a: b\nb: a\n"));
+  ASSERT_TRUE(HasFinding(findings, "layering.txt", "layering"));
+  bool cycle = false;
+  for (const Finding& f : findings) {
+    if (f.message.find("cycle") != std::string::npos) cycle = true;
+  }
+  EXPECT_TRUE(cycle);
+}
+
+TEST(LayeringTest, UndeclaredModuleIsReported) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile{"src/c/c.cc", "int x = 0;\n"});
+  auto findings = LintProjectSources(files, LayeredOptions("a:\n"));
+  EXPECT_TRUE(HasFinding(findings, "src/c/c.cc", "layering", 1));
+}
+
+TEST(LayeringTest, UnknownAllowedModuleIsReported) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile{"src/a/a.cc", "int x = 0;\n"});
+  auto findings = LintProjectSources(files, LayeredOptions("a: ghost\n"));
+  EXPECT_TRUE(HasFinding(findings, "layering.txt", "layering", 1));
+}
+
+// ---------------------------------------------------------------------------
+// stale-suppression (cross-file stage)
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionAuditTest, LiveDirectiveIsNotFlagged) {
+  const char* fixture =
+      "// ida-lint: allow(raw-random): generator comparison fixture\n"
+      "int seed = rand();\n";
+  EXPECT_TRUE(LintProjectOne("src/fake/live.cc", fixture).empty());
+}
+
+TEST(SuppressionAuditTest, StaleDirectiveIsFlagged) {
+  const char* fixture =
+      "// ida-lint: allow(raw-random): nothing left to suppress\n"
+      "int seed = 0;\n";
+  EXPECT_TRUE(HasFinding(LintProjectOne("src/fake/stale.cc", fixture),
+                         "src/fake/stale.cc", "stale-suppression", 1));
+}
+
+TEST(SuppressionAuditTest, UnknownRuleIsFlagged) {
+  const char* fixture =
+      "int seed = rand();  // ida-lint: allow(bogus-rule)\n";
+  EXPECT_TRUE(HasFinding(LintProjectOne("src/fake/bogus.cc", fixture),
+                         "src/fake/bogus.cc", "stale-suppression", 1));
+}
+
+TEST(SuppressionAuditTest, PlaceholderRuleInProseIsExempt) {
+  const char* fixture =
+      "// Documentation example: ida-lint: allow(<rule>): why it is fine\n"
+      "int x = 0;\n";
+  EXPECT_TRUE(LintProjectOne("src/fake/prose.cc", fixture).empty());
+}
+
+TEST(SuppressionAuditTest, StaleFindingIsItselfSuppressible) {
+  const char* fixture =
+      "// ida-lint: allow(stale-suppression)\n"
+      "// ida-lint: allow(raw-random): kept deliberately for the fixture\n"
+      "int seed = 0;\n";
+  EXPECT_TRUE(LintProjectOne("src/fake/meta.cc", fixture).empty());
+}
+
+// ---------------------------------------------------------------------------
+// LintProject over a real (temporary) tree + JSON output
+// ---------------------------------------------------------------------------
+
+TEST(LintProjectTest, DiskTreeSmoke) {
+  namespace fs = std::filesystem;
+  fs::path root = fs::temp_directory_path() / "ida_lint_project_smoke";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "a");
+  fs::create_directories(root / "src" / "b");
+  {
+    std::ofstream(root / "src" / "a" / "a.cc") << "#include \"b/b.h\"\n";
+    std::ofstream(root / "src" / "b" / "b.h")
+        << "// b.h — smoke fixture.\n#pragma once\n";
+    std::ofstream(root / "layering.txt") << "a:\nb: a\n";
+  }
+  ProjectOptions options;
+  options.src_root = (root / "src").generic_string();
+  options.layering_path = (root / "layering.txt").generic_string();
+  int files_scanned = 0;
+  auto findings =
+      LintProject({root / "src"}, options, &files_scanned);
+  EXPECT_EQ(files_scanned, 2);
+  EXPECT_TRUE(HasFinding(findings,
+                         (root / "src" / "a" / "a.cc").generic_string(),
+                         "layering", 1));
+  fs::remove_all(root);
+}
+
+TEST(JsonOutputTest, CountsEveryRegisteredRuleAndEscapes) {
+  std::vector<Finding> findings;
+  findings.push_back(
+      Finding{"src/fake/j.cc", 3, "float-eq", "say \"hi\"\n"});
+  std::string json = FormatFindingsJson(findings, 5);
+  EXPECT_NE(json.find("\"files_scanned\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"float-eq\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"unordered-iter\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"lock-discipline\": 0"), std::string::npos);
+  EXPECT_NE(json.find("say \\\"hi\\\"\\n"), std::string::npos);
 }
 
 }  // namespace

@@ -16,6 +16,9 @@
 #      the repo root must be mentioned in EXPERIMENTS.md, so each CI
 #      regression gate has a documented recipe for regenerating its
 #      baseline.
+#   5. Lint-rule coverage — every rule id registered in ida_lint's
+#      Rules() table (tools/ida_lint/lint.cc) must appear in DESIGN.md,
+#      so the §12 rule documentation can never fall behind the checker.
 #
 # Usage: tools/docs_lint.sh [repo-root]   (defaults to the script's repo)
 #        tools/docs_lint.sh --self-test   (negative test: seeds a sandbox
@@ -45,6 +48,12 @@ self_test() {
   printf '{"bench":"ghost"}\n' > "$sandbox/BENCH_ghost.json"
   printf '# Experiments\nNo mention of the ghost baseline.\n' \
     > "$sandbox/EXPERIMENTS.md"
+  mkdir -p "$sandbox/tools/ida_lint"
+  {
+    printf '  static const std::vector<RuleInfo> kRules = {\n'
+    printf '      {"phantom-rule", "a rule DESIGN.md never mentions"},\n'
+    printf '  };\n'
+  } > "$sandbox/tools/ida_lint/lint.cc"
 
   out="$("$0" "$sandbox" 2>&1)"
   status=$?
@@ -52,7 +61,8 @@ self_test() {
   [ "$status" -eq 1 ] || { note "self-test: expected exit 1, got $status"; bad=1; }
   for want in 'broken link' 'missing file-level comment' \
               'without a preceding doc comment' 'not in DESIGN.md' \
-              'not mentioned in EXPERIMENTS.md'; do
+              'not mentioned in EXPERIMENTS.md' \
+              'not documented in DESIGN.md'; do
     case "$out" in
       *"$want"*) ;;
       *) note "self-test: expected a finding matching '$want'"; bad=1 ;;
@@ -66,7 +76,8 @@ self_test() {
     printf '/// A documented class.\n'
     printf 'class Documented {\n};\n'
   } > "$sandbox/src/engine/bad.h"
-  printf '# Design\nThe `ida_ghost` target.\n' > "$sandbox/DESIGN.md"
+  printf '# Design\nThe `ida_ghost` target and the `phantom-rule` rule.\n' \
+    > "$sandbox/DESIGN.md"
   printf '# Experiments\nRegenerate `BENCH_ghost.json` like so.\n' \
     > "$sandbox/EXPERIMENTS.md"
   if ! "$0" "$sandbox" >/dev/null 2>&1; then
@@ -163,6 +174,21 @@ for baseline in BENCH_*.json; do
     failures=$((failures + 1))
   fi
 done
+
+# --- 5. ida_lint rule ids vs DESIGN.md ------------------------------------
+# Every rule registered in the checker must be documented: the §12 table
+# is where a reviewer learns what a finding means and which invariant it
+# protects.
+if [ -f tools/ida_lint/lint.cc ] && [ -f DESIGN.md ]; then
+  while read -r rule; do
+    [ -z "$rule" ] && continue
+    if ! grep -qE "\`$rule\`" DESIGN.md; then
+      note "docs_lint: lint rule '$rule' not documented in DESIGN.md"
+      failures=$((failures + 1))
+    fi
+  done < <(sed -n '/static const std::vector<RuleInfo> kRules/,/^  };/p' \
+    tools/ida_lint/lint.cc | grep -oE '\{"[a-z0-9-]+"' | tr -d '{"')
+fi
 
 if [ "$failures" -gt 0 ]; then
   note "docs_lint: $failures problem(s) found"

@@ -1,15 +1,21 @@
-// Implementation of the ida_lint lexical checker. The analysis is
-// deliberately file-local and token-based: each rule is cheap, predictable,
-// and pinned by fixtures in tests/lint_test.cpp, which is what makes the
-// checker itself trustworthy enough to gate CI.
+// Implementation of the ida_lint checker. Stage one is deliberately
+// file-local and token-based: each rule is cheap, predictable, and pinned
+// by fixtures in tests/lint_test.cpp, which is what makes the checker
+// itself trustworthy enough to gate CI. Stage two (LintProject) reuses the
+// same lexical machinery across the whole file set for the semantic
+// passes: lock-discipline, module layering and the suppression audit.
 #include "lint.h"
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 namespace ida::lint {
 
@@ -19,13 +25,17 @@ namespace {
 // Source preprocessing
 // ---------------------------------------------------------------------------
 
-// A file split into physical lines, twice: the raw text (for suppression
-// comments and the doc-comment rule, which inspect comments) and a code
-// view with comments and string/character literals blanked out (so tokens
-// inside them never trigger a rule).
+// A file split into physical lines, three times: the raw text (for the
+// doc-comment rule and #include parsing), a code view with comments and
+// string/character literals blanked out (so tokens inside them never
+// trigger a rule), and a comment view with everything *but* comment text
+// blanked (so suppression directives are only honored in comments, never
+// inside string literals). All views preserve line lengths, keeping
+// columns aligned with the raw text.
 struct Source {
   std::vector<std::string> raw;
   std::vector<std::string> code;
+  std::vector<std::string> comment;
 };
 
 std::vector<std::string> SplitLines(std::string_view text) {
@@ -43,25 +53,59 @@ std::vector<std::string> SplitLines(std::string_view text) {
   return lines;
 }
 
-// Blanks comments and string/char literal bodies, preserving line lengths
-// so columns and line numbers stay aligned with the raw text.
-std::vector<std::string> StripCode(const std::vector<std::string>& raw) {
-  enum class State { kCode, kBlockComment, kString, kChar };
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when the '"' at `quote` opens a raw string literal: it is directly
+// preceded by an encoding prefix ending in R (R, uR, UR, LR, u8R) that is
+// itself a whole token.
+bool IsRawStringQuote(const std::string& line, size_t quote) {
+  static const char* kPrefixes[] = {"u8R", "uR", "UR", "LR", "R"};
+  for (const char* prefix : kPrefixes) {
+    size_t len = std::char_traits<char>::length(prefix);
+    if (quote >= len && line.compare(quote - len, len, prefix) == 0 &&
+        (quote == len || !IsIdentChar(line[quote - len - 1]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Fills the code and comment views. Handles //, /* */, "..." (with
+// escapes), '...' and raw string literals R"delim(...)delim", which obey
+// no escape rules and may span physical lines.
+void StripCode(Source* src) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
   State state = State::kCode;
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  for (const std::string& line : raw) {
+  std::string raw_end;  // the ")delim\"" that closes the active raw string
+  for (const std::string& line : src->raw) {
     std::string code(line.size(), ' ');
+    std::string comment(line.size(), ' ');
     for (size_t i = 0; i < line.size(); ++i) {
       char c = line[i];
       char next = i + 1 < line.size() ? line[i + 1] : '\0';
       switch (state) {
         case State::kCode:
           if (c == '/' && next == '/') {
+            for (size_t j = i; j < line.size(); ++j) comment[j] = line[j];
             i = line.size();  // rest of the line is a comment
           } else if (c == '/' && next == '*') {
             state = State::kBlockComment;
             ++i;
+          } else if (c == '"' && IsRawStringQuote(line, i)) {
+            size_t open = line.find('(', i + 1);
+            if (open == std::string::npos) {
+              // Malformed (no delimiter opener on the line); degrade to a
+              // plain string so scanning still terminates at EOL.
+              code[i] = '"';
+              state = State::kString;
+            } else {
+              raw_end = ")" + line.substr(i + 1, open - i - 1) + "\"";
+              code[i] = '"';
+              i = open;
+              state = State::kRawString;
+            }
           } else if (c == '"') {
             code[i] = '"';
             state = State::kString;
@@ -76,6 +120,8 @@ std::vector<std::string> StripCode(const std::vector<std::string>& raw) {
           if (c == '*' && next == '/') {
             state = State::kCode;
             ++i;
+          } else {
+            comment[i] = c;
           }
           break;
         case State::kString:
@@ -94,17 +140,28 @@ std::vector<std::string> StripCode(const std::vector<std::string>& raw) {
             state = State::kCode;
           }
           break;
+        case State::kRawString:
+          if (line.compare(i, raw_end.size(), raw_end) == 0) {
+            i += raw_end.size() - 1;
+            code[i] = '"';
+            state = State::kCode;
+          }
+          break;
       }
     }
-    // Unterminated string/char literals do not span lines in valid C++.
+    // Unterminated plain string/char literals do not span lines in valid
+    // C++; raw strings and block comments do.
     if (state == State::kString || state == State::kChar) state = State::kCode;
-    out.push_back(std::move(code));
+    src->code.push_back(std::move(code));
+    src->comment.push_back(std::move(comment));
   }
-  return out;
 }
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+Source BuildSource(std::string_view content) {
+  Source src;
+  src.raw = SplitLines(content);
+  StripCode(&src);
+  return src;
 }
 
 std::string Trimmed(const std::string& s) {
@@ -115,15 +172,16 @@ std::string Trimmed(const std::string& s) {
 }
 
 // ---------------------------------------------------------------------------
-// Suppressions: `ida-lint: allow(rule-a, rule-b)` on the finding's line or
-// anywhere in the contiguous `//` comment block directly above it, so a
-// multi-line justification can lead with the directive.
+// Suppressions: `ida-lint: allow(<rule-a>, <rule-b>)` in comment text on the
+// finding's line or anywhere in the contiguous `//` comment block directly
+// above it, so a multi-line justification can lead with the directive.
 // ---------------------------------------------------------------------------
 
-std::vector<std::string> AllowedRulesOn(const std::string& raw_line) {
+std::vector<std::string> AllowedRulesOn(const std::string& comment_line) {
   std::vector<std::string> rules;
   static const std::regex kAllow(R"(ida-lint:\s*allow\(([^)]*)\))");
-  auto begin = std::sregex_iterator(raw_line.begin(), raw_line.end(), kAllow);
+  auto begin =
+      std::sregex_iterator(comment_line.begin(), comment_line.end(), kAllow);
   for (auto it = begin; it != std::sregex_iterator(); ++it) {
     std::stringstream list((*it)[1].str());
     std::string rule;
@@ -135,42 +193,57 @@ std::vector<std::string> AllowedRulesOn(const std::string& raw_line) {
   return rules;
 }
 
-bool HasAllow(const std::string& raw_line, const std::string& rule) {
-  for (const std::string& allowed : AllowedRulesOn(raw_line)) {
+bool HasAllow(const std::string& comment_line, const std::string& rule) {
+  for (const std::string& allowed : AllowedRulesOn(comment_line)) {
     if (allowed == rule) return true;
   }
   return false;
 }
 
+// The 0-based line indexes whose directives cover a finding on
+// `line_index`: the line itself plus the contiguous `//` block above.
+std::vector<size_t> SuppressorLines(const Source& src, size_t line_index) {
+  std::vector<size_t> lines{line_index};
+  for (size_t i = line_index; i > 0; --i) {
+    if (Trimmed(src.raw[i - 1]).rfind("//", 0) != 0) break;
+    lines.push_back(i - 1);
+  }
+  return lines;
+}
+
 bool IsSuppressed(const Source& src, size_t line_index,
                   const std::string& rule) {
-  if (HasAllow(src.raw[line_index], rule)) return true;
-  // Walk upward through the comment block (if any) above the finding.
-  for (size_t i = line_index; i > 0; --i) {
-    const std::string trimmed = Trimmed(src.raw[i - 1]);
-    if (trimmed.rfind("//", 0) != 0) break;
-    if (HasAllow(src.raw[i - 1], rule)) return true;
+  for (size_t li : SuppressorLines(src, line_index)) {
+    if (HasAllow(src.comment[li], rule)) return true;
   }
   return false;
 }
 
-// A small builder so every rule emits through one suppression-aware path.
+// A small builder so every rule emits through one path. Stage one applies
+// suppression at emit time; the project stage collects raw findings first
+// (the suppression audit needs to see what a directive would suppress) and
+// filters at the end.
 class Reporter {
  public:
-  Reporter(std::string path, const Source& src, std::vector<Finding>* out)
-      : path_(std::move(path)), src_(src), out_(out) {}
+  Reporter(std::string path, const Source& src, std::vector<Finding>* out,
+           bool apply_suppression = true)
+      : path_(std::move(path)),
+        src_(src),
+        out_(out),
+        apply_suppression_(apply_suppression) {}
 
   void Report(size_t line_index, const std::string& rule,
               const std::string& message) {
-    if (IsSuppressed(src_, line_index, rule)) return;
-    out_->push_back(Finding{path_, static_cast<int>(line_index) + 1, rule,
-                            message});
+    if (apply_suppression_ && IsSuppressed(src_, line_index, rule)) return;
+    out_->push_back(
+        Finding{path_, static_cast<int>(line_index) + 1, rule, message});
   }
 
  private:
   std::string path_;
   const Source& src_;
   std::vector<Finding>* out_;
+  bool apply_suppression_;
 };
 
 // ---------------------------------------------------------------------------
@@ -280,7 +353,8 @@ struct UnorderedDecl {
 
 std::vector<UnorderedDecl> CollectUnorderedDecls(const Source& src) {
   std::vector<UnorderedDecl> decls;
-  static const std::regex kWord(R"(\bunordered_(?:map|set|multimap|multiset)\b)");
+  static const std::regex kWord(
+      R"(\bunordered_(?:map|set|multimap|multiset)\b)");
   for (size_t li = 0; li < src.code.size(); ++li) {
     const std::string& line = src.code[li];
     for (auto it = std::sregex_iterator(line.begin(), line.end(), kWord);
@@ -463,7 +537,7 @@ const char* kByteCastMsg =
     "cast with ida-lint: allow(byte-cast)";
 
 // ---------------------------------------------------------------------------
-// Rules
+// File-local rules
 // ---------------------------------------------------------------------------
 
 void CheckUnorderedIter(const Source& src, Reporter* reporter) {
@@ -653,6 +727,715 @@ bool IsHeaderPath(const std::string& path) {
   return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
 }
 
+// Runs every file-local rule on one source through `reporter`.
+void RunFileChecks(const std::string& path, const Source& src,
+                   Reporter* reporter) {
+  CheckUnorderedIter(src, reporter);
+  CheckRawRandom(path, src, reporter);
+  CheckWallClock(src, reporter);
+  CheckFloatEq(src, reporter);
+  CheckSanitizerHostile(src, reporter);
+  CheckByteCast(path, src, reporter);
+  if (IsHeaderPath(path)) {
+    CheckIncludeGuard(src, reporter);
+    CheckDocComment(src, reporter);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file stage: shared project model
+// ---------------------------------------------------------------------------
+
+// One file of the project with everything the semantic passes need.
+struct ProjectFile {
+  std::string path;    // as reported
+  std::string stem;    // path minus extension (scopes the bare-name check)
+  std::string rel;     // path relative to src_root; "" when outside it
+  std::string module;  // first component of rel; "" when none
+  Source src;
+  std::vector<std::pair<size_t, std::string>> includes;  // line, "target"
+};
+
+std::string PathStem(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// `path` relative to `root` with '/' separators, or "" when not under it.
+std::string RelativeTo(const std::string& root, const std::string& path) {
+  if (root.empty()) return "";
+  std::filesystem::path r = std::filesystem::path(root).lexically_normal();
+  std::filesystem::path p = std::filesystem::path(path).lexically_normal();
+  std::string rel = p.lexically_relative(r).generic_string();
+  if (rel.empty() || rel == "." || rel.rfind("..", 0) == 0) return "";
+  return rel;
+}
+
+std::vector<std::pair<size_t, std::string>> CollectIncludes(
+    const Source& src) {
+  std::vector<std::pair<size_t, std::string>> out;
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  for (size_t li = 0; li < src.raw.size(); ++li) {
+    std::smatch m;
+    if (std::regex_search(src.raw[li], m, kInclude)) {
+      out.emplace_back(li, m[1].str());
+    }
+  }
+  return out;
+}
+
+ProjectFile BuildProjectFile(const std::string& path,
+                             std::string_view content,
+                             const std::string& src_root) {
+  ProjectFile f;
+  f.path = path;
+  f.stem = PathStem(path);
+  f.rel = RelativeTo(src_root, path);
+  size_t slash = f.rel.find('/');
+  if (slash != std::string::npos) f.module = f.rel.substr(0, slash);
+  f.src = BuildSource(content);
+  f.includes = CollectIncludes(f.src);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Lock-discipline pass. Lexical approximation of clang -Wthread-safety:
+// IDA_GUARDED_BY(mu) field declarations are collected project-wide, and
+// every access to such a field is checked against the set of mutexes held
+// in the enclosing scope (MutexLock / std::lock_guard / unique_lock /
+// scoped_lock declarations, manual .lock()/.unlock(), and IDA_REQUIRES
+// annotations on the enclosing function, resolved by name across files).
+// Scopes are brace-tracked; a lambda body inherits the scopes it is
+// written in. Bare member names are only checked in the declaring header
+// and its same-stem sibling; `base.field` accesses are checked wherever
+// `base` is declared with the field's owning type.
+// ---------------------------------------------------------------------------
+
+struct GuardedField {
+  std::string name;
+  std::string mutex;  // normalized guard expression, e.g. "mu_" or "mu"
+  std::string owner;  // enclosing class/struct name ("" at file scope)
+  std::string file;   // declaring file path
+  size_t macro_line = 0;
+  size_t name_line = 0;
+  bool member_style = false;  // name ends in '_' => bare-access checking
+};
+
+// Map from function name to every mutex expression some declaration of
+// that name requires (IDA_REQUIRES on the prototype or the definition).
+// Keyed by bare name: a collision with an unannotated same-named function
+// can only over-hold, which trades a missed finding for no false positive.
+using RequiresTable = std::map<std::string, std::set<std::string>>;
+
+// Content of the balanced paren group whose '(' is at line[open], or ""
+// when it does not close on the same line.
+std::string ParenContent(const std::string& line, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < line.size(); ++i) {
+    if (line[i] == '(') {
+      ++depth;
+    } else if (line[i] == ')' && --depth == 0) {
+      return line.substr(open + 1, i - open - 1);
+    }
+  }
+  return "";
+}
+
+// Canonical spelling of a mutex expression: spaces out, -> folded to .,
+// leading & and this. stripped, so `&shard.mu`, `this->mu_` and `mu_`
+// compare the way a reader expects.
+std::string NormalizeMutexExpr(const std::string& expr) {
+  std::string tight;
+  for (char c : expr) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) tight.push_back(c);
+  }
+  std::string dotted;
+  for (size_t i = 0; i < tight.size(); ++i) {
+    if (tight[i] == '-' && i + 1 < tight.size() && tight[i + 1] == '>') {
+      dotted.push_back('.');
+      ++i;
+    } else {
+      dotted.push_back(tight[i]);
+    }
+  }
+  if (!dotted.empty() && dotted[0] == '&') dotted.erase(0, 1);
+  if (dotted.rfind("this.", 0) == 0) dotted.erase(0, 5);
+  return dotted;
+}
+
+std::vector<std::string> SplitTopLevelCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream stream(s);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    part = Trimmed(part);
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+// The identifier token immediately before column `col` of line `li` in the
+// code view, skipping whitespace backwards across up to 3 lines (guarded
+// declarations may wrap the annotation onto a continuation line).
+bool PrecedingIdentifier(const Source& src, size_t li, size_t col,
+                         std::string* name, size_t* name_line) {
+  size_t row = li;
+  size_t i = col;
+  for (;;) {
+    const std::string& line = src.code[row];
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(line[i - 1])) != 0) {
+      --i;
+    }
+    if (i > 0) break;
+    if (row == 0 || li - row >= 3) return false;
+    --row;
+    i = src.code[row].size();
+  }
+  const std::string& line = src.code[row];
+  size_t end = i;
+  while (i > 0 && IsIdentChar(line[i - 1])) --i;
+  if (i == end) return false;
+  *name = line.substr(i, end - i);
+  *name_line = row;
+  return true;
+}
+
+// Innermost named class/struct enclosing each line's start (brace scan
+// over the code view; "" at namespace/function scope).
+std::vector<std::string> EnclosingTypePerLine(const Source& src) {
+  std::vector<std::string> result(src.code.size());
+  struct Open {
+    std::string name;
+    int depth;
+  };
+  std::vector<Open> stack;
+  int depth = 0;
+  std::string pending;
+  static const std::regex kType(R"(\b(class|struct)\s+([A-Za-z_]\w*))");
+  for (size_t li = 0; li < src.code.size(); ++li) {
+    std::string innermost;
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (!it->name.empty()) {
+        innermost = it->name;
+        break;
+      }
+    }
+    result[li] = innermost;
+    const std::string& line = src.code[li];
+    std::map<size_t, std::string> names_at;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kType);
+         it != std::sregex_iterator(); ++it) {
+      names_at[static_cast<size_t>(it->position(0))] = (*it)[2].str();
+    }
+    for (size_t col = 0; col < line.size(); ++col) {
+      auto found = names_at.find(col);
+      if (found != names_at.end()) pending = found->second;
+      char c = line[col];
+      if (c == '{') {
+        ++depth;
+        stack.push_back(Open{pending, depth});
+        pending.clear();
+      } else if (c == '}') {
+        if (!stack.empty() && stack.back().depth == depth) stack.pop_back();
+        --depth;
+      } else if (c == ';') {
+        pending.clear();  // forward declaration
+      }
+    }
+  }
+  return result;
+}
+
+void CollectGuardedFields(const ProjectFile& f,
+                          std::vector<GuardedField>* out) {
+  std::vector<std::string> owner_at = EnclosingTypePerLine(f.src);
+  static const char* kMacros[] = {"IDA_GUARDED_BY(", "IDA_PT_GUARDED_BY("};
+  for (size_t li = 0; li < f.src.code.size(); ++li) {
+    const std::string& line = f.src.code[li];
+    if (Trimmed(line).rfind("#", 0) == 0) continue;  // the macro definitions
+    for (const char* macro : kMacros) {
+      size_t macro_len = std::char_traits<char>::length(macro);
+      size_t pos = 0;
+      while ((pos = line.find(macro, pos)) != std::string::npos) {
+        size_t at = pos;
+        size_t open = pos + macro_len - 1;
+        pos = open;
+        if (at > 0 && IsIdentChar(line[at - 1])) continue;
+        std::string mu = ParenContent(line, open);
+        if (mu.empty()) continue;
+        GuardedField gf;
+        if (!PrecedingIdentifier(f.src, li, at, &gf.name, &gf.name_line)) {
+          continue;
+        }
+        gf.mutex = NormalizeMutexExpr(mu);
+        gf.owner = owner_at[gf.name_line];
+        gf.file = f.path;
+        gf.macro_line = li;
+        gf.member_style = !gf.name.empty() && gf.name.back() == '_';
+        out->push_back(std::move(gf));
+      }
+    }
+  }
+}
+
+// Scans backwards from the IDA_REQUIRES macro at (li, col) over optional
+// trailing qualifiers and the balanced parameter list to the function
+// name; "" when the shape is not a function signature.
+std::string RequiresFunctionName(const Source& src, size_t li, size_t col) {
+  size_t row = li;
+  size_t i = col;
+  auto skip_ws = [&]() -> bool {
+    for (;;) {
+      const std::string& line = src.code[row];
+      while (i > 0 &&
+             std::isspace(static_cast<unsigned char>(line[i - 1])) != 0) {
+        --i;
+      }
+      if (i > 0) return true;
+      if (row == 0 || li - row >= 8) return false;
+      --row;
+      i = src.code[row].size();
+    }
+  };
+  if (!skip_ws()) return "";
+  for (;;) {  // trailing qualifiers between ')' and the annotation
+    const std::string& line = src.code[row];
+    size_t end = i;
+    size_t start = end;
+    while (start > 0 && IsIdentChar(line[start - 1])) --start;
+    if (start == end) break;
+    std::string word = line.substr(start, end - start);
+    if (word != "const" && word != "noexcept" && word != "override") break;
+    i = start;
+    if (!skip_ws()) return "";
+  }
+  if (src.code[row][i - 1] != ')') return "";
+  int depth = 0;
+  bool matched = false;
+  while (!matched) {
+    const std::string& line = src.code[row];
+    while (i > 0) {
+      char c = line[i - 1];
+      --i;
+      if (c == ')') ++depth;
+      if (c == '(' && --depth == 0) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) break;
+    if (row == 0 || li - row >= 8) return "";
+    --row;
+    i = src.code[row].size();
+  }
+  if (!skip_ws()) return "";
+  const std::string& line = src.code[row];
+  size_t end = i;
+  size_t start = end;
+  while (start > 0 && IsIdentChar(line[start - 1])) --start;
+  if (start == end) return "";
+  return line.substr(start, end - start);
+}
+
+void CollectRequires(const ProjectFile& f, RequiresTable* table) {
+  static const std::string kMacro = "IDA_REQUIRES(";
+  for (size_t li = 0; li < f.src.code.size(); ++li) {
+    const std::string& line = f.src.code[li];
+    if (Trimmed(line).rfind("#", 0) == 0) continue;  // the macro definition
+    size_t pos = 0;
+    while ((pos = line.find(kMacro, pos)) != std::string::npos) {
+      size_t at = pos;
+      size_t open = pos + kMacro.size() - 1;
+      pos = open;
+      if (at > 0 && IsIdentChar(line[at - 1])) continue;
+      std::string content = ParenContent(line, open);
+      if (content.empty()) continue;
+      std::string fn = RequiresFunctionName(f.src, li, at);
+      if (fn.empty()) continue;
+      for (const std::string& mu : SplitTopLevelCommas(content)) {
+        (*table)[fn].insert(NormalizeMutexExpr(mu));
+      }
+    }
+  }
+}
+
+void CheckLockDiscipline(const ProjectFile& f,
+                         const std::vector<GuardedField>& all_fields,
+                         const RequiresTable& requires_fns,
+                         Reporter* reporter) {
+  // Fields visible here: declared in this file or in an included one.
+  std::vector<const GuardedField*> fields;
+  for (const GuardedField& gf : all_fields) {
+    bool visible = gf.file == f.path;
+    for (size_t i = 0; !visible && i < f.includes.size(); ++i) {
+      const std::string& target = f.includes[i].second;
+      visible = gf.file == target || EndsWith(gf.file, "/" + target);
+    }
+    if (visible) fields.push_back(&gf);
+  }
+  if (fields.empty()) return;
+
+  auto bare_checked = [&](const GuardedField& gf) {
+    return gf.member_style &&
+           (gf.file == f.path || PathStem(gf.file) == f.stem);
+  };
+
+  // Variables declared with a guarded owner type, for base.field accesses.
+  std::map<std::string, std::set<std::string>> typed;
+  for (const GuardedField* gf : fields) {
+    if (gf->owner.empty() || typed.count(gf->owner) > 0) continue;
+    std::regex decl("\\b" + gf->owner + "[\\s&*]+([A-Za-z_]\\w*)");
+    std::set<std::string>& vars = typed[gf->owner];
+    for (const std::string& line : f.src.code) {
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), decl);
+           it != std::sregex_iterator(); ++it) {
+        vars.insert((*it)[1].str());
+      }
+    }
+  }
+
+  static const std::regex kScopedLock(
+      R"(\b(?:MutexLock|lock_guard|unique_lock|scoped_lock)\b[^();]*\(([^()]*)\))");
+  static const std::regex kManualLock(
+      R"(((?:[A-Za-z_]\w*)(?:(?:\.|->)[A-Za-z_]\w*)*)\s*(?:\.|->)\s*(un)?lock\s*\(\s*\))");
+  static const std::regex kCallable(R"(([A-Za-z_]\w*)\s*\()");
+
+  std::vector<std::pair<std::string, int>> held;  // expr, scope depth
+  int depth = 0;
+  std::string pending;  // statement/signature text since the last ; { }
+
+  auto held_has = [&](const std::string& expr) {
+    for (const auto& h : held) {
+      if (h.first == expr) return true;
+    }
+    return false;
+  };
+  auto enter_scope = [&]() {
+    ++depth;
+    for (auto it = std::sregex_iterator(pending.begin(), pending.end(),
+                                        kCallable);
+         it != std::sregex_iterator(); ++it) {
+      auto found = requires_fns.find((*it)[1].str());
+      if (found == requires_fns.end()) continue;
+      for (const std::string& mu : found->second) held.emplace_back(mu, depth);
+    }
+    size_t rp = 0;
+    static const std::string kReq = "IDA_REQUIRES(";
+    while ((rp = pending.find(kReq, rp)) != std::string::npos) {
+      std::string content = ParenContent(pending, rp + kReq.size() - 1);
+      for (const std::string& mu : SplitTopLevelCommas(content)) {
+        held.emplace_back(NormalizeMutexExpr(mu), depth);
+      }
+      ++rp;
+    }
+    pending.clear();
+  };
+
+  struct Event {
+    size_t col;
+    int kind;  // 0 = acquire, 1 = release, 2 = access
+    std::string expr;
+    const GuardedField* gf = nullptr;
+  };
+
+  for (size_t li = 0; li < f.src.code.size(); ++li) {
+    const std::string& line = f.src.code[li];
+    if (Trimmed(line).rfind("#", 0) == 0) continue;
+
+    std::vector<Event> events;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        kScopedLock);
+         it != std::sregex_iterator(); ++it) {
+      for (const std::string& arg : SplitTopLevelCommas((*it)[1].str())) {
+        events.push_back(Event{static_cast<size_t>(it->position(0)), 0,
+                               NormalizeMutexExpr(arg), nullptr});
+      }
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        kManualLock);
+         it != std::sregex_iterator(); ++it) {
+      events.push_back(Event{static_cast<size_t>(it->position(0)),
+                             (*it)[2].matched ? 1 : 0,
+                             NormalizeMutexExpr((*it)[1].str()), nullptr});
+    }
+    for (const GuardedField* gf : fields) {
+      size_t pos = 0;
+      while ((pos = line.find(gf->name, pos)) != std::string::npos) {
+        size_t at = pos;
+        size_t end = pos + gf->name.size();
+        pos = end;
+        if (end < line.size() && IsIdentChar(line[end])) continue;
+        if (at > 0 && IsIdentChar(line[at - 1])) continue;
+        if (f.path == gf->file &&
+            (li == gf->macro_line || li == gf->name_line)) {
+          continue;  // the declaration itself
+        }
+        bool dot = at >= 1 && line[at - 1] == '.';
+        bool arrow = at >= 2 && line[at - 2] == '-' && line[at - 1] == '>';
+        if (at >= 1 && line[at - 1] == ':') continue;  // qualified name
+        if (dot || arrow) {
+          size_t be = dot ? at - 1 : at - 2;
+          size_t bs = be;
+          while (bs > 0 && IsIdentChar(line[bs - 1])) --bs;
+          if (bs == be) continue;  // complex base expression: out of reach
+          std::string base = line.substr(bs, be - bs);
+          if (base == "this") {
+            if (bare_checked(*gf)) {
+              events.push_back(Event{at, 2, gf->mutex, gf});
+            }
+          } else if (!gf->owner.empty() && typed.count(gf->owner) > 0 &&
+                     typed[gf->owner].count(base) > 0) {
+            events.push_back(Event{at, 2, base + "." + gf->mutex, gf});
+          }
+        } else if (bare_checked(*gf)) {
+          events.push_back(Event{at, 2, gf->mutex, gf});
+        }
+      }
+    }
+
+    if (events.empty() && line.find('{') == std::string::npos &&
+        line.find('}') == std::string::npos &&
+        line.find(';') == std::string::npos) {
+      pending += line;
+      pending += ' ';
+      continue;
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.col < b.col;
+                     });
+    size_t ei = 0;
+    for (size_t col = 0; col <= line.size(); ++col) {
+      for (; ei < events.size() && events[ei].col == col; ++ei) {
+        const Event& e = events[ei];
+        if (e.kind == 0) {
+          held.emplace_back(e.expr, depth);
+        } else if (e.kind == 1) {
+          for (size_t h = held.size(); h > 0; --h) {
+            if (held[h - 1].first == e.expr) {
+              held.erase(held.begin() + static_cast<long>(h) - 1);
+              break;
+            }
+          }
+        } else if (!held_has(e.expr)) {
+          reporter->Report(
+              li, "lock-discipline",
+              "field '" + e.gf->name + "' is declared IDA_GUARDED_BY(" +
+                  e.gf->mutex + ") at " + e.gf->file + ":" +
+                  std::to_string(e.gf->name_line + 1) +
+                  " but is accessed without '" + e.expr +
+                  "' held; acquire it in this scope (ida::MutexLock) or "
+                  "mark the enclosing function IDA_REQUIRES");
+        }
+      }
+      if (col == line.size()) break;
+      char c = line[col];
+      if (c == '{') {
+        enter_scope();
+      } else if (c == '}') {
+        --depth;
+        while (!held.empty() && held.back().second > depth) held.pop_back();
+        pending.clear();
+      } else if (c == ';') {
+        pending.clear();
+      } else {
+        pending.push_back(c);
+      }
+    }
+    pending += ' ';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Module-layering pass: the #include graph over src_root must stay inside
+// the DAG declared in the layering table.
+// ---------------------------------------------------------------------------
+
+void CheckLayering(const std::vector<ProjectFile>& files,
+                   const ProjectOptions& options,
+                   std::vector<Finding>* out) {
+  if (options.src_root.empty() || options.layering_table.empty()) return;
+  std::string table_path =
+      options.layering_path.empty() ? "layering.txt" : options.layering_path;
+
+  std::map<std::string, std::set<std::string>> allowed;
+  std::map<std::string, size_t> decl_line;
+  std::vector<std::string> order;
+  std::vector<std::string> table_lines = SplitLines(options.layering_table);
+  for (size_t li = 0; li < table_lines.size(); ++li) {
+    std::string line = table_lines[li];
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trimmed(line);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      out->push_back(Finding{table_path, static_cast<int>(li) + 1, "layering",
+                             "malformed layering line: expected "
+                             "'module: allowed-module ...'"});
+      continue;
+    }
+    std::string mod = Trimmed(line.substr(0, colon));
+    if (mod.empty() || allowed.count(mod) > 0) {
+      out->push_back(Finding{table_path, static_cast<int>(li) + 1, "layering",
+                             mod.empty() ? "layering line declares no module"
+                                         : "module '" + mod +
+                                               "' is declared twice"});
+      continue;
+    }
+    order.push_back(mod);
+    decl_line[mod] = li;
+    std::set<std::string>& deps = allowed[mod];
+    std::stringstream rest(line.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) {
+      if (dep != mod) deps.insert(dep);
+    }
+  }
+
+  for (const std::string& mod : order) {
+    for (const std::string& dep : allowed[mod]) {
+      if (allowed.count(dep) == 0) {
+        out->push_back(
+            Finding{table_path, static_cast<int>(decl_line[mod]) + 1,
+                    "layering",
+                    "module '" + mod + "' allows undeclared module '" + dep +
+                        "'"});
+      }
+    }
+  }
+
+  // The declared graph must be a DAG: depth-first search with an explicit
+  // on-path set; the first back edge reports the whole cycle.
+  std::map<std::string, int> color;  // 0 = new, 1 = on path, 2 = done
+  std::vector<std::string> path;
+  bool cycle_reported = false;
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& mod) {
+        if (cycle_reported || color[mod] == 2) return;
+        if (color[mod] == 1) {
+          std::string desc;
+          size_t start = 0;
+          while (start < path.size() && path[start] != mod) ++start;
+          for (size_t i = start; i < path.size(); ++i) {
+            desc += path[i] + " -> ";
+          }
+          desc += mod;
+          out->push_back(
+              Finding{table_path, static_cast<int>(decl_line[mod]) + 1,
+                      "layering",
+                      "layering table contains a cycle: " + desc});
+          cycle_reported = true;
+          return;
+        }
+        color[mod] = 1;
+        path.push_back(mod);
+        for (const std::string& dep : allowed[mod]) {
+          if (allowed.count(dep) > 0) visit(dep);
+        }
+        path.pop_back();
+        color[mod] = 2;
+      };
+  for (const std::string& mod : order) visit(mod);
+
+  for (const ProjectFile& f : files) {
+    if (f.module.empty()) continue;
+    if (allowed.count(f.module) == 0) {
+      out->push_back(Finding{f.path, 1, "layering",
+                             "module '" + f.module + "' (" + f.rel +
+                                 ") is not declared in " + table_path});
+      continue;
+    }
+    for (const auto& [li, target] : f.includes) {
+      size_t slash = target.find('/');
+      if (slash == std::string::npos) continue;  // local / non-module
+      std::string to = target.substr(0, slash);
+      if (allowed.count(to) == 0) continue;  // not a src/ module
+      if (to == f.module) continue;
+      if (allowed[f.module].count(to) == 0) {
+        out->push_back(
+            Finding{f.path, static_cast<int>(li) + 1, "layering",
+                    "#include \"" + target + "\" crosses module edge '" +
+                        f.module + " -> " + to + "', which " + table_path +
+                        " does not allow"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppression audit: every allow(...) directive must still cover at least
+// one raw (pre-suppression) finding of that rule, so stale suppressions
+// cannot linger and silently swallow future findings.
+// ---------------------------------------------------------------------------
+
+void CheckSuppressionAudit(const std::vector<ProjectFile>& files,
+                           const std::vector<Finding>& raw,
+                           std::vector<Finding>* out) {
+  std::map<std::string, const ProjectFile*> by_path;
+  for (const ProjectFile& f : files) by_path[f.path] = &f;
+
+  std::set<std::tuple<std::string, size_t, std::string>> live;
+  for (const Finding& fd : raw) {
+    auto it = by_path.find(fd.file);
+    if (it == by_path.end()) continue;
+    size_t li = fd.line > 0 ? static_cast<size_t>(fd.line) - 1 : 0;
+    if (li >= it->second->src.raw.size()) continue;
+    for (size_t s : SuppressorLines(it->second->src, li)) {
+      live.insert({fd.file, s, fd.rule});
+    }
+  }
+
+  for (const ProjectFile& f : files) {
+    for (size_t li = 0; li < f.src.comment.size(); ++li) {
+      for (const std::string& rule : AllowedRulesOn(f.src.comment[li])) {
+        // `allow(stale-suppression)` is the audit's own escape hatch and
+        // `<rule>`-style placeholders are documentation, not directives.
+        if (rule == "stale-suppression") continue;
+        if (rule.find('<') != std::string::npos ||
+            rule.find('>') != std::string::npos) {
+          continue;
+        }
+        if (!IsKnownRule(rule) && rule != "io-error") {
+          out->push_back(Finding{
+              f.path, static_cast<int>(li) + 1, "stale-suppression",
+              "suppression names unknown rule '" + rule +
+                  "'; see ida_lint --list-rules for the registry"});
+          continue;
+        }
+        if (live.count({f.path, li, rule}) == 0) {
+          out->push_back(Finding{
+              f.path, static_cast<int>(li) + 1, "stale-suppression",
+              "'allow(" + rule + ")' no longer suppresses any finding of "
+              "that rule on the lines it covers; remove the stale "
+              "directive"});
+        }
+      }
+    }
+  }
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() {
@@ -680,6 +1463,17 @@ const std::vector<RuleInfo>& Rules() {
        "no reinterpret_cast to pointer types outside the sanctioned "
        "byte-reading layer (common/binio.h, common/mapped_file.*, "
        "engine/artifact_v4.*)"},
+      {"lock-discipline",
+       "no access to an IDA_GUARDED_BY(mu) field outside a scope that "
+       "acquires mu or a function marked IDA_REQUIRES(mu) "
+       "(common/thread_annotations.h)"},
+      {"layering",
+       "no #include across a src/ module edge outside the declared DAG in "
+       "tools/ida_lint/layering.txt (and the table itself must be an "
+       "acyclic cover of the module set)"},
+      {"stale-suppression",
+       "no ida-lint: allow(...) comment that no longer suppresses a real "
+       "finding of that rule (suppressions must not rot in place)"},
   };
   return kRules;
 }
@@ -693,23 +1487,12 @@ bool IsKnownRule(std::string_view id) {
 
 std::vector<Finding> LintSource(std::string_view path,
                                 std::string_view content) {
-  Source src;
-  src.raw = SplitLines(content);
-  src.code = StripCode(src.raw);
+  Source src = BuildSource(content);
   std::string path_str(path);
 
   std::vector<Finding> findings;
   Reporter reporter(path_str, src, &findings);
-  CheckUnorderedIter(src, &reporter);
-  CheckRawRandom(path_str, src, &reporter);
-  CheckWallClock(src, &reporter);
-  CheckFloatEq(src, &reporter);
-  CheckSanitizerHostile(src, &reporter);
-  CheckByteCast(path_str, src, &reporter);
-  if (IsHeaderPath(path_str)) {
-    CheckIncludeGuard(src, &reporter);
-    CheckDocComment(src, &reporter);
-  }
+  RunFileChecks(path_str, src, &reporter);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -751,6 +1534,200 @@ int LintTree(const std::filesystem::path& root,
 std::string FormatFinding(const Finding& f) {
   std::ostringstream os;
   os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+std::vector<Finding> LintProjectSources(const std::vector<SourceFile>& files,
+                                        const ProjectOptions& options) {
+  std::vector<ProjectFile> project;
+  project.reserve(files.size());
+  for (const SourceFile& sf : files) {
+    project.push_back(BuildProjectFile(sf.path, sf.content, options.src_root));
+  }
+
+  // Every pass reports raw (unsuppressed) findings first: the suppression
+  // audit needs to see what a directive *would* suppress before the final
+  // filter takes the directives into account.
+  std::vector<Finding> raw;
+  for (const ProjectFile& f : project) {
+    Reporter reporter(f.path, f.src, &raw, /*apply_suppression=*/false);
+    RunFileChecks(f.path, f.src, &reporter);
+  }
+
+  std::vector<GuardedField> fields;
+  RequiresTable requires_fns;
+  for (const ProjectFile& f : project) {
+    CollectGuardedFields(f, &fields);
+    CollectRequires(f, &requires_fns);
+  }
+  for (const ProjectFile& f : project) {
+    Reporter reporter(f.path, f.src, &raw, /*apply_suppression=*/false);
+    CheckLockDiscipline(f, fields, requires_fns, &reporter);
+  }
+
+  CheckLayering(project, options, &raw);
+
+  // Stale-suppression findings are raw findings too: an
+  // `allow(stale-suppression)` directive can silence one, and is itself
+  // exempt from the audit so the escape hatch cannot recurse.
+  std::vector<Finding> stale;
+  CheckSuppressionAudit(project, raw, &stale);
+  raw.insert(raw.end(), stale.begin(), stale.end());
+
+  std::map<std::string, const ProjectFile*> by_path;
+  for (const ProjectFile& f : project) by_path[f.path] = &f;
+  std::vector<Finding> findings;
+  for (const Finding& fd : raw) {
+    auto it = by_path.find(fd.file);
+    if (it != by_path.end() && fd.line > 0) {
+      size_t li = static_cast<size_t>(fd.line) - 1;
+      if (li < it->second->src.raw.size() &&
+          IsSuppressed(it->second->src, li, fd.rule)) {
+        continue;
+      }
+    }
+    findings.push_back(fd);
+  }
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> LintProject(
+    const std::vector<std::filesystem::path>& paths,
+    const ProjectOptions& options, int* files_scanned) {
+  std::vector<Finding> io_findings;
+  ProjectOptions opt = options;
+  if (!opt.layering_path.empty() && opt.layering_table.empty()) {
+    std::ifstream in(opt.layering_path, std::ios::binary);
+    if (!in) {
+      io_findings.push_back(Finding{opt.layering_path, 0, "io-error",
+                                    "cannot read layering table"});
+    } else {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      opt.layering_table = buffer.str();
+    }
+  }
+
+  std::vector<std::filesystem::path> expanded;
+  for (const std::filesystem::path& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (std::filesystem::recursive_directory_iterator it(path, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+          expanded.push_back(it->path());
+        }
+      }
+    } else {
+      expanded.push_back(path);
+    }
+  }
+  std::sort(expanded.begin(), expanded.end());
+  expanded.erase(std::unique(expanded.begin(), expanded.end()),
+                 expanded.end());
+
+  std::vector<SourceFile> sources;
+  sources.reserve(expanded.size());
+  for (const std::filesystem::path& file : expanded) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      io_findings.push_back(
+          Finding{file.string(), 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    sources.push_back(SourceFile{file.generic_string(), buffer.str()});
+  }
+  if (files_scanned != nullptr) {
+    *files_scanned = static_cast<int>(sources.size());
+  }
+
+  std::vector<Finding> findings = LintProjectSources(sources, opt);
+  findings.insert(findings.end(), io_findings.begin(), io_findings.end());
+  SortFindings(&findings);
+  return findings;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatFindingsJson(const std::vector<Finding>& findings,
+                               int files_scanned) {
+  // Registered rules first (in registry order, zeros included, so counts
+  // are diffable across runs), then any synthetic rule ids seen in the
+  // findings (e.g. "io-error"), sorted.
+  std::vector<std::pair<std::string, int>> counts;
+  std::map<std::string, size_t> index;
+  for (const RuleInfo& rule : Rules()) {
+    index[rule.id] = counts.size();
+    counts.emplace_back(rule.id, 0);
+  }
+  for (const Finding& f : findings) {
+    auto it = index.find(f.rule);
+    if (it == index.end()) {
+      index[f.rule] = counts.size();
+      counts.emplace_back(f.rule, 0);
+      it = index.find(f.rule);
+    }
+    ++counts[it->second].second;
+  }
+  std::sort(counts.begin() + static_cast<long>(Rules().size()), counts.end());
+
+  std::ostringstream os;
+  os << "{\n  \"files_scanned\": " << files_scanned << ",\n";
+  os << "  \"rule_counts\": {";
+  for (size_t i = 0; i < counts.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    \"" << JsonEscape(counts[i].first)
+       << "\": " << counts[i].second;
+  }
+  os << "\n  },\n";
+  os << "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"file\": \"" << JsonEscape(f.file)
+       << "\", \"line\": " << f.line << ", \"rule\": \""
+       << JsonEscape(f.rule) << "\", \"message\": \""
+       << JsonEscape(f.message) << "\"}";
+  }
+  os << "\n  ]\n}\n";
   return os.str();
 }
 

@@ -9,7 +9,7 @@
 // token-level heuristics, and every rule is pinned down by fixture tests
 // in tests/lint_test.cpp.
 //
-// Rules (see Rules() for the authoritative list):
+// The checker runs in two stages. Stage one is file-local (LintSource):
 //   unordered-iter     iteration over std::unordered_{map,set} — order is
 //                      unspecified and breaks artifact checksums / vote tie
 //                      order when it feeds serialization or output
@@ -31,10 +31,26 @@
 //                      alignment / strict-aliasing UB trap on artifact
 //                      buffers (integral targets like uintptr_t are fine)
 //
-// Suppression: a finding on line N is suppressed when line N or line N-1
-// contains `ida-lint: allow(<rule>)`, optionally with a justification
-// after a colon, e.g.
-//   // ida-lint: allow(float-eq): exact tie rule, max is copied bitwise
+// Stage two is cross-file (LintProject), over every file at once:
+//   lock-discipline    a field annotated IDA_GUARDED_BY(mu) in
+//                      common/thread_annotations.h vocabulary is accessed
+//                      in a scope that neither acquires `mu` (MutexLock,
+//                      std::lock_guard/unique_lock/scoped_lock, .lock())
+//                      nor belongs to a function marked IDA_REQUIRES(mu)
+//   layering           an #include crosses a src/ module edge that the
+//                      declared DAG in tools/ida_lint/layering.txt does
+//                      not allow (or the table itself has a cycle /
+//                      unknown module)
+//   stale-suppression  an `ida-lint: allow(<rule>)` comment that no longer
+//                      suppresses any finding of that rule (or names an
+//                      unknown rule), so suppressions cannot rot in place
+//
+// Suppression: a finding on line N is suppressed when line N or the
+// contiguous `//` comment block directly above it contains
+// `ida-lint: allow(<rule>)` in comment text, optionally with a
+// justification after a colon:  ida-lint: allow(<rule>): <why>
+// (Directives inside string literals are ignored; `<rule>` placeholders in
+// prose like the line above are exempt from the stale-suppression audit.)
 #pragma once
 
 #include <filesystem>
@@ -67,6 +83,7 @@ bool IsKnownRule(std::string_view id);
 /// Lints one translation unit given as an in-memory string. `path` is used
 /// for reporting, for header-only rules (files ending in .h) and for the
 /// built-in exemptions (e.g. common/rng.h may reference raw generators).
+/// Runs the file-local stage only; cross-file passes need LintProject.
 std::vector<Finding> LintSource(std::string_view path,
                                 std::string_view content);
 
@@ -75,11 +92,53 @@ std::vector<Finding> LintSource(std::string_view path,
 std::vector<Finding> LintFile(const std::filesystem::path& file);
 
 /// Recursively lints every *.h / *.cc / *.cpp under `root`, appending to
-/// `findings`. Returns the number of files scanned.
+/// `findings`. Returns the number of files scanned. File-local stage only.
 int LintTree(const std::filesystem::path& root,
              std::vector<Finding>* findings);
 
+/// One in-memory source file for project-level linting (tests, self-test).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Configuration of the cross-file stage.
+struct ProjectOptions {
+  /// Directory prefix whose first-level subdirectories are the layering
+  /// modules (normally the repo's `src`). Empty disables the layering
+  /// pass; the lock-discipline and suppression-audit passes always run.
+  std::string src_root;
+  /// Path of the layering table, for reporting and (in LintProject, when
+  /// `layering_table` is empty) for reading the table from disk.
+  std::string layering_path;
+  /// Contents of the layering table. Each non-comment line declares one
+  /// module and the modules it may #include: `serve: common session ...`
+  /// (a module may always include itself; `#` starts a comment).
+  std::string layering_table;
+};
+
+/// Cross-file lint over an in-memory file set: runs the file-local stage
+/// on every file plus the lock-discipline, layering and
+/// suppression-audit passes. Findings are sorted by (file, line, rule).
+std::vector<Finding> LintProjectSources(const std::vector<SourceFile>& files,
+                                        const ProjectOptions& options);
+
+/// Cross-file lint over files and/or directories on disk (directories are
+/// scanned recursively for *.h / *.cc / *.cpp). Reads the layering table
+/// from options.layering_path when options.layering_table is empty.
+/// `files_scanned` (optional) receives the number of files read.
+std::vector<Finding> LintProject(
+    const std::vector<std::filesystem::path>& paths,
+    const ProjectOptions& options, int* files_scanned);
+
 /// "file:line: [rule] message" — the single-line report format.
 std::string FormatFinding(const Finding& f);
+
+/// Renders findings as one JSON object: {"files_scanned": N,
+/// "rule_counts": {rule: count for every registered rule}, "findings":
+/// [{"file","line","rule","message"}...]} — the `--json` CLI output, and
+/// the artifact CI uploads so per-rule counts are diffable across PRs.
+std::string FormatFindingsJson(const std::vector<Finding>& findings,
+                               int files_scanned);
 
 }  // namespace ida::lint

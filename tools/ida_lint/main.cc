@@ -1,19 +1,150 @@
 // CLI for the ida_lint invariant checker.
 //
-//   ida_lint [--list-rules] [path ...]
+//   ida_lint [--list-rules] [--json] [--self-test]
+//            [--layering FILE] [--src-root DIR] [path ...]
 //
 // Paths may be files or directories (directories are scanned recursively
-// for *.h / *.cc / *.cpp); with no path the tool lints ./src. Exits 0 when
-// clean, 1 when findings were reported, 2 on usage or I/O errors.
+// for *.h / *.cc / *.cpp); with no path the tool lints ./src. Findings and
+// per-rule counts go to stderr; --json additionally prints a machine-
+// readable report on stdout (the artifact CI uploads). --layering enables
+// the module-layering pass against the declared DAG, with --src-root
+// naming the directory whose first-level subdirectories are the modules.
+// --self-test lints a built-in synthetic mini-tree with seeded violations
+// (a forbidden cross-module include, an unlocked guarded-field access, a
+// stale suppression, a raw-string decoy) and fails unless exactly those
+// are caught. Exits 0 when clean, 1 when findings were reported, 2 on
+// usage or I/O errors.
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "lint.h"
 
+namespace {
+
+// Lints an in-memory mini-project with one seeded violation per semantic
+// pass plus decoys that must stay clean; returns 0 only when the findings
+// are exactly the seeded ones.
+int SelfTest() {
+  using ida::lint::Finding;
+  using ida::lint::SourceFile;
+
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile{
+      "src/common/util.h",
+      "// common/util.h — self-test fixture.\n"
+      "#pragma once\n"
+      "inline int Util() { return 1; }\n"});
+  files.push_back(SourceFile{
+      "src/serve/api.h",
+      "// serve/api.h — self-test fixture.\n"
+      "#pragma once\n"
+      "#include \"common/util.h\"\n"
+      "inline int Api() { return Util(); }\n"});
+  // Seeded layering violation: distance may not include serve.
+  files.push_back(SourceFile{
+      "src/distance/bad.h",
+      "// distance/bad.h — seeded forbidden cross-module include.\n"
+      "#pragma once\n"
+      "#include \"serve/api.h\"\n"});
+  // Seeded lock-discipline violation: Bump touches v_ without mu_.
+  files.push_back(SourceFile{
+      "src/common/box.h",
+      "// common/box.h — seeded guarded-field access without the lock.\n"
+      "#pragma once\n"
+      "#include \"common/mutex.h\"\n"
+      "/// A counter guarded by a mutex.\n"
+      "class Box {\n"
+      " public:\n"
+      "  int Get() {\n"
+      "    MutexLock lock(&mu_);\n"
+      "    return v_;\n"
+      "  }\n"
+      "  void Bump() { v_ += 1; }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int v_ IDA_GUARDED_BY(mu_) = 0;\n"
+      "};\n"});
+  // Seeded stale suppression: nothing here triggers raw-random any more.
+  files.push_back(SourceFile{
+      "src/common/stale.h",
+      "// common/stale.h — seeded stale suppression.\n"
+      "#pragma once\n"
+      "// ida-lint: allow(raw-random): nothing here uses it any more\n"
+      "inline int Zero() { return 0; }\n"});
+  // Decoy: a live suppression that must not be reported as stale.
+  files.push_back(SourceFile{
+      "src/common/rand.cc",
+      "// common/rand.cc — live suppression decoy.\n"
+      "// ida-lint: allow(raw-random): fixture exercises a live directive\n"
+      "int seed = rand();\n"});
+  // Decoy: rule tokens inside a raw string literal must stay invisible.
+  files.push_back(SourceFile{
+      "src/common/raw.cc",
+      "// common/raw.cc — raw-string decoy.\n"
+      "const char* kDoc = R\"(std::system_clock::now() and rand())\";\n"});
+
+  ida::lint::ProjectOptions options;
+  options.src_root = "src";
+  options.layering_path = "layering.txt";
+  options.layering_table =
+      "common:\n"
+      "serve: common\n"
+      "distance: common\n";
+
+  std::vector<Finding> findings =
+      ida::lint::LintProjectSources(files, options);
+
+  int failures = 0;
+  auto expect = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "ida_lint self-test FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  auto count = [&](const std::string& file, const std::string& rule) {
+    int n = 0;
+    for (const Finding& f : findings) {
+      if (f.file == file && f.rule == rule) ++n;
+    }
+    return n;
+  };
+
+  expect(count("src/distance/bad.h", "layering") == 1,
+         "seeded forbidden include distance -> serve was not caught");
+  expect(count("src/common/box.h", "lock-discipline") == 1,
+         "seeded unlocked guarded-field access was not caught");
+  expect(count("src/common/stale.h", "stale-suppression") == 1,
+         "seeded stale suppression was not caught");
+  expect(count("src/common/rand.cc", "raw-random") == 0,
+         "live suppression in rand.cc was not honored");
+  expect(count("src/common/rand.cc", "stale-suppression") == 0,
+         "live suppression in rand.cc was misreported as stale");
+  expect(count("src/common/raw.cc", "wall-clock") == 0 &&
+             count("src/common/raw.cc", "raw-random") == 0,
+         "tokens inside a raw string literal were not stripped");
+  expect(findings.size() == 3, "unexpected extra findings");
+
+  if (failures > 0) {
+    for (const Finding& f : findings) {
+      std::fprintf(stderr, "  %s\n", ida::lint::FormatFinding(f).c_str());
+    }
+    return 1;
+  }
+  std::fprintf(stderr, "ida_lint self-test passed (%zu seeded findings)\n",
+               findings.size());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  bool json = false;
+  std::string layering_path;
+  std::string src_root;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -23,8 +154,23 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: ida_lint [--list-rules] [path ...]\n");
+      std::printf(
+          "usage: ida_lint [--list-rules] [--json] [--self-test]\n"
+          "                [--layering FILE] [--src-root DIR] [path ...]\n");
       return 0;
+    }
+    if (arg == "--self-test") return SelfTest();
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--layering" || arg == "--src-root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ida_lint: %s needs an argument\n", arg.c_str());
+        return 2;
+      }
+      (arg == "--layering" ? layering_path : src_root) = argv[++i];
+      continue;
     }
     if (arg.rfind("-", 0) == 0) {
       std::fprintf(stderr, "ida_lint: unknown flag %s\n", arg.c_str());
@@ -33,31 +179,43 @@ int main(int argc, char** argv) {
     paths.push_back(arg);
   }
   if (paths.empty()) paths.push_back("src");
+  if (src_root.empty()) src_root = "src";
 
-  std::vector<ida::lint::Finding> findings;
-  int files_scanned = 0;
+  std::vector<std::filesystem::path> roots;
   for (const std::string& path : paths) {
     std::filesystem::path p(path);
     std::error_code ec;
-    if (std::filesystem::is_directory(p, ec)) {
-      files_scanned += ida::lint::LintTree(p, &findings);
-    } else if (std::filesystem::is_regular_file(p, ec)) {
-      std::vector<ida::lint::Finding> file_findings =
-          ida::lint::LintFile(p);
-      findings.insert(findings.end(), file_findings.begin(),
-                      file_findings.end());
-      ++files_scanned;
-    } else {
+    if (!std::filesystem::exists(p, ec)) {
       std::fprintf(stderr, "ida_lint: no such file or directory: %s\n",
                    path.c_str());
       return 2;
     }
+    roots.push_back(p);
   }
+
+  ida::lint::ProjectOptions options;
+  options.layering_path = layering_path;
+  if (!layering_path.empty()) options.src_root = src_root;
+
+  int files_scanned = 0;
+  std::vector<ida::lint::Finding> findings =
+      ida::lint::LintProject(roots, options, &files_scanned);
 
   for (const ida::lint::Finding& f : findings) {
     std::fprintf(stderr, "%s\n", ida::lint::FormatFinding(f).c_str());
   }
+  if (!findings.empty()) {
+    std::map<std::string, int> counts;
+    for (const ida::lint::Finding& f : findings) ++counts[f.rule];
+    for (const auto& [rule, n] : counts) {
+      std::fprintf(stderr, "ida_lint:   %-18s %d\n", rule.c_str(), n);
+    }
+  }
   std::fprintf(stderr, "ida_lint: %zu finding(s) in %d file(s) scanned\n",
                findings.size(), files_scanned);
+  if (json) {
+    std::fputs(ida::lint::FormatFindingsJson(findings, files_scanned).c_str(),
+               stdout);
+  }
   return findings.empty() ? 0 : 1;
 }
